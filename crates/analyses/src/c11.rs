@@ -1,0 +1,327 @@
+//! C11Tester-style race detection for the C11 memory model (Table 6).
+//!
+//! C11Tester \[Luo & Demsky 2021\] constructs a trace incrementally,
+//! mapping each atomic read to a write and maintaining a happens-before
+//! partial order. The crucial structural property — and the paper's own
+//! *negative result* — is that almost every ordering it inserts targets
+//! the **current** event: a synchronizes-with edge from a release store
+//! to the acquire load being processed. Such streaming insertions cost
+//! vector clocks `O(k)` (no propagation), so VCs win on most Table 6
+//! rows.
+//!
+//! The exception (`readerswriters`, `atomicblocks`) are programs whose
+//! consistency constraints force orderings between *middle* events:
+//! when a load observes an already-overwritten (stale) value, the
+//! from-read constraint orders the load before the overwriting store,
+//! which sits in the middle of the order and has many successors. The
+//! [`middle_sync_frac`](csst_trace::gen::C11Cfg::middle_sync_frac) knob
+//! of the generator controls how often that happens.
+
+use crate::common::index_for_trace;
+use csst_core::{NodeId, PartialOrderIndex};
+use csst_trace::{EventKind, Trace, VarId};
+use std::collections::HashMap;
+
+/// Configuration of [`detect`].
+#[derive(Debug, Clone, Default)]
+pub struct C11Cfg {
+    /// Also treat relaxed reads-from edges as ordering (off in C11).
+    pub relaxed_orders: bool,
+}
+
+/// Result of a C11 race detection run.
+#[derive(Debug, Clone)]
+pub struct C11Report<P> {
+    /// The final happens-before order.
+    pub hb: P,
+    /// Races between plain accesses (pairs unordered by hb).
+    pub races: Vec<(NodeId, NodeId)>,
+    /// Synchronizes-with edges inserted (streaming: target is current).
+    pub sw_edges: usize,
+    /// From-read edges inserted (non-streaming: target is a middle
+    /// event with successors).
+    pub fr_edges: usize,
+}
+
+/// Atomic-store bookkeeping: the writing event and whether it carries
+/// release semantics.
+struct StoreInfo {
+    event: NodeId,
+    release: bool,
+}
+
+/// Handles an atomic read (load or the read half of an RMW): inserts
+/// the synchronizes-with edge (streaming) and, for stale observations,
+/// the from-read edge (middle-of-trace). Returns `(sw, fr)` counts.
+fn handle_atomic_read<P: PartialOrderIndex>(
+    hb: &mut P,
+    cfg: &C11Cfg,
+    store_of_value: &HashMap<u64, StoreInfo>,
+    overwritten_by: &HashMap<u64, u64>,
+    id: NodeId,
+    value: u64,
+    acquire: bool,
+) -> (usize, usize) {
+    if value == 0 {
+        return (0, 0);
+    }
+    let mut sw = 0usize;
+    let mut fr = 0usize;
+    let Some(info) = store_of_value.get(&value) else {
+        return (0, 0);
+    };
+    let s = info.event;
+    // Synchronizes-with: release store → acquire load. The target is
+    // the current event: a streaming insertion.
+    if s.thread != id.thread
+        && (info.release && acquire || cfg.relaxed_orders)
+        && hb.insert_edge_checked(s, id).is_ok()
+    {
+        sw += 1;
+    }
+    // From-read: if the observed value is stale, the load is
+    // coherence-ordered before the overwriting store — a
+    // middle-of-trace target with successors.
+    if let Some(&next) = overwritten_by.get(&value) {
+        let s_next = store_of_value[&next].event;
+        if s_next.thread != id.thread && hb.insert_edge_checked(id, s_next).is_ok() {
+            fr += 1;
+        }
+    }
+    (sw, fr)
+}
+
+/// Processes the trace in order, maintaining hb and checking plain
+/// accesses for races, mirroring the C11Tester op mix.
+pub fn detect<P: PartialOrderIndex>(trace: &Trace, cfg: &C11Cfg) -> C11Report<P> {
+    let mut hb: P = index_for_trace(trace);
+    let k = trace.num_threads();
+    let mut sw_edges = 0usize;
+    let mut fr_edges = 0usize;
+
+    let mut store_of_value: HashMap<u64, StoreInfo> = HashMap::new();
+    // Coherence bookkeeping: the latest value of each atomic variable
+    // and, per value, the value that overwrote it.
+    let mut latest_of_var: HashMap<VarId, u64> = HashMap::new();
+    let mut overwritten_by: HashMap<u64, u64> = HashMap::new();
+
+    // Plain-access bookkeeping for the race check: per variable, the
+    // last write and the last read of each thread.
+    #[derive(Clone)]
+    struct PlainState {
+        last_write: Option<NodeId>,
+        last_read: Vec<Option<NodeId>>,
+    }
+    let mut plain: HashMap<VarId, PlainState> = HashMap::new();
+    let mut races = Vec::new();
+
+    let record_store =
+        |store_of_value: &mut HashMap<u64, StoreInfo>,
+         latest_of_var: &mut HashMap<VarId, u64>,
+         overwritten_by: &mut HashMap<u64, u64>,
+         id: NodeId,
+         var: VarId,
+         value: u64,
+         release: bool| {
+            store_of_value.insert(value, StoreInfo { event: id, release });
+            if let Some(prev) = latest_of_var.insert(var, value) {
+                overwritten_by.insert(prev, value);
+            }
+        };
+
+    for (id, ev) in trace.iter_order() {
+        match ev.kind {
+            EventKind::AtomicLoad { order, value, .. } => {
+                let (sw, fr) = handle_atomic_read(
+                    &mut hb,
+                    cfg,
+                    &store_of_value,
+                    &overwritten_by,
+                    id,
+                    value,
+                    order.is_acquire(),
+                );
+                sw_edges += sw;
+                fr_edges += fr;
+            }
+            EventKind::AtomicRmw {
+                var,
+                order,
+                read,
+                write,
+            } => {
+                let (sw, fr) = handle_atomic_read(
+                    &mut hb,
+                    cfg,
+                    &store_of_value,
+                    &overwritten_by,
+                    id,
+                    read,
+                    order.is_acquire(),
+                );
+                sw_edges += sw;
+                fr_edges += fr;
+                record_store(
+                    &mut store_of_value,
+                    &mut latest_of_var,
+                    &mut overwritten_by,
+                    id,
+                    var,
+                    write,
+                    order.is_release(),
+                );
+            }
+            EventKind::AtomicStore { var, order, value } => {
+                record_store(
+                    &mut store_of_value,
+                    &mut latest_of_var,
+                    &mut overwritten_by,
+                    id,
+                    var,
+                    value,
+                    order.is_release(),
+                );
+            }
+            EventKind::Read { var, .. } => {
+                let st = plain.entry(var).or_insert_with(|| PlainState {
+                    last_write: None,
+                    last_read: vec![None; k],
+                });
+                if let Some(w) = st.last_write {
+                    if w.thread != id.thread && !hb.reachable(w, id) {
+                        races.push((w, id));
+                    }
+                }
+                st.last_read[id.thread.index()] = Some(id);
+            }
+            EventKind::Write { var, .. } => {
+                let st = plain.entry(var).or_insert_with(|| PlainState {
+                    last_write: None,
+                    last_read: vec![None; k],
+                });
+                if let Some(w) = st.last_write {
+                    if w.thread != id.thread && !hb.reachable(w, id) {
+                        races.push((w, id));
+                    }
+                }
+                for r in st.last_read.iter().flatten() {
+                    if r.thread != id.thread && !hb.reachable(*r, id) {
+                        races.push((*r, id));
+                    }
+                }
+                st.last_write = Some(id);
+                st.last_read = vec![None; k];
+            }
+            _ => {}
+        }
+    }
+
+    C11Report {
+        hb,
+        races,
+        sw_edges,
+        fr_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csst_core::{IncrementalCsst, SegTreeIndex, VectorClockIndex};
+    use csst_trace::gen::{c11_program, C11Cfg as GenCfg};
+    use csst_trace::{MemOrder, TraceBuilder};
+
+    #[test]
+    fn message_passing_with_release_acquire_is_race_free() {
+        // T0: w(data); store-rel(flag, 1). T1: load-acq(flag)=1; r(data).
+        let mut b = TraceBuilder::new();
+        let data = b.var("data");
+        let flag = b.var("flag");
+        b.on(0).write(data, 1);
+        b.on(0).atomic_store(flag, MemOrder::Release, 1);
+        b.on(1).atomic_load(flag, MemOrder::Acquire, 1);
+        b.on(1).read(data, 1);
+        let trace = b.build();
+        let r = detect::<IncrementalCsst>(&trace, &C11Cfg::default());
+        assert_eq!(r.sw_edges, 1);
+        assert!(r.races.is_empty(), "{:?}", r.races);
+    }
+
+    #[test]
+    fn relaxed_flag_leaves_race() {
+        let mut b = TraceBuilder::new();
+        let data = b.var("data");
+        let flag = b.var("flag");
+        b.on(0).write(data, 1);
+        b.on(0).atomic_store(flag, MemOrder::Relaxed, 1);
+        b.on(1).atomic_load(flag, MemOrder::Relaxed, 1);
+        b.on(1).read(data, 1);
+        let trace = b.build();
+        let r = detect::<IncrementalCsst>(&trace, &C11Cfg::default());
+        assert_eq!(r.races.len(), 1, "relaxed sync does not order the reads");
+    }
+
+    #[test]
+    fn stale_read_inserts_fr_edge() {
+        let mut b = TraceBuilder::new();
+        let flag = b.var("flag");
+        b.on(0).atomic_store(flag, MemOrder::Release, 1);
+        b.on(0).atomic_store(flag, MemOrder::Release, 2);
+        // T1 observes the overwritten value 1: fr edge load → store(2).
+        b.on(1).atomic_load(flag, MemOrder::Acquire, 1);
+        let trace = b.build();
+        let r = detect::<IncrementalCsst>(&trace, &C11Cfg::default());
+        assert_eq!(r.sw_edges, 1);
+        assert_eq!(r.fr_edges, 1);
+    }
+
+    #[test]
+    fn rmw_chains_synchronize() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let data = b.var("d");
+        b.on(0).write(data, 1);
+        b.on(0).atomic_store(x, MemOrder::Release, 1);
+        b.on(1).atomic_rmw(x, MemOrder::AcqRel, 1, 2);
+        b.on(1).read(data, 1);
+        let trace = b.build();
+        let r = detect::<IncrementalCsst>(&trace, &C11Cfg::default());
+        assert!(r.races.is_empty());
+        assert_eq!(r.sw_edges, 1);
+    }
+
+    #[test]
+    fn representations_agree_on_generated_traces() {
+        for (seed, middle) in [(0u64, 0.0f64), (1, 0.0), (2, 0.3)] {
+            let trace = c11_program(&GenCfg {
+                threads: 4,
+                events_per_thread: 150,
+                middle_sync_frac: middle,
+                seed,
+                ..Default::default()
+            });
+            let cfg = C11Cfg::default();
+            let a = detect::<IncrementalCsst>(&trace, &cfg);
+            let b = detect::<SegTreeIndex>(&trace, &cfg);
+            let c = detect::<VectorClockIndex>(&trace, &cfg);
+            assert_eq!(a.races, b.races, "seed {seed}");
+            assert_eq!(a.races, c.races, "seed {seed}");
+            assert_eq!(a.sw_edges, b.sw_edges);
+            assert_eq!(a.fr_edges, c.fr_edges);
+        }
+    }
+
+    #[test]
+    fn middle_sync_generates_fr_edges() {
+        let trace = c11_program(&GenCfg {
+            threads: 4,
+            events_per_thread: 200,
+            middle_sync_frac: 0.3,
+            plain_frac: 0.2,
+            seed: 9,
+            ..Default::default()
+        });
+        let r = detect::<IncrementalCsst>(&trace, &C11Cfg::default());
+        assert!(r.fr_edges > 0, "middle-sync workload must exercise fr");
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared infrastructure for the analyses: index construction helpers,
+//! operation counting, and ordering primitives.
+
+use csst_core::{NodeId, PartialOrderIndex, PoError, Pos, ThreadId};
+use csst_trace::{EventKind, Trace};
+use std::cell::Cell;
+
+/// Creates an index sized for `trace`: one chain per thread, capacity
+/// equal to the longest thread chain (at least 1).
+pub fn index_for_trace<P: PartialOrderIndex>(trace: &Trace) -> P {
+    P::new(trace.num_threads().max(1), trace.max_chain_len().max(1))
+}
+
+/// Inserts the fork/join structure of `trace` into `po`: a `fork(c)`
+/// event precedes the first event of `c`; the last event of `c`
+/// precedes a `join(c)` event.
+pub fn insert_fork_join<P: PartialOrderIndex>(po: &mut P, trace: &Trace) {
+    for (id, ev) in trace.iter_order() {
+        match ev.kind {
+            EventKind::Fork { child }
+                if trace.thread_len(child) > 0 && child != id.thread => {
+                    let first = NodeId::new(child, 0);
+                    let _ = po.insert_edge_checked(id, first);
+                }
+            EventKind::Join { child } => {
+                let len = trace.thread_len(child);
+                if len > 0 && child != id.thread {
+                    let last = NodeId::new(child, (len - 1) as u32);
+                    let _ = po.insert_edge_checked(last, id);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of [`require_order`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderOutcome {
+    /// The ordering already held (or is implied by program order).
+    AlreadyOrdered,
+    /// A new edge was inserted.
+    Inserted,
+    /// The ordering contradicts the current partial order (a cycle):
+    /// the constraint set is infeasible.
+    Contradiction,
+}
+
+/// Enforces `from → to` in `po`, classifying the result. This is the
+/// primitive all saturation rules are built from.
+pub fn require_order<P: PartialOrderIndex>(
+    po: &mut P,
+    from: NodeId,
+    to: NodeId,
+) -> OrderOutcome {
+    if from.thread == to.thread {
+        return if from.pos <= to.pos {
+            OrderOutcome::AlreadyOrdered
+        } else {
+            OrderOutcome::Contradiction
+        };
+    }
+    if po.reachable(from, to) {
+        return OrderOutcome::AlreadyOrdered;
+    }
+    match po.insert_edge_checked(from, to) {
+        Ok(()) => OrderOutcome::Inserted,
+        Err(PoError::WouldCycle { .. }) => OrderOutcome::Contradiction,
+        Err(e) => panic!("unexpected partial-order error: {e}"),
+    }
+}
+
+/// Operation counters shared by [`CountingIndex`]; interior-mutable so
+/// queries through `&self` can count.
+#[derive(Debug, Clone, Default)]
+pub struct OpCounters {
+    /// `insert_edge` calls.
+    pub inserts: Cell<u64>,
+    /// `delete_edge` calls.
+    pub deletes: Cell<u64>,
+    /// `reachable` calls.
+    pub reachables: Cell<u64>,
+    /// `successor` calls.
+    pub successors: Cell<u64>,
+    /// `predecessor` calls.
+    pub predecessors: Cell<u64>,
+}
+
+impl OpCounters {
+    /// Total updates (inserts + deletes).
+    pub fn updates(&self) -> u64 {
+        self.inserts.get() + self.deletes.get()
+    }
+
+    /// Total queries.
+    pub fn queries(&self) -> u64 {
+        self.reachables.get() + self.successors.get() + self.predecessors.get()
+    }
+}
+
+/// A transparent wrapper counting every operation issued to the inner
+/// index — the instrumentation behind the op-mix columns of
+/// EXPERIMENTS.md.
+///
+/// ```
+/// use csst_analyses::CountingIndex;
+/// use csst_core::{Csst, NodeId, PartialOrderIndex};
+///
+/// let mut po: CountingIndex<Csst> = CountingIndex::new(2, 10);
+/// po.insert_edge(NodeId::new(0, 1), NodeId::new(1, 2)).unwrap();
+/// po.reachable(NodeId::new(0, 0), NodeId::new(1, 5));
+/// assert_eq!(po.counters().inserts.get(), 1);
+/// assert_eq!(po.counters().reachables.get(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingIndex<P> {
+    inner: P,
+    counters: OpCounters,
+}
+
+impl<P: PartialOrderIndex> CountingIndex<P> {
+    /// The counters accumulated so far.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the inner index.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: PartialOrderIndex> PartialOrderIndex for CountingIndex<P> {
+    fn new(chains: usize, chain_capacity: usize) -> Self {
+        CountingIndex {
+            inner: P::new(chains, chain_capacity),
+            counters: OpCounters::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn chains(&self) -> usize {
+        self.inner.chains()
+    }
+
+    fn chain_capacity(&self) -> usize {
+        self.inner.chain_capacity()
+    }
+
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.counters.inserts.set(self.counters.inserts.get() + 1);
+        self.inner.insert_edge(from, to)
+    }
+
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.counters.deletes.set(self.counters.deletes.get() + 1);
+        self.inner.delete_edge(from, to)
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.counters
+            .reachables
+            .set(self.counters.reachables.get() + 1);
+        self.inner.reachable(from, to)
+    }
+
+    fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        self.counters
+            .successors
+            .set(self.counters.successors.get() + 1);
+        self.inner.successor(from, chain)
+    }
+
+    fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        self.counters
+            .predecessors
+            .set(self.counters.predecessors.get() + 1);
+        self.inner.predecessor(from, chain)
+    }
+
+    fn supports_deletion(&self) -> bool {
+        self.inner.supports_deletion()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csst_core::{Csst, IncrementalCsst};
+    use csst_trace::TraceBuilder;
+
+    #[test]
+    fn require_order_classification() {
+        let mut po = Csst::new(2, 10);
+        let u = NodeId::new(0, 1);
+        let v = NodeId::new(1, 2);
+        assert_eq!(require_order(&mut po, u, v), OrderOutcome::Inserted);
+        assert_eq!(require_order(&mut po, u, v), OrderOutcome::AlreadyOrdered);
+        assert_eq!(
+            require_order(&mut po, v, u),
+            OrderOutcome::Contradiction,
+            "reverse edge closes a cycle"
+        );
+        // Same-chain cases.
+        assert_eq!(
+            require_order(&mut po, NodeId::new(0, 1), NodeId::new(0, 5)),
+            OrderOutcome::AlreadyOrdered
+        );
+        assert_eq!(
+            require_order(&mut po, NodeId::new(0, 5), NodeId::new(0, 1)),
+            OrderOutcome::Contradiction
+        );
+    }
+
+    #[test]
+    fn fork_join_structure() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.on(0).fork(1);
+        b.on(1).write(x, 1);
+        b.on(1).write(x, 2);
+        b.on(0).join(1);
+        let trace = b.build();
+        let mut po: IncrementalCsst = index_for_trace(&trace);
+        insert_fork_join(&mut po, &trace);
+        // fork (0,0) → first of child (1,0); last of child (1,1) → join (0,1).
+        assert!(po.reachable(NodeId::new(0, 0), NodeId::new(1, 1)));
+        assert!(po.reachable(NodeId::new(1, 0), NodeId::new(0, 1)));
+        assert!(!po.reachable(NodeId::new(0, 1), NodeId::new(1, 0)));
+    }
+
+    #[test]
+    fn counting_index_counts() {
+        let mut po: CountingIndex<Csst> = CountingIndex::new(3, 10);
+        po.insert_edge(NodeId::new(0, 0), NodeId::new(1, 1)).unwrap();
+        po.insert_edge(NodeId::new(1, 2), NodeId::new(2, 3)).unwrap();
+        po.delete_edge(NodeId::new(1, 2), NodeId::new(2, 3)).unwrap();
+        po.reachable(NodeId::new(0, 0), NodeId::new(1, 5));
+        po.successor(NodeId::new(0, 0), ThreadId(1));
+        po.predecessor(NodeId::new(1, 5), ThreadId(0));
+        let c = po.counters();
+        assert_eq!(c.inserts.get(), 2);
+        assert_eq!(c.deletes.get(), 1);
+        assert_eq!(c.updates(), 3);
+        assert_eq!(c.queries(), 3);
+        assert_eq!(po.name(), "CSSTs");
+        assert!(po.supports_deletion());
+    }
+}

@@ -1,0 +1,57 @@
+//! # csst-analyses — dynamic concurrency analyses over pluggable
+//! partial-order indexes
+//!
+//! The CSSTs paper (§5) evaluates its data structure inside seven
+//! published dynamic analyses. This crate reimplements the
+//! *partial-order cores* of those analyses — the exact mix of
+//! `insertEdge` / `deleteEdge` / `reachable` / `successor` /
+//! `predecessor` operations each analysis issues — generically over
+//! [`csst_core::PartialOrderIndex`], so that every analysis can run on
+//! CSSTs, segment trees, vector clocks, or plain graphs, exactly like
+//! the paper's Tables 1–7:
+//!
+//! | module | analysis | paper table |
+//! |---|---|---|
+//! | [`race`] | M2-style data race prediction | Table 1 |
+//! | [`deadlock`] | SeqCheck-style deadlock prediction | Table 2 |
+//! | [`membug`] | ConVulPOE-style memory-bug prediction | Table 3 |
+//! | [`tso`] | x86-TSO consistency checking (Roy et al.) | Table 4 |
+//! | [`uaf`] | UFO-style use-after-free query generation | Table 5 |
+//! | [`c11`] | C11Tester-style race detection | Table 6 |
+//! | [`linearizability`] | root-causing linearizability violations | Table 7 |
+//!
+//! [`hb`] adds the paper's streaming *counterpoint* (FastTrack-style
+//! happens-before detection), where vector clocks are the right tool.
+//!
+//! The shared [`saturation`] engine implements the ordering-inference
+//! rules (reads-from maximality and lock mutual exclusion) used by the
+//! predictive analyses — the "saturation" process of the paper's §1.1
+//! motivating example.
+//!
+//! ## Example
+//!
+//! ```
+//! use csst_analyses::race::{self, RaceCfg};
+//! use csst_core::IncrementalCsst;
+//! use csst_trace::gen::{racy_program, RacyProgramCfg};
+//!
+//! let trace = racy_program(&RacyProgramCfg::default());
+//! let report = race::predict::<IncrementalCsst>(&trace, &RaceCfg::default());
+//! println!("{} candidate pairs, {} races", report.candidates, report.races.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c11;
+pub mod common;
+pub mod deadlock;
+pub mod hb;
+pub mod linearizability;
+pub mod membug;
+pub mod race;
+pub mod saturation;
+pub mod tso;
+pub mod uaf;
+
+pub use common::{CountingIndex, OpCounters, OrderOutcome};

@@ -1,0 +1,340 @@
+//! x86-TSO consistency checking (Table 4).
+//!
+//! Following the polynomial-time heuristic of \[Roy et al. 2006\], the
+//! checker verifies that a history of loads and stores (with a
+//! reads-from map recovered from unique written values) is consistent
+//! with the TSO memory model.
+//!
+//! The chain DAG has **two chains per thread** (§5.2(4) of the CSSTs
+//! paper): the *issue* chain carries the thread's instructions in
+//! program order; the *commit* chain carries its stores' commits to
+//! memory (the store buffer drains FIFO, so commit order equals issue
+//! order of stores). TSO's `W→R` relaxation falls out naturally: a
+//! load is ordered after earlier loads (issue chain) and before later
+//! commits (`issue(s) → commit(s)`), but nothing forces it after the
+//! commit of an earlier own store.
+//!
+//! Saturation rules per load `l` observing store `s`, against every
+//! other store `s'` on the same variable:
+//!
+//! * `commit(s') →* l`  ⟹  `commit(s') → commit(s)` (coherence);
+//! * `commit(s) →* commit(s')`  ⟹  `l → commit(s')` (no overwrite
+//!   before the read);
+//! * `l` reads the initial value  ⟹  `l → commit(s')` for all `s'`.
+//!
+//! A derived cycle means the history is not TSO-consistent. These
+//! insertions hit events deep inside the partial order, which is why
+//! Table 4 shows the largest vector-clock blowups.
+
+use crate::common::{require_order, OrderOutcome};
+use csst_core::{NodeId, PartialOrderIndex, Pos, ThreadId};
+use csst_trace::{EventKind, Trace, VarId};
+use std::collections::HashMap;
+
+/// Configuration of [`check`].
+#[derive(Debug, Clone)]
+pub struct TsoCheckCfg {
+    /// Safety valve for the saturation fixpoint.
+    pub max_rounds: usize,
+}
+
+impl Default for TsoCheckCfg {
+    fn default() -> Self {
+        TsoCheckCfg { max_rounds: 64 }
+    }
+}
+
+/// Result of a TSO consistency check.
+#[derive(Debug, Clone)]
+pub struct TsoReport<P> {
+    /// The final partial order over `2k` chains.
+    pub po: P,
+    /// Whether the history is TSO-consistent (no derived cycle).
+    pub consistent: bool,
+    /// Edges inserted (rf + saturation).
+    pub inserted: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+}
+
+/// Issue-chain node of event `⟨t, i⟩`.
+#[inline]
+fn issue(id: NodeId) -> NodeId {
+    NodeId::new(ThreadId(id.thread.0 * 2), id.pos)
+}
+
+/// Commit-chain node of the `idx`-th store of thread `t`.
+#[inline]
+fn commit(t: ThreadId, idx: u32) -> NodeId {
+    NodeId::new(ThreadId(t.0 * 2 + 1), idx)
+}
+
+/// Runs the TSO consistency check over a history of plain reads and
+/// writes with unique written values (as produced by
+/// [`csst_trace::gen::tso_history`]). Non-access events are ignored.
+pub fn check<P: PartialOrderIndex>(trace: &Trace, cfg: &TsoCheckCfg) -> TsoReport<P> {
+    let k = trace.num_threads().max(1);
+    let cap = trace.max_chain_len().max(1);
+    let mut po = P::new(2 * k, cap);
+    let mut inserted = 0usize;
+
+    // Store bookkeeping: value → (store event, its commit node),
+    // plus, per (variable, thread), the sorted commit positions of the
+    // thread's stores to that variable — the frontier lookup tables.
+    let mut commit_of: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut writer_of_value: HashMap<u64, (NodeId, VarId)> = HashMap::new();
+    let mut commits_at: HashMap<(VarId, usize), Vec<Pos>> = HashMap::new();
+    let mut loads: Vec<(NodeId, VarId, u64)> = Vec::new();
+    {
+        let mut store_count = vec![0u32; k];
+        for (id, ev) in trace.iter_order() {
+            match ev.kind {
+                EventKind::Write { var, value } => {
+                    let c = commit(id.thread, store_count[id.thread.index()]);
+                    store_count[id.thread.index()] += 1;
+                    commit_of.insert(id, c);
+                    writer_of_value.insert(value, (id, var));
+                    commits_at
+                        .entry((var, id.thread.index()))
+                        .or_default()
+                        .push(c.pos);
+                }
+                EventKind::Read { var, value } => {
+                    loads.push((id, var, value));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Base edges: issue(s) → commit(s).
+    for (&s, &c) in &commit_of {
+        po.insert_edge(issue(s), c).expect("issue → commit is valid");
+        inserted += 1;
+    }
+
+    let mut inconsistent = false;
+    // Reads-from edges: remote reads happen after the commit.
+    for &(l, var, value) in &loads {
+        if value == 0 {
+            continue; // initial value
+        }
+        let Some(&(s, wvar)) = writer_of_value.get(&value) else {
+            inconsistent = true; // value from nowhere
+            continue;
+        };
+        if wvar != var {
+            inconsistent = true;
+            continue;
+        }
+        if s.thread != l.thread {
+            match require_order(&mut po, commit_of[&s], issue(l)) {
+                OrderOutcome::Inserted => inserted += 1,
+                OrderOutcome::AlreadyOrdered => {}
+                OrderOutcome::Contradiction => inconsistent = true,
+            }
+        } else if s.pos >= l.pos {
+            inconsistent = true; // forwarding from a future store
+        }
+    }
+
+    // Frontier-based coherence saturation: per load and per commit
+    // chain, only the boundary store is related; the rest follow by
+    // the FIFO order of the commit chain.
+    let mut rounds = 0usize;
+    while !inconsistent {
+        rounds += 1;
+        let mut changed = false;
+        let apply = |po: &mut P, from: NodeId, to: NodeId, inconsistent: &mut bool| -> bool {
+            match require_order(po, from, to) {
+                OrderOutcome::Inserted => true,
+                OrderOutcome::AlreadyOrdered => false,
+                OrderOutcome::Contradiction => {
+                    *inconsistent = true;
+                    false
+                }
+            }
+        };
+        'loads: for &(l, var, value) in &loads {
+            let li = issue(l);
+            let observed = if value == 0 {
+                None
+            } else {
+                writer_of_value.get(&value).map(|&(s, _)| s)
+            };
+            match observed {
+                None => {
+                    // Initial read: every store to the variable commits
+                    // after the load; the first store per chain covers
+                    // the rest through the FIFO commit order.
+                    for t in 0..k {
+                        let Some(cps) = commits_at.get(&(var, t)) else {
+                            continue;
+                        };
+                        let first = NodeId::new(ThreadId(t as u32 * 2 + 1), cps[0]);
+                        if apply(&mut po, li, first, &mut inconsistent) {
+                            inserted += 1;
+                            changed = true;
+                        }
+                        if inconsistent {
+                            break 'loads;
+                        }
+                    }
+                }
+                Some(s) => {
+                    let cs = commit_of[&s];
+                    for t in 0..k {
+                        let cchain = ThreadId(t as u32 * 2 + 1);
+                        let Some(cps) = commits_at.get(&(var, t)) else {
+                            continue;
+                        };
+                        // (a) The latest same-variable commit reaching
+                        // the load is coherence-before the observed
+                        // store's commit.
+                        if let Some(p) = po.predecessor(li, cchain) {
+                            let i = cps.partition_point(|&x| x <= p);
+                            if i > 0 {
+                                let c2 = NodeId::new(cchain, cps[i - 1]);
+                                if c2 != cs && apply(&mut po, c2, cs, &mut inconsistent) {
+                                    inserted += 1;
+                                    changed = true;
+                                }
+                                if inconsistent {
+                                    break 'loads;
+                                }
+                            }
+                        }
+                        // (b) The earliest same-variable commit
+                        // reachable from the observed store's commit
+                        // must come after the load.
+                        if let Some(su) = po.successor(cs, cchain) {
+                            let mut i = cps.partition_point(|&x| x < su);
+                            if i < cps.len() && NodeId::new(cchain, cps[i]) == cs {
+                                i += 1;
+                            }
+                            if i < cps.len() {
+                                let c2 = NodeId::new(cchain, cps[i]);
+                                if apply(&mut po, li, c2, &mut inconsistent) {
+                                    inserted += 1;
+                                    changed = true;
+                                }
+                                if inconsistent {
+                                    break 'loads;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed || rounds >= cfg.max_rounds {
+            break;
+        }
+    }
+
+    TsoReport {
+        po,
+        consistent: !inconsistent,
+        inserted,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csst_core::{GraphIndex, IncrementalCsst, SegTreeIndex, VectorClockIndex};
+    use csst_trace::gen::{tso_history, TsoCfg};
+    use csst_trace::TraceBuilder;
+
+    #[test]
+    fn generated_histories_are_consistent() {
+        for seed in 0..5 {
+            let trace = tso_history(&csst_trace::gen::TsoCfg {
+                threads: 4,
+                events_per_thread: 120,
+                vars: 4,
+                seed,
+                ..Default::default()
+            });
+            let r = check::<IncrementalCsst>(&trace, &TsoCheckCfg::default());
+            assert!(r.consistent, "seed {seed}: TSO machine output rejected");
+            assert!(r.inserted > 0);
+        }
+    }
+
+    #[test]
+    fn coherence_violation_detected() {
+        // T0: w(x,1). T1: r(x,1); r(x,0) — reading the initial value
+        // after the new one violates coherence.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.on(0).write(x, 1);
+        b.on(1).read(x, 1);
+        b.on(1).read(x, 0);
+        let trace = b.build();
+        let r = check::<IncrementalCsst>(&trace, &TsoCheckCfg::default());
+        assert!(!r.consistent);
+    }
+
+    #[test]
+    fn store_buffering_is_allowed() {
+        // The classic SB litmus outcome r1 = r2 = 0 IS allowed on TSO:
+        // T0: w(x,1); r(y,0). T1: w(y,1); r(x,0).
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.on(0).write(x, 1);
+        b.on(0).read(y, 0);
+        b.on(1).write(y, 2);
+        b.on(1).read(x, 0);
+        let trace = b.build();
+        let r = check::<IncrementalCsst>(&trace, &TsoCheckCfg::default());
+        assert!(r.consistent, "SB relaxed outcome must be TSO-consistent");
+    }
+
+    #[test]
+    fn value_from_wrong_variable_rejected() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.on(0).write(x, 1);
+        b.on(1).read(y, 1); // value 1 was written to x, not y
+        let trace = b.build();
+        let r = check::<IncrementalCsst>(&trace, &TsoCheckCfg::default());
+        assert!(!r.consistent);
+    }
+
+    #[test]
+    fn forwarding_from_future_store_rejected() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.on(0).read(x, 1); // reads own store that has not issued yet
+        b.on(0).write(x, 1);
+        let trace = b.build();
+        let r = check::<IncrementalCsst>(&trace, &TsoCheckCfg::default());
+        assert!(!r.consistent);
+    }
+
+    #[test]
+    fn representations_agree() {
+        for seed in 0..3 {
+            let trace = tso_history(&TsoCfg {
+                threads: 3,
+                events_per_thread: 80,
+                vars: 3,
+                seed,
+                ..Default::default()
+            });
+            let cfg = TsoCheckCfg::default();
+            let a = check::<IncrementalCsst>(&trace, &cfg);
+            let b = check::<SegTreeIndex>(&trace, &cfg);
+            let c = check::<VectorClockIndex>(&trace, &cfg);
+            let d = check::<GraphIndex>(&trace, &cfg);
+            assert_eq!(a.consistent, b.consistent);
+            assert_eq!(a.consistent, c.consistent);
+            assert_eq!(a.consistent, d.consistent);
+            assert_eq!(a.inserted, b.inserted, "same op sequence");
+        }
+    }
+}

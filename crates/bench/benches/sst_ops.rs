@@ -1,0 +1,89 @@
+//! Per-operation costs of the suffix-minima structures (SST vs dense
+//! segment tree), backing the paper's §3.2 claims: sparse arrays make
+//! SST operations cheaper than `O(log n)`, dense ones tie.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csst_core::{SegmentTree, SparseSegmentTree, SuffixMinima};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1 << 20;
+
+fn prefill<S: SuffixMinima>(density: usize, seed: u64) -> (S, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut s = S::with_len(N);
+    for _ in 0..density {
+        let i = rng.gen_range(0..N);
+        s.update(i, rng.gen_range(0..N as u32));
+    }
+    (s, rng)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_minima/update");
+    group.sample_size(20);
+    for &density in &[64usize, 4096, 262_144] {
+        group.bench_with_input(
+            BenchmarkId::new("SST", density),
+            &density,
+            |b, &density| {
+                let (mut s, mut rng) = prefill::<SparseSegmentTree>(density, 1);
+                b.iter(|| {
+                    let i = rng.gen_range(0..N);
+                    s.update(i, rng.gen_range(0..N as u32));
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ST", density), &density, |b, &density| {
+            let (mut s, mut rng) = prefill::<SegmentTree>(density, 1);
+            b.iter(|| {
+                let i = rng.gen_range(0..N);
+                s.update(i, rng.gen_range(0..N as u32));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_minima/query");
+    group.sample_size(20);
+    for &density in &[64usize, 4096, 262_144] {
+        group.bench_with_input(
+            BenchmarkId::new("SST/suffix_min", density),
+            &density,
+            |b, &density| {
+                let (s, mut rng) = prefill::<SparseSegmentTree>(density, 2);
+                b.iter(|| s.suffix_min(rng.gen_range(0..N)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ST/suffix_min", density),
+            &density,
+            |b, &density| {
+                let (s, mut rng) = prefill::<SegmentTree>(density, 2);
+                b.iter(|| s.suffix_min(rng.gen_range(0..N)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("SST/argleq", density),
+            &density,
+            |b, &density| {
+                let (s, mut rng) = prefill::<SparseSegmentTree>(density, 3);
+                b.iter(|| s.argleq(rng.gen_range(0..N as u32)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ST/argleq", density),
+            &density,
+            |b, &density| {
+                let (s, mut rng) = prefill::<SegmentTree>(density, 3);
+                b.iter(|| s.argleq(rng.gen_range(0..N as u32)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries);
+criterion_main!(benches);

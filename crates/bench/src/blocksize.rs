@@ -1,0 +1,145 @@
+//! The §5.1 block-size stress test: "to set the threshold b for the
+//! size of the block nodes in CSSTs, we perform a randomized stress
+//! test with varying sizes of b … based on this test, we set b = 32."
+//!
+//! The stress workload mixes clustered and spread-out updates with
+//! suffix-minima and arg-leq queries — the regime where the flattened
+//! leaf blocks (Figure 7) pay off.
+
+use csst_core::{SparseSegmentTree, SuffixMinima, INF};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured block size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPoint {
+    /// The block-size threshold `b`.
+    pub block_size: u32,
+    /// Mean time per operation (seconds).
+    pub op_s: f64,
+    /// Peak node count (memory proxy).
+    pub peak_nodes: usize,
+}
+
+/// Parameters of the stress test.
+#[derive(Debug, Clone)]
+pub struct BlockCfg {
+    /// Array length.
+    pub len: usize,
+    /// Number of operations.
+    pub ops: usize,
+    /// Candidate block sizes.
+    pub sizes: Vec<u32>,
+    /// Fraction of updates landing inside dense clusters.
+    pub cluster_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlockCfg {
+    fn default() -> Self {
+        BlockCfg {
+            len: 1 << 20,
+            ops: 400_000,
+            sizes: vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+            cluster_frac: 0.7,
+            seed: 0xB10C,
+        }
+    }
+}
+
+/// Runs the stress test for every candidate block size.
+pub fn stress(cfg: &BlockCfg) -> Vec<BlockPoint> {
+    let mut points = Vec::new();
+    for &b in &cfg.sizes {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut sst = SparseSegmentTree::with_block_size(cfg.len, b);
+        // Dense clusters around a handful of centers.
+        let centers: Vec<usize> = (0..8).map(|_| rng.gen_range(0..cfg.len)).collect();
+        let mut sink = 0u64;
+        let start = Instant::now();
+        for _ in 0..cfg.ops {
+            let roll: f64 = rng.gen();
+            let idx = if rng.gen_bool(cfg.cluster_frac) {
+                let c = centers[rng.gen_range(0..centers.len())];
+                (c + rng.gen_range(0..64)).min(cfg.len - 1)
+            } else {
+                rng.gen_range(0..cfg.len)
+            };
+            if roll < 0.5 {
+                let v = if rng.gen_bool(0.15) {
+                    INF
+                } else {
+                    rng.gen_range(0..cfg.len as u32)
+                };
+                sst.update(idx, v);
+            } else if roll < 0.8 {
+                sink = sink.wrapping_add(sst.suffix_min(idx) as u64);
+            } else {
+                sink = sink.wrapping_add(
+                    sst.argleq(rng.gen_range(0..cfg.len as u32)).unwrap_or(0) as u64,
+                );
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        points.push(BlockPoint {
+            block_size: b,
+            op_s: elapsed / cfg.ops as f64,
+            peak_nodes: sst.peak_node_count(),
+        });
+    }
+    points
+}
+
+/// Renders the stress-test results.
+pub fn render(points: &[BlockPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== block-size stress test (§5.1; paper selects b = 32) ==");
+    let _ = writeln!(out, "{:>6} {:>14} {:>12}", "b", "time/op (s)", "peak nodes");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>14.3e} {:>12}",
+            p.block_size, p.op_s, p.peak_nodes
+        );
+    }
+    out
+}
+
+/// CSV export.
+pub fn to_csv(points: &[BlockPoint]) -> String {
+    let mut out = String::from("block_size,op_s,peak_nodes\n");
+    for p in points {
+        let _ = writeln!(out, "{},{:.9},{}", p.block_size, p.op_s, p.peak_nodes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_stress_runs() {
+        let cfg = BlockCfg {
+            len: 4096,
+            ops: 5_000,
+            sizes: vec![1, 32, 128],
+            ..Default::default()
+        };
+        let points = stress(&cfg);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.op_s > 0.0);
+            assert!(p.peak_nodes > 0);
+        }
+        // Larger blocks strictly reduce node counts on clustered data.
+        assert!(points[0].peak_nodes >= points[1].peak_nodes);
+        assert!(points[1].peak_nodes >= points[2].peak_nodes);
+        assert!(render(&points).contains("b = 32"));
+        assert_eq!(to_csv(&points).lines().count(), 4);
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 10 — geometric-mean time/memory ratios of the baselines over
+//! CSSTs, per analysis.
+
+use crate::report::Table;
+use std::fmt::Write as _;
+
+/// One bar group of Figure 10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioGroup {
+    /// Analysis name (x-axis label of the figure).
+    pub analysis: String,
+    /// `(baseline name, time ratio, memory ratio)` over CSSTs.
+    pub ratios: Vec<(String, f64, f64)>,
+}
+
+/// Computes the Figure 10 ratio groups from reproduced tables. Each
+/// entry is `(analysis label, table, baselines to compare)`.
+pub fn figure10(tables: &[(&str, &Table, &[&str])]) -> Vec<RatioGroup> {
+    let mut groups = Vec::new();
+    for (label, table, baselines) in tables {
+        let mut ratios = Vec::new();
+        for b in *baselines {
+            if let Some((t, m)) = table.geomean_ratios(b, "CSSTs") {
+                ratios.push(((*b).to_string(), t, m));
+            }
+        }
+        groups.push(RatioGroup {
+            analysis: (*label).to_string(),
+            ratios,
+        });
+    }
+    groups
+}
+
+/// Renders the figure as a text table: one row per analysis, the
+/// geometric-mean resource ratios over CSSTs (values > 1 mean CSSTs
+/// win).
+pub fn render(groups: &[RatioGroup]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Figure 10 — geomean resource ratio over CSSTs (>1 ⇒ CSSTs better) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>14} {:>14} {:>14}",
+        "analysis", "time ratio", "mem ratio", "baseline", ""
+    );
+    for g in groups {
+        for (b, t, m) in &g.ratios {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>14.2} {:>14.2} {:>14} {:>14}",
+                g.analysis, t, m, b, ""
+            );
+        }
+    }
+    out
+}
+
+/// CSV export.
+pub fn to_csv(groups: &[RatioGroup]) -> String {
+    let mut out = String::from("analysis,baseline,time_ratio,memory_ratio\n");
+    for g in groups {
+        for (b, t, m) in &g.ratios {
+            let _ = writeln!(out, "{},{},{:.4},{:.4}", g.analysis, b, t, m);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Cell, Row};
+    use std::time::Duration;
+
+    fn table_with(vc_ms: u64, csst_ms: u64) -> Table {
+        Table {
+            id: "t".into(),
+            title: "t".into(),
+            rows: vec![Row {
+                name: "r".into(),
+                threads: 2,
+                events: 10,
+                q: 0.1,
+                findings: 0,
+                cells: vec![
+                    ("VCs".into(), Cell { time: Duration::from_millis(vc_ms), memory: 100 }),
+                    ("CSSTs".into(), Cell { time: Duration::from_millis(csst_ms), memory: 50 }),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn ratio_groups() {
+        let t = table_with(30, 10);
+        let groups = figure10(&[("Races", &t, &["VCs", "STs"])]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].ratios.len(), 1, "STs column absent: skipped");
+        let (name, time, mem) = &groups[0].ratios[0];
+        assert_eq!(name, "VCs");
+        assert!((time - 3.0).abs() < 1e-9);
+        assert!((mem - 2.0).abs() < 1e-9);
+        assert!(render(&groups).contains("Races"));
+        assert!(to_csv(&groups).contains("Races,VCs,3.0000,2.0000"));
+    }
+}

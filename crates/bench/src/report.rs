@@ -1,0 +1,216 @@
+//! Result tables: collection, pretty-printing, CSV export, and the
+//! geometric-mean ratios behind Figure 10.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One measurement: wall time and approximate memory footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Wall-clock time of the analysis run.
+    pub time: Duration,
+    /// Approximate heap footprint of the partial-order index.
+    pub memory: usize,
+}
+
+/// One benchmark row: a workload profile measured under several
+/// representations.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name (matching the paper's row names).
+    pub name: String,
+    /// Number of threads `T`.
+    pub threads: usize,
+    /// Total number of events `N` in the generated trace.
+    pub events: usize,
+    /// Mean peak suffix-minima array density (the paper's `q`).
+    pub q: f64,
+    /// Findings of the analysis (races, deadlocks, …) — a sanity
+    /// column confirming all structures agree.
+    pub findings: usize,
+    /// `(structure name, measurement)` pairs, in column order.
+    pub cells: Vec<(String, Cell)>,
+}
+
+/// A reproduced table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier, e.g. `"table1"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Column names (structure names) of this table, from the first row.
+    pub fn structures(&self) -> Vec<String> {
+        self.rows
+            .first()
+            .map(|r| r.cells.iter().map(|(n, _)| n.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Renders the table in the paper's layout (one time column per
+    /// structure), plus totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let structures = self.structures();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = write!(out, "{:<18} {:>3} {:>9} {:>6} {:>9}", "benchmark", "T", "N", "q", "found");
+        for s in &structures {
+            let _ = write!(out, " {:>12}", format!("{s} (s)"));
+        }
+        for s in &structures {
+            let _ = write!(out, " {:>12}", format!("{s} (MB)"));
+        }
+        let _ = writeln!(out);
+        let mut total_time = vec![Duration::ZERO; structures.len()];
+        for row in &self.rows {
+            let _ = write!(
+                out,
+                "{:<18} {:>3} {:>9} {:>6.2} {:>9}",
+                row.name, row.threads, row.events, row.q, row.findings
+            );
+            for (i, (_, cell)) in row.cells.iter().enumerate() {
+                total_time[i] += cell.time;
+                let _ = write!(out, " {:>12.4}", cell.time.as_secs_f64());
+            }
+            for (_, cell) in &row.cells {
+                let _ = write!(out, " {:>12.3}", cell.memory as f64 / (1024.0 * 1024.0));
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{:<18} {:>3} {:>9} {:>6} {:>9}", "Total", "-", "-", "-", "-");
+        for t in &total_time {
+            let _ = write!(out, " {:>12.4}", t.as_secs_f64());
+        }
+        let _ = writeln!(out);
+        out
+    }
+
+    /// CSV export (one row per benchmark × structure).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("table,benchmark,threads,events,q,findings,structure,time_s,memory_bytes\n");
+        for row in &self.rows {
+            for (s, cell) in &row.cells {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{:.4},{},{},{:.6},{}",
+                    self.id,
+                    row.name,
+                    row.threads,
+                    row.events,
+                    row.q,
+                    row.findings,
+                    s,
+                    cell.time.as_secs_f64(),
+                    cell.memory
+                );
+            }
+        }
+        out
+    }
+
+    /// Geometric mean of `baseline / target` ratios over all rows:
+    /// `(time ratio, memory ratio)`. This is Figure 10's metric.
+    pub fn geomean_ratios(&self, baseline: &str, target: &str) -> Option<(f64, f64)> {
+        let mut log_time = 0.0f64;
+        let mut log_mem = 0.0f64;
+        let mut n = 0usize;
+        for row in &self.rows {
+            let get = |name: &str| {
+                row.cells
+                    .iter()
+                    .find(|(s, _)| s == name)
+                    .map(|(_, c)| *c)
+            };
+            let (Some(b), Some(t)) = (get(baseline), get(target)) else {
+                continue;
+            };
+            let bt = b.time.as_secs_f64().max(1e-9);
+            let tt = t.time.as_secs_f64().max(1e-9);
+            let bm = (b.memory as f64).max(1.0);
+            let tm = (t.memory as f64).max(1.0);
+            log_time += (bt / tt).ln();
+            log_mem += (bm / tm).ln();
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(((log_time / n as f64).exp(), (log_mem / n as f64).exp()))
+        }
+    }
+}
+
+/// Times a closure, returning its value and the elapsed wall time.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table {
+            id: "tableX".into(),
+            title: "sample".into(),
+            rows: vec![
+                Row {
+                    name: "a".into(),
+                    threads: 2,
+                    events: 100,
+                    q: 0.5,
+                    findings: 1,
+                    cells: vec![
+                        ("VCs".into(), Cell { time: Duration::from_millis(40), memory: 4000 }),
+                        ("CSSTs".into(), Cell { time: Duration::from_millis(10), memory: 1000 }),
+                    ],
+                },
+                Row {
+                    name: "b".into(),
+                    threads: 4,
+                    events: 200,
+                    q: 0.1,
+                    findings: 0,
+                    cells: vec![
+                        ("VCs".into(), Cell { time: Duration::from_millis(90), memory: 9000 }),
+                        ("CSSTs".into(), Cell { time: Duration::from_millis(10), memory: 1000 }),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn geomean() {
+        let t = sample();
+        let (time, mem) = t.geomean_ratios("VCs", "CSSTs").unwrap();
+        assert!((time - 6.0).abs() < 1e-9, "sqrt(4*9) = 6, got {time}");
+        assert!((mem - 6.0).abs() < 1e-9);
+        assert!(t.geomean_ratios("STs", "CSSTs").is_none());
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let t = sample();
+        let txt = t.render();
+        assert!(txt.contains("tableX"));
+        assert!(txt.contains("Total"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.contains("tableX,a,2,100,0.5000,1,VCs"));
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, d) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(d.as_secs() < 1);
+    }
+}

@@ -1,0 +1,405 @@
+//! Fully dynamic Collective Sparse Segment Trees (§3.3, Algorithm 2).
+//!
+//! For every ordered pair of distinct chains `(t1, t2)` the structure
+//! keeps a suffix-minima array `A_{t1}^{t2}` holding, per node
+//! `⟨t1, j1⟩`, the earliest **direct** neighbour of that node in chain
+//! `t2` (invariant Eq. (1) / Lemma 3). A multiset "edge heap" per node
+//! and chain pair remembers all parallel edges so deletions can restore
+//! the next-earliest neighbour.
+//!
+//! Since arrays store direct edges only, queries must discover
+//! transitive reachability: `successor` runs the `O(k³)` crossing-path
+//! fixpoint of Algorithm 2 (Lemma 4) — a Bellman–Ford-style loop over
+//! chains rather than over the `n` events, which is what makes the
+//! query cost independent of the trace length.
+
+use crate::error::PoError;
+use crate::heap::MinMultiset;
+use crate::index::{NodeId, Pos, ThreadId, INF};
+use crate::reach::PartialOrderIndex;
+use crate::sst::SparseSegmentTree;
+use crate::stats::DensityStats;
+use crate::suffix::SuffixMinima;
+use std::collections::HashMap;
+
+/// Fully dynamic chain-DAG reachability over a pluggable suffix-minima
+/// structure (Algorithm 2). Use the [`Csst`] alias for the paper's data
+/// structure.
+#[derive(Debug, Clone)]
+pub struct DynamicPo<S> {
+    k: usize,
+    cap: usize,
+    /// `k*k` suffix-minima arrays; entry `t1*k + t2` is `A_{t1}^{t2}`
+    /// (diagonal entries are unused zero-length placeholders).
+    arrays: Vec<S>,
+    /// Edge heaps: per chain pair, a sparse map from `j1` to the
+    /// multiset of direct successors in the target chain.
+    heaps: Vec<HashMap<Pos, MinMultiset>>,
+    edges: usize,
+}
+
+/// The paper's fully dynamic CSST: [`DynamicPo`] over
+/// [`SparseSegmentTree`] arrays.
+pub type Csst = DynamicPo<SparseSegmentTree>;
+
+impl<S: SuffixMinima> DynamicPo<S> {
+    #[inline]
+    fn idx(&self, t1: usize, t2: usize) -> usize {
+        t1 * self.k + t2
+    }
+
+    /// Number of currently stored edges (counting parallel edges).
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Per-array density statistics (the `q` column of the tables).
+    pub fn density_stats(&self) -> DensityStats {
+        let k = self.k;
+        DensityStats::from_arrays((0..k * k).filter_map(|i| {
+            if i / k == i % k {
+                None
+            } else {
+                Some((self.arrays[i].peak_density(), self.cap))
+            }
+        }))
+    }
+
+    /// Earliest node of chain `t2` reachable from `⟨t1, j1⟩` via at
+    /// least one cross-chain edge ([`INF`] if none): the crossing-path
+    /// fixpoint of Algorithm 2.
+    fn successor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Pos {
+        let k = self.k;
+        let mut closure = vec![INF; k];
+        for (t, slot) in closure.iter_mut().enumerate() {
+            if t != t1 {
+                *slot = self.arrays[t1 * k + t].suffix_min(j1 as usize);
+            }
+        }
+        // Lemma 4: after the i-th iteration, closure[t] is the earliest
+        // node of t reachable via a crossing path of length ≤ i + 1;
+        // crossing paths need at most k hops.
+        loop {
+            let mut changed = false;
+            for tp1 in 0..k {
+                if tp1 == t1 {
+                    continue;
+                }
+                for tp2 in 0..k {
+                    if tp2 == t1 || tp2 == tp1 || closure[tp2] == INF {
+                        continue;
+                    }
+                    let v = self.arrays[tp2 * k + tp1].suffix_min(closure[tp2] as usize);
+                    if v < closure[tp1] {
+                        closure[tp1] = v;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        closure[t2]
+    }
+
+    /// Latest node of chain `t2` that reaches `⟨t1, j1⟩` via at least
+    /// one cross-chain edge (`None` if there is none): the symmetric
+    /// backward fixpoint using `argleq`.
+    fn predecessor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Option<Pos> {
+        let k = self.k;
+        let mut closure: Vec<Option<Pos>> = vec![None; k];
+        for (t, slot) in closure.iter_mut().enumerate() {
+            if t != t1 {
+                *slot = self.arrays[t * k + t1].argleq(j1).map(|p| p as Pos);
+            }
+        }
+        loop {
+            let mut changed = false;
+            for tp1 in 0..k {
+                if tp1 == t1 {
+                    continue;
+                }
+                for tp2 in 0..k {
+                    if tp2 == t1 || tp2 == tp1 {
+                        continue;
+                    }
+                    let Some(c) = closure[tp2] else { continue };
+                    let v = self.arrays[tp1 * k + tp2].argleq(c).map(|p| p as Pos);
+                    if v > closure[tp1] {
+                        closure[tp1] = v;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        closure[t2]
+    }
+}
+
+impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
+    fn new(chains: usize, chain_capacity: usize) -> Self {
+        assert!(chains >= 1, "need at least one chain");
+        let mut arrays = Vec::with_capacity(chains * chains);
+        for t1 in 0..chains {
+            for t2 in 0..chains {
+                arrays.push(S::with_len(if t1 == t2 { 0 } else { chain_capacity }));
+            }
+        }
+        DynamicPo {
+            k: chains,
+            cap: chain_capacity,
+            arrays,
+            heaps: (0..chains * chains).map(|_| HashMap::new()).collect(),
+            edges: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CSSTs"
+    }
+
+    fn chains(&self) -> usize {
+        self.k
+    }
+
+    fn chain_capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        let (t1, j1) = (from.thread.index(), from.pos);
+        let (t2, j2) = (to.thread.index(), to.pos);
+        let idx = self.idx(t1, t2);
+        let heap = self.heaps[idx].entry(j1).or_default();
+        let improves = heap.min().is_none_or(|m| j2 < m);
+        heap.insert(j2);
+        if improves {
+            self.arrays[idx].update(j1 as usize, j2);
+        }
+        self.edges += 1;
+        Ok(())
+    }
+
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        let (t1, j1) = (from.thread.index(), from.pos);
+        let (t2, j2) = (to.thread.index(), to.pos);
+        let idx = self.idx(t1, t2);
+        let Some(heap) = self.heaps[idx].get_mut(&j1) else {
+            return Err(PoError::EdgeNotFound { from, to });
+        };
+        let old_min = heap.min();
+        if !heap.remove(j2) {
+            return Err(PoError::EdgeNotFound { from, to });
+        }
+        let new_min = heap.min();
+        if heap.is_empty() {
+            self.heaps[idx].remove(&j1);
+        }
+        if old_min == Some(j2) && new_min != Some(j2) {
+            self.arrays[idx].update(j1 as usize, new_min.unwrap_or(INF));
+        }
+        self.edges -= 1;
+        Ok(())
+    }
+
+    fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        debug_assert!(self.check_node(from).is_ok());
+        let t1 = from.thread.index();
+        let t2 = chain.index();
+        if t1 == t2 {
+            return Some(from.pos);
+        }
+        match self.successor_raw(t1, from.pos, t2) {
+            INF => None,
+            v => Some(v),
+        }
+    }
+
+    fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        debug_assert!(self.check_node(from).is_ok());
+        let t1 = from.thread.index();
+        let t2 = chain.index();
+        if t1 == t2 {
+            return Some(from.pos);
+        }
+        self.predecessor_raw(t1, from.pos, t2)
+    }
+
+    fn supports_deletion(&self) -> bool {
+        true
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let arrays: usize = self.arrays.iter().map(|a| a.memory_bytes()).sum();
+        let heaps: usize = self
+            .heaps
+            .iter()
+            .map(|m| {
+                m.values().map(|h| h.memory_bytes()).sum::<usize>()
+                    + m.capacity()
+                        * (std::mem::size_of::<Pos>() + std::mem::size_of::<MinMultiset>())
+            })
+            .sum();
+        std::mem::size_of::<Self>() + arrays + heaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(t: u32, i: u32) -> NodeId {
+        NodeId::new(t, i)
+    }
+
+    #[test]
+    fn reflexive_and_program_order() {
+        let po = Csst::new(3, 10);
+        assert!(po.reachable(n(0, 3), n(0, 3)));
+        assert!(po.reachable(n(0, 2), n(0, 9)));
+        assert!(!po.reachable(n(0, 9), n(0, 2)));
+        assert!(!po.reachable(n(0, 0), n(1, 9)));
+        assert_eq!(po.successor(n(1, 4), ThreadId(1)), Some(4));
+        assert_eq!(po.predecessor(n(1, 4), ThreadId(1)), Some(4));
+        assert_eq!(po.successor(n(1, 4), ThreadId(0)), None);
+        assert_eq!(po.predecessor(n(1, 4), ThreadId(0)), None);
+    }
+
+    #[test]
+    fn direct_edge_with_suffix_semantics() {
+        let mut po = Csst::new(2, 10);
+        po.insert_edge(n(0, 5), n(1, 5)).unwrap();
+        // Earlier events of chain 0 inherit the edge via program order.
+        assert!(po.reachable(n(0, 0), n(1, 5)));
+        assert!(po.reachable(n(0, 5), n(1, 9)));
+        assert!(!po.reachable(n(0, 6), n(1, 9)));
+        assert!(!po.reachable(n(0, 5), n(1, 4)));
+        assert_eq!(po.successor(n(0, 0), ThreadId(1)), Some(5));
+        assert_eq!(po.predecessor(n(1, 9), ThreadId(0)), Some(5));
+        assert_eq!(po.predecessor(n(1, 4), ThreadId(0)), None);
+    }
+
+    #[test]
+    fn example_6_transitive_query() {
+        // Figure 8: successor(⟨0,0⟩, 3) = ⟨3,1⟩ discovered through a
+        // crossing path of length 4.
+        let mut po = Csst::new(4, 3);
+        po.insert_edge(n(0, 0), n(1, 0)).unwrap(); // edge 1
+        po.insert_edge(n(0, 1), n(3, 2)).unwrap(); // edge 2
+        po.insert_edge(n(1, 1), n(2, 1)).unwrap(); // edge 3
+        po.insert_edge(n(2, 2), n(3, 1)).unwrap(); // edge 4
+        assert_eq!(po.successor(n(0, 0), ThreadId(3)), Some(1));
+        assert!(po.reachable(n(0, 0), n(3, 1)));
+        assert!(!po.reachable(n(0, 0), n(3, 0)));
+        // Backward: the latest node of chain 0 reaching ⟨3,1⟩ is ⟨0,0⟩.
+        assert_eq!(po.predecessor(n(3, 1), ThreadId(0)), Some(0));
+        assert_eq!(po.predecessor(n(3, 2), ThreadId(0)), Some(1));
+    }
+
+    #[test]
+    fn delete_restores_previous_state() {
+        let mut po = Csst::new(3, 100);
+        po.insert_edge(n(0, 10), n(1, 20)).unwrap();
+        po.insert_edge(n(1, 30), n(2, 40)).unwrap();
+        assert!(po.reachable(n(0, 5), n(2, 99)));
+        po.delete_edge(n(1, 30), n(2, 40)).unwrap();
+        assert!(!po.reachable(n(0, 5), n(2, 99)));
+        assert!(po.reachable(n(0, 5), n(1, 99)));
+        po.delete_edge(n(0, 10), n(1, 20)).unwrap();
+        assert!(!po.reachable(n(0, 5), n(1, 99)));
+        assert_eq!(po.edge_count(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_and_heap_restoration() {
+        let mut po = Csst::new(2, 50);
+        po.insert_edge(n(0, 3), n(1, 20)).unwrap();
+        po.insert_edge(n(0, 3), n(1, 10)).unwrap();
+        po.insert_edge(n(0, 3), n(1, 10)).unwrap(); // duplicate edge
+        assert_eq!(po.successor(n(0, 0), ThreadId(1)), Some(10));
+        po.delete_edge(n(0, 3), n(1, 10)).unwrap();
+        // One copy of the 10-edge remains.
+        assert_eq!(po.successor(n(0, 0), ThreadId(1)), Some(10));
+        po.delete_edge(n(0, 3), n(1, 10)).unwrap();
+        assert_eq!(po.successor(n(0, 0), ThreadId(1)), Some(20));
+        po.delete_edge(n(0, 3), n(1, 20)).unwrap();
+        assert_eq!(po.successor(n(0, 0), ThreadId(1)), None);
+    }
+
+    #[test]
+    fn delete_errors() {
+        let mut po = Csst::new(2, 10);
+        assert_eq!(
+            po.delete_edge(n(0, 1), n(1, 2)),
+            Err(PoError::EdgeNotFound {
+                from: n(0, 1),
+                to: n(1, 2)
+            })
+        );
+        po.insert_edge(n(0, 1), n(1, 2)).unwrap();
+        assert_eq!(
+            po.delete_edge(n(0, 1), n(1, 3)),
+            Err(PoError::EdgeNotFound {
+                from: n(0, 1),
+                to: n(1, 3)
+            })
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut po = Csst::new(2, 10);
+        assert!(matches!(
+            po.insert_edge(n(0, 1), n(0, 2)),
+            Err(PoError::SameChain { .. })
+        ));
+        assert!(matches!(
+            po.insert_edge(n(0, 1), n(5, 2)),
+            Err(PoError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            po.insert_edge(n(0, 10), n(1, 2)),
+            Err(PoError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_insert_rejects_cycles() {
+        let mut po = Csst::new(2, 10);
+        po.insert_edge_checked(n(0, 5), n(1, 5)).unwrap();
+        assert_eq!(
+            po.insert_edge_checked(n(1, 5), n(0, 5)),
+            Err(PoError::WouldCycle {
+                from: n(1, 5),
+                to: n(0, 5)
+            })
+        );
+        // A non-cyclic back edge is fine.
+        po.insert_edge_checked(n(1, 5), n(0, 6)).unwrap();
+    }
+
+    #[test]
+    fn density_stats_reflect_direct_edges() {
+        let mut po = Csst::new(3, 100);
+        for j in 0..10 {
+            po.insert_edge(n(0, j), n(1, j)).unwrap();
+        }
+        let stats = po.density_stats();
+        assert_eq!(stats.arrays, 6);
+        assert_eq!(stats.max_peak, 10);
+        assert!(stats.q > 0.0 && stats.q <= 1.0);
+    }
+
+    #[test]
+    fn supports_deletion_flag() {
+        let po = Csst::new(2, 4);
+        assert!(po.supports_deletion());
+        assert_eq!(po.name(), "CSSTs");
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type shared by all partial-order representations.
+
+use crate::index::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`PartialOrderIndex`](crate::PartialOrderIndex)
+/// operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoError {
+    /// A node lies outside the `[k] × [n]` domain the structure was
+    /// created with.
+    OutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of chains of the structure.
+        chains: usize,
+        /// Per-chain capacity of the structure.
+        chain_capacity: usize,
+    },
+    /// An update connected two nodes of the same chain. Intra-chain
+    /// orderings are implicit (program order) and must not be inserted
+    /// or deleted explicitly (§2.2: "updates only across chains").
+    SameChain {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+    /// `delete_edge` was called for an edge that was never inserted
+    /// (or was already deleted).
+    EdgeNotFound {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+    /// The representation does not support deletions (vector clocks and
+    /// the incremental structures are insert-only).
+    DeletionUnsupported {
+        /// Name of the representation.
+        structure: &'static str,
+    },
+    /// A checked insertion would have created a cycle, i.e. the target
+    /// already reaches the source.
+    WouldCycle {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for PoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoError::OutOfRange {
+                node,
+                chains,
+                chain_capacity,
+            } => write!(
+                f,
+                "node {node} outside domain of {chains} chains × {chain_capacity} events"
+            ),
+            PoError::SameChain { from, to } => {
+                write!(f, "edge {from} → {to} connects nodes of the same chain")
+            }
+            PoError::EdgeNotFound { from, to } => {
+                write!(f, "edge {from} → {to} is not present")
+            }
+            PoError::DeletionUnsupported { structure } => {
+                write!(f, "{structure} does not support edge deletion")
+            }
+            PoError::WouldCycle { from, to } => {
+                write!(f, "inserting {from} → {to} would create a cycle")
+            }
+        }
+    }
+}
+
+impl Error for PoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let u = NodeId::new(0, 1);
+        let v = NodeId::new(0, 2);
+        let e = PoError::SameChain { from: u, to: v };
+        assert!(e.to_string().contains("same chain"));
+        let e = PoError::EdgeNotFound { from: u, to: v };
+        assert!(e.to_string().contains("not present"));
+        let e = PoError::DeletionUnsupported {
+            structure: "vector clocks",
+        };
+        assert!(e.to_string().contains("deletion"));
+        let e = PoError::WouldCycle { from: u, to: v };
+        assert!(e.to_string().contains("cycle"));
+        let e = PoError::OutOfRange {
+            node: u,
+            chains: 2,
+            chain_capacity: 10,
+        };
+        assert!(e.to_string().contains("domain"));
+    }
+}

@@ -1,0 +1,302 @@
+//! The plain-graph baseline ("Graphs" in the paper's tables).
+//!
+//! A standard, non-transitively-closed adjacency representation of the
+//! partial order, as used by the root-cause analysis of \[Çirisci et
+//! al. 2020\] and other fully dynamic analyses. Updates are `O(1)`
+//! (append/remove an edge) but every query performs a graph traversal,
+//! whose cost grows with the number of edges — the quadratic behaviour
+//! visible in Table 7.
+//!
+//! The traversal exploits the chain structure the same way a careful
+//! implementation over an event graph would: it tracks, per chain, the
+//! earliest (resp. latest) position already known reachable and scans
+//! each edge at most once per query, i.e. `O(m + k)` per query.
+
+use crate::error::PoError;
+use crate::index::{NodeId, Pos, ThreadId, INF};
+use crate::reach::PartialOrderIndex;
+use std::collections::BTreeMap;
+
+/// Plain graph representation of a chain-DAG partial order, supporting
+/// both insertions and deletions.
+///
+/// ```
+/// use csst_core::{GraphIndex, NodeId, PartialOrderIndex};
+/// # fn main() -> Result<(), csst_core::PoError> {
+/// let mut g = GraphIndex::new(2, 10);
+/// g.insert_edge(NodeId::new(0, 3), NodeId::new(1, 4))?;
+/// assert!(g.reachable(NodeId::new(0, 0), NodeId::new(1, 9)));
+/// g.delete_edge(NodeId::new(0, 3), NodeId::new(1, 4))?;
+/// assert!(!g.reachable(NodeId::new(0, 0), NodeId::new(1, 9)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphIndex {
+    k: usize,
+    cap: usize,
+    /// Per source chain: source position → edge targets (parallel edges
+    /// appear with multiplicity).
+    out: Vec<BTreeMap<Pos, Vec<NodeId>>>,
+    /// Per target chain: target position → edge sources.
+    inc: Vec<BTreeMap<Pos, Vec<NodeId>>>,
+    edges: usize,
+}
+
+fn remove_one(map: &mut BTreeMap<Pos, Vec<NodeId>>, key: Pos, value: NodeId) -> bool {
+    let Some(vec) = map.get_mut(&key) else {
+        return false;
+    };
+    let Some(i) = vec.iter().position(|&x| x == value) else {
+        return false;
+    };
+    vec.swap_remove(i);
+    if vec.is_empty() {
+        map.remove(&key);
+    }
+    true
+}
+
+impl GraphIndex {
+    /// Number of currently stored edges (counting parallel edges).
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Forward closure: earliest reachable position per chain.
+    fn forward_closure(&self, t1: usize, j1: Pos) -> Vec<Pos> {
+        let mut earliest = vec![INF; self.k];
+        let mut scanned_lo = vec![INF; self.k];
+        earliest[t1] = j1;
+        let mut work = vec![t1];
+        while let Some(t) = work.pop() {
+            let from = earliest[t];
+            let hi = scanned_lo[t];
+            if from >= hi {
+                continue;
+            }
+            scanned_lo[t] = from;
+            for (_, targets) in self.out[t].range(from..hi) {
+                for &w in targets {
+                    let wt = w.thread.index();
+                    if w.pos < earliest[wt] {
+                        earliest[wt] = w.pos;
+                        if earliest[wt] < scanned_lo[wt] {
+                            work.push(wt);
+                        }
+                    }
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Backward closure: latest position per chain that reaches the
+    /// query node (`-1` encodes "none").
+    fn backward_closure(&self, t1: usize, j1: Pos) -> Vec<i64> {
+        let mut latest = vec![-1i64; self.k];
+        let mut scanned_hi = vec![-1i64; self.k];
+        latest[t1] = j1 as i64;
+        let mut work = vec![t1];
+        while let Some(t) = work.pop() {
+            let upto = latest[t];
+            let lo = scanned_hi[t];
+            if upto <= lo {
+                continue;
+            }
+            scanned_hi[t] = upto;
+            for (_, sources) in self.inc[t].range((lo + 1) as Pos..=upto as Pos) {
+                for &w in sources {
+                    let wt = w.thread.index();
+                    if (w.pos as i64) > latest[wt] {
+                        latest[wt] = w.pos as i64;
+                        if latest[wt] > scanned_hi[wt] {
+                            work.push(wt);
+                        }
+                    }
+                }
+            }
+        }
+        latest
+    }
+}
+
+impl PartialOrderIndex for GraphIndex {
+    fn new(chains: usize, chain_capacity: usize) -> Self {
+        assert!(chains >= 1, "need at least one chain");
+        GraphIndex {
+            k: chains,
+            cap: chain_capacity,
+            out: vec![BTreeMap::new(); chains],
+            inc: vec![BTreeMap::new(); chains],
+            edges: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Graphs"
+    }
+
+    fn chains(&self) -> usize {
+        self.k
+    }
+
+    fn chain_capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        self.out[from.thread.index()]
+            .entry(from.pos)
+            .or_default()
+            .push(to);
+        self.inc[to.thread.index()]
+            .entry(to.pos)
+            .or_default()
+            .push(from);
+        self.edges += 1;
+        Ok(())
+    }
+
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        if !remove_one(&mut self.out[from.thread.index()], from.pos, to) {
+            return Err(PoError::EdgeNotFound { from, to });
+        }
+        let removed = remove_one(&mut self.inc[to.thread.index()], to.pos, from);
+        debug_assert!(removed, "out/in adjacency out of sync");
+        self.edges -= 1;
+        Ok(())
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from.thread == to.thread {
+            return from.pos <= to.pos;
+        }
+        self.forward_closure(from.thread.index(), from.pos)[to.thread.index()] <= to.pos
+    }
+
+    fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        debug_assert!(self.check_node(from).is_ok());
+        if from.thread == chain {
+            return Some(from.pos);
+        }
+        match self.forward_closure(from.thread.index(), from.pos)[chain.index()] {
+            INF => None,
+            v => Some(v),
+        }
+    }
+
+    fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        debug_assert!(self.check_node(from).is_ok());
+        if from.thread == chain {
+            return Some(from.pos);
+        }
+        match self.backward_closure(from.thread.index(), from.pos)[chain.index()] {
+            -1 => None,
+            v => Some(v as Pos),
+        }
+    }
+
+    fn supports_deletion(&self) -> bool {
+        true
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let sides: usize = self
+            .out
+            .iter()
+            .chain(self.inc.iter())
+            .map(|m| {
+                m.values().map(|v| {
+                        std::mem::size_of::<Pos>()
+                            + std::mem::size_of::<Vec<NodeId>>()
+                            + v.capacity() * std::mem::size_of::<NodeId>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        std::mem::size_of::<Self>() + sides
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(t: u32, i: u32) -> NodeId {
+        NodeId::new(t, i)
+    }
+
+    #[test]
+    fn insert_query_delete_roundtrip() {
+        let mut g = GraphIndex::new(3, 100);
+        g.insert_edge(n(0, 10), n(1, 20)).unwrap();
+        g.insert_edge(n(1, 30), n(2, 40)).unwrap();
+        assert!(g.reachable(n(0, 0), n(2, 50)));
+        assert_eq!(g.successor(n(0, 0), ThreadId(2)), Some(40));
+        assert_eq!(g.predecessor(n(2, 45), ThreadId(0)), Some(10));
+        g.delete_edge(n(1, 30), n(2, 40)).unwrap();
+        assert!(!g.reachable(n(0, 0), n(2, 50)));
+        assert_eq!(g.successor(n(0, 0), ThreadId(2)), None);
+        assert_eq!(g.predecessor(n(2, 45), ThreadId(0)), None);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_edges() {
+        let mut g = GraphIndex::new(2, 10);
+        g.insert_edge(n(0, 1), n(1, 5)).unwrap();
+        g.insert_edge(n(0, 1), n(1, 5)).unwrap();
+        g.delete_edge(n(0, 1), n(1, 5)).unwrap();
+        assert!(g.reachable(n(0, 1), n(1, 5)), "one parallel edge remains");
+        g.delete_edge(n(0, 1), n(1, 5)).unwrap();
+        assert!(!g.reachable(n(0, 1), n(1, 5)));
+        assert!(matches!(
+            g.delete_edge(n(0, 1), n(1, 5)),
+            Err(PoError::EdgeNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn long_crossing_path() {
+        let k = 6;
+        let mut g = GraphIndex::new(k, 10);
+        for t in 0..(k - 1) as u32 {
+            g.insert_edge(n(t, 5), n(t + 1, 5)).unwrap();
+        }
+        assert!(g.reachable(n(0, 0), n(5, 9)));
+        assert!(!g.reachable(n(0, 6), n(5, 9)));
+        assert_eq!(g.successor(n(0, 3), ThreadId(5)), Some(5));
+        assert_eq!(g.predecessor(n(5, 5), ThreadId(0)), Some(5));
+    }
+
+    #[test]
+    fn back_and_forth_between_chains() {
+        let mut g = GraphIndex::new(2, 100);
+        // Zig-zag: 0@10 → 1@10, 1@20 → 0@30, 0@40 → 1@50.
+        g.insert_edge(n(0, 10), n(1, 10)).unwrap();
+        g.insert_edge(n(1, 20), n(0, 30)).unwrap();
+        g.insert_edge(n(0, 40), n(1, 50)).unwrap();
+        assert!(g.reachable(n(0, 10), n(1, 50)));
+        assert_eq!(g.successor(n(1, 15), ThreadId(1)), Some(15));
+        assert_eq!(g.predecessor(n(1, 50), ThreadId(0)), Some(40));
+        assert_eq!(g.predecessor(n(0, 35), ThreadId(1)), Some(20));
+    }
+
+    #[test]
+    fn validation() {
+        let mut g = GraphIndex::new(2, 10);
+        assert!(matches!(
+            g.insert_edge(n(0, 0), n(0, 5)),
+            Err(PoError::SameChain { .. })
+        ));
+        assert!(matches!(
+            g.insert_edge(n(0, 0), n(3, 5)),
+            Err(PoError::OutOfRange { .. })
+        ));
+        assert!(g.supports_deletion());
+        assert_eq!(g.name(), "Graphs");
+    }
+}

@@ -1,0 +1,129 @@
+//! The `edgeHeap` of fully dynamic CSSTs (§3.1/§3.3).
+//!
+//! Fully dynamic CSSTs must remember *all* parallel edges from a node
+//! into a chain, so that deleting the earliest one can restore the next
+//! earliest in the suffix-minima array (Lemma 3). The paper uses a
+//! min-heap per `(node, target chain)`; we use an ordered multiset,
+//! which offers the same `O(log δ)` bounds plus deletion of arbitrary
+//! values (binary heaps only pop their root).
+
+use crate::index::Pos;
+use std::collections::BTreeMap;
+
+/// An ordered multiset of chain positions with `O(log δ)` insert,
+/// delete-by-value, and minimum queries.
+///
+/// ```
+/// use csst_core::heap::MinMultiset;
+/// let mut h = MinMultiset::new();
+/// h.insert(7);
+/// h.insert(3);
+/// h.insert(3);
+/// assert_eq!(h.min(), Some(3));
+/// assert!(h.remove(3));
+/// assert_eq!(h.min(), Some(3)); // one copy of 3 remains
+/// assert!(h.remove(3));
+/// assert_eq!(h.min(), Some(7));
+/// assert!(!h.remove(99));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MinMultiset {
+    counts: BTreeMap<Pos, u32>,
+    len: usize,
+}
+
+impl MinMultiset {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored values, counting multiplicity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds one occurrence of `v`.
+    pub fn insert(&mut self, v: Pos) {
+        *self.counts.entry(v).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `v`; returns `false` (and leaves the
+    /// set unchanged) if `v` is not present.
+    pub fn remove(&mut self, v: Pos) -> bool {
+        match self.counts.get_mut(&v) {
+            None => false,
+            Some(c) => {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&v);
+                }
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    /// The smallest stored value, if any.
+    pub fn min(&self) -> Option<Pos> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Number of occurrences of `v`.
+    pub fn count(&self, v: Pos) -> usize {
+        self.counts.get(&v).copied().unwrap_or(0) as usize
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        // A BTreeMap node holds up to 11 entries; estimate two words of
+        // overhead per entry on top of the key/value payload.
+        self.counts.len() * (std::mem::size_of::<(Pos, u32)>() + 2 * std::mem::size_of::<usize>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let h = MinMultiset::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.count(0), 0);
+    }
+
+    #[test]
+    fn multiplicity() {
+        let mut h = MinMultiset::new();
+        h.insert(5);
+        h.insert(5);
+        h.insert(2);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.count(5), 2);
+        assert_eq!(h.min(), Some(2));
+        assert!(h.remove(2));
+        assert_eq!(h.min(), Some(5));
+        assert!(h.remove(5));
+        assert!(h.remove(5));
+        assert!(!h.remove(5));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut h = MinMultiset::new();
+        h.insert(1);
+        assert!(!h.remove(2));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.min(), Some(1));
+    }
+}

@@ -1,0 +1,90 @@
+//! # csst-core — Collective Sparse Segment Trees
+//!
+//! A faithful Rust implementation of the data structures from
+//! *CSSTs: A Dynamic Data Structure for Partial Orders in Concurrent
+//! Execution Analysis* (Tunç, Deshmukh, Çirisci, Enea, Pavlogiannis;
+//! ASPLOS 2024).
+//!
+//! Dynamic analyses of concurrent programs maintain a partial order `P`
+//! ("happens-before") over the events of a trace. `P` is a *chain DAG*:
+//! `k` totally ordered chains (one per thread, or per thread component)
+//! plus cross-chain edges inserted, queried, and — in fully dynamic
+//! analyses — deleted as the analysis explores reorderings.
+//!
+//! This crate provides five interchangeable representations of such a
+//! partial order, all implementing [`PartialOrderIndex`]:
+//!
+//! * [`Csst`] — the paper's fully dynamic Collective Sparse Segment
+//!   Trees (Algorithm 2): `O(max(log δ, min(log n, d)))` updates and
+//!   `O(k³ min(log n, d))` queries, supporting edge deletion.
+//! * [`IncrementalCsst`] — the purely incremental specialization
+//!   (Algorithm 3): `O(k² min(log n, d))` inserts and
+//!   `O(min(log n, d))` queries.
+//! * [`SegTreeIndex`] — the "STs" baseline of the M2 race detector
+//!   \[Pavlogiannis 2019\]: the same incremental architecture over dense
+//!   (non-sparse) segment trees.
+//! * [`VectorClockIndex`] — the "VCs" baseline: vector clocks with the
+//!   two optimizations described in §5.1 of the paper (early-stop edge
+//!   propagation and lazy clock materialization).
+//! * [`GraphIndex`] — the "Graphs" baseline: a plain, non-transitively
+//!   closed graph answering queries by BFS; the only classic structure
+//!   that supports deletions.
+//!
+//! The underlying algorithmic workhorse is the *dynamic suffix minima*
+//! problem (§3.1), solved by [`SparseSegmentTree`] (Algorithm 1) with
+//! the paper's two novelties: **minima indexing** and a **sparse tree
+//! representation** with flattened block leaves.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use csst_core::{Csst, NodeId, PartialOrderIndex, ThreadId};
+//!
+//! # fn main() -> Result<(), csst_core::PoError> {
+//! // A partial order over 3 chains with up to 100 events each.
+//! let mut po = Csst::new(3, 100);
+//! let a = NodeId::new(0, 10);
+//! let b = NodeId::new(1, 20);
+//! let c = NodeId::new(2, 5);
+//!
+//! po.insert_edge(a, b)?;
+//! po.insert_edge(b, c)?;
+//! assert!(po.reachable(a, c)); // transitive, across three chains
+//! assert_eq!(po.successor(a, ThreadId(2)), Some(5));
+//!
+//! po.delete_edge(b, c)?; // fully dynamic: deletions are supported
+//! assert!(!po.reachable(a, c));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod graph;
+pub mod heap;
+pub mod index;
+pub mod naive;
+pub mod reach;
+pub mod segtree;
+pub mod sst;
+pub mod stats;
+pub mod suffix;
+pub mod vc;
+
+mod dynamic;
+mod incremental;
+
+pub use dynamic::{Csst, DynamicPo};
+pub use error::PoError;
+pub use graph::GraphIndex;
+pub use incremental::{IncrementalCsst, IncrementalPo, SegTreeIndex};
+pub use index::{NodeId, Pos, ThreadId, INF};
+pub use naive::NaiveIndex;
+pub use reach::PartialOrderIndex;
+pub use segtree::SegmentTree;
+pub use sst::SparseSegmentTree;
+pub use stats::DensityStats;
+pub use suffix::{NaiveSuffixArray, SuffixMinima};
+pub use vc::{AnchoredVectorClockIndex, VectorClockIndex};

@@ -1,0 +1,149 @@
+//! A deliberately simple reference implementation used as the
+//! correctness oracle in tests.
+//!
+//! [`NaiveIndex`] stores the raw edge list and answers every query by
+//! an explicit traversal written for obviousness, not speed (`O(m²)`
+//! per query). Property tests compare all production representations
+//! against it.
+
+use crate::error::PoError;
+use crate::index::{NodeId, Pos, ThreadId};
+use crate::reach::PartialOrderIndex;
+use std::collections::HashSet;
+
+/// Edge-list oracle for chain-DAG reachability; supports insertion and
+/// deletion.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveIndex {
+    k: usize,
+    cap: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl NaiveIndex {
+    /// The raw edge list.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+}
+
+impl PartialOrderIndex for NaiveIndex {
+    fn new(chains: usize, chain_capacity: usize) -> Self {
+        NaiveIndex {
+            k: chains,
+            cap: chain_capacity,
+            edges: Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn chains(&self) -> usize {
+        self.k
+    }
+
+    fn chain_capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        match self.edges.iter().position(|&e| e == (from, to)) {
+            Some(i) => {
+                self.edges.swap_remove(i);
+                Ok(())
+            }
+            None => Err(PoError::EdgeNotFound { from, to }),
+        }
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from.thread == to.thread {
+            return from.pos <= to.pos;
+        }
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(cur) = stack.pop() {
+            if cur.thread == to.thread && cur.pos <= to.pos {
+                return true;
+            }
+            for &(a, b) in &self.edges {
+                // Program order: any edge leaving cur's chain at or
+                // after cur is usable.
+                if a.thread == cur.thread && a.pos >= cur.pos && seen.insert(b) {
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+
+    fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        if from.thread == chain {
+            return Some(from.pos);
+        }
+        self.edges
+            .iter()
+            .filter(|(a, b)| b.thread == chain && self.reachable(from, *a))
+            .map(|(_, b)| b.pos)
+            .min()
+    }
+
+    fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        if from.thread == chain {
+            return Some(from.pos);
+        }
+        self.edges
+            .iter()
+            .filter(|(a, b)| a.thread == chain && self.reachable(*b, from))
+            .map(|(a, _)| a.pos)
+            .max()
+    }
+
+    fn supports_deletion(&self) -> bool {
+        true
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.edges.capacity() * std::mem::size_of::<(NodeId, NodeId)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(t: u32, i: u32) -> NodeId {
+        NodeId::new(t, i)
+    }
+
+    #[test]
+    fn basic_semantics() {
+        let mut o = NaiveIndex::new(3, 10);
+        o.insert_edge(n(0, 2), n(1, 3)).unwrap();
+        o.insert_edge(n(1, 5), n(2, 1)).unwrap();
+        assert!(o.reachable(n(0, 0), n(2, 9)));
+        assert!(!o.reachable(n(0, 3), n(1, 9)));
+        assert_eq!(o.successor(n(0, 0), ThreadId(2)), Some(1));
+        assert_eq!(o.predecessor(n(2, 4), ThreadId(0)), Some(2));
+        o.delete_edge(n(1, 5), n(2, 1)).unwrap();
+        assert!(!o.reachable(n(0, 0), n(2, 9)));
+    }
+
+    #[test]
+    fn successor_uses_program_order_of_intermediate_chains() {
+        let mut o = NaiveIndex::new(3, 10);
+        o.insert_edge(n(0, 1), n(1, 2)).unwrap();
+        o.insert_edge(n(1, 7), n(2, 4)).unwrap(); // reached via 1@2 →po 1@7
+        assert_eq!(o.successor(n(0, 1), ThreadId(2)), Some(4));
+    }
+}

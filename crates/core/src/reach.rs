@@ -1,0 +1,160 @@
+//! The dynamic-reachability interface shared by every partial-order
+//! representation (§2.2).
+//!
+//! A chain DAG over `k` chains of up to `n` events each is maintained
+//! under the five operations of the paper: `insertEdge`, `deleteEdge`,
+//! `reachable`, `successor` and `predecessor`. Analyses in
+//! `csst-analyses` are generic over this trait, which is how the
+//! paper's per-analysis comparisons (Tables 1–7) plug different data
+//! structures into the same analysis.
+
+use crate::error::PoError;
+use crate::index::{NodeId, Pos, ThreadId};
+
+/// A dynamic-reachability index over a chain DAG.
+///
+/// # Conventions
+///
+/// * Nodes `⟨t, i⟩` live in `[k] × [n]`; consecutive nodes of a chain
+///   are implicitly ordered (program order), so `reachable` is
+///   reflexive and `⟨t, i⟩ → ⟨t, j⟩` holds whenever `i ≤ j`.
+/// * Updates connect nodes of **different** chains only
+///   ([`PoError::SameChain`] otherwise).
+/// * The maintained relation must stay acyclic. Plain `insert_edge`
+///   trusts the caller; [`insert_edge_checked`] refuses edges whose
+///   target already reaches their source.
+///
+/// # Example: one analysis, many representations
+///
+/// Analyses written against this trait run unchanged on every
+/// structure — exactly how the paper's per-analysis comparisons work:
+///
+/// ```
+/// use csst_core::{
+///     GraphIndex, IncrementalCsst, NodeId, PartialOrderIndex, ThreadId, VectorClockIndex,
+/// };
+///
+/// fn earliest_downstream<P: PartialOrderIndex>() -> Option<u32> {
+///     let mut po = P::new(3, 100);
+///     po.insert_edge(NodeId::new(0, 5), NodeId::new(1, 7)).ok()?;
+///     po.insert_edge(NodeId::new(1, 9), NodeId::new(2, 2)).ok()?;
+///     po.successor(NodeId::new(0, 0), ThreadId(2))
+/// }
+///
+/// assert_eq!(earliest_downstream::<IncrementalCsst>(), Some(2));
+/// assert_eq!(earliest_downstream::<VectorClockIndex>(), Some(2));
+/// assert_eq!(earliest_downstream::<GraphIndex>(), Some(2));
+/// ```
+///
+/// [`insert_edge_checked`]: PartialOrderIndex::insert_edge_checked
+pub trait PartialOrderIndex {
+    /// Creates an index over `chains` chains with capacity
+    /// `chain_capacity` events per chain, initially containing only the
+    /// implicit intra-chain orderings.
+    fn new(chains: usize, chain_capacity: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Short human-readable name of the representation (used in the
+    /// benchmark tables: `"CSSTs"`, `"STs"`, `"VCs"`, `"Graphs"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of chains `k`.
+    fn chains(&self) -> usize;
+
+    /// Per-chain capacity `n`.
+    fn chain_capacity(&self) -> usize;
+
+    /// Inserts the cross-chain edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::OutOfRange`] if an endpoint is outside the domain,
+    /// [`PoError::SameChain`] if both endpoints share a chain.
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError>;
+
+    /// Deletes a previously inserted edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::DeletionUnsupported`] for insert-only structures,
+    /// [`PoError::EdgeNotFound`] if the edge is not present, plus the
+    /// same validation errors as [`insert_edge`](Self::insert_edge).
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError>;
+
+    /// `true` iff `from` reaches `to` through program order and inserted
+    /// edges (reflexively: every node reaches itself).
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from.thread == to.thread {
+            return from.pos <= to.pos;
+        }
+        self.successor(from, to.thread)
+            .is_some_and(|j| j <= to.pos)
+    }
+
+    /// Position of the earliest node of `chain` reachable from `from`,
+    /// or `None` if `from` reaches no node of that chain. On `from`'s
+    /// own chain this is `from.pos` (reflexivity).
+    fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos>;
+
+    /// Position of the latest node of `chain` that reaches `from`, or
+    /// `None` if no node of that chain does. On `from`'s own chain this
+    /// is `from.pos` (reflexivity).
+    fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos>;
+
+    /// Whether [`delete_edge`](Self::delete_edge) is supported.
+    fn supports_deletion(&self) -> bool {
+        false
+    }
+
+    /// Approximate heap footprint in bytes, for the paper's memory
+    /// comparisons (Figure 10).
+    fn memory_bytes(&self) -> usize;
+
+    /// Inserts `from → to` unless `to` already reaches `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::WouldCycle`] when the insertion would close a cycle,
+    /// plus any error of [`insert_edge`](Self::insert_edge).
+    fn insert_edge_checked(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        if from.thread == to.thread {
+            return Err(PoError::SameChain { from, to });
+        }
+        if self.reachable(to, from) {
+            return Err(PoError::WouldCycle { from, to });
+        }
+        self.insert_edge(from, to)
+    }
+
+    /// Validates that `node` lies inside the `[k] × [n]` domain.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::OutOfRange`] otherwise.
+    fn check_node(&self, node: NodeId) -> Result<(), PoError> {
+        if node.thread.index() >= self.chains() || node.pos as usize >= self.chain_capacity() {
+            return Err(PoError::OutOfRange {
+                node,
+                chains: self.chains(),
+                chain_capacity: self.chain_capacity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates an edge: both endpoints in range and on distinct
+    /// chains.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::OutOfRange`] or [`PoError::SameChain`].
+    fn check_edge(&self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from.thread == to.thread {
+            return Err(PoError::SameChain { from, to });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,202 @@
+//! Classic dense Segment Trees — the "STs" baseline.
+//!
+//! This is the suffix-minima structure underpinning the M2 race
+//! detector \[Pavlogiannis 2019\] that the paper compares against: a
+//! complete binary tree over the full `n`-entry array, `O(log n)` per
+//! operation and `O(n)` space regardless of density. CSSTs improve on
+//! it with minima indexing and sparsity (§3.2); plugging this type into
+//! [`IncrementalPo`](crate::IncrementalPo) yields the paper's `STs`
+//! competitor ([`SegTreeIndex`](crate::SegTreeIndex)).
+
+use crate::index::{Pos, INF};
+use crate::suffix::SuffixMinima;
+
+/// A dense segment tree over an array of `len` entries in `ℕ ∪ {∞}`.
+///
+/// ```
+/// use csst_core::{SegmentTree, SuffixMinima};
+/// let mut st = SegmentTree::with_len(6);
+/// st.update(2, 9);
+/// st.update(4, 5);
+/// assert_eq!(st.suffix_min(0), 5);
+/// assert_eq!(st.suffix_min(5), csst_core::INF);
+/// assert_eq!(st.argleq(9), Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentTree {
+    /// 1-indexed implicit tree; `tree[cap + i]` is leaf `i`.
+    tree: Vec<Pos>,
+    cap: usize,
+    len: usize,
+    density: usize,
+    peak_density: usize,
+}
+
+impl SuffixMinima for SegmentTree {
+    fn with_len(len: usize) -> Self {
+        let cap = len.next_power_of_two().max(1);
+        SegmentTree {
+            tree: vec![INF; 2 * cap],
+            cap,
+            len,
+            density: 0,
+            peak_density: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn update(&mut self, i: usize, v: Pos) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mut node = self.cap + i;
+        let old = self.tree[node];
+        if old == INF && v != INF {
+            self.density += 1;
+            self.peak_density = self.peak_density.max(self.density);
+        } else if old != INF && v == INF {
+            self.density -= 1;
+        }
+        self.tree[node] = v;
+        node /= 2;
+        while node >= 1 {
+            self.tree[node] = self.tree[2 * node].min(self.tree[2 * node + 1]);
+            node /= 2;
+        }
+    }
+
+    fn suffix_min(&self, i: usize) -> Pos {
+        if i >= self.len {
+            return INF;
+        }
+        let mut res = INF;
+        let mut l = self.cap + i;
+        let mut r = self.cap + self.len; // exclusive
+        while l < r {
+            if l % 2 == 1 {
+                res = res.min(self.tree[l]);
+                l += 1;
+            }
+            if r % 2 == 1 {
+                r -= 1;
+                res = res.min(self.tree[r]);
+            }
+            l /= 2;
+            r /= 2;
+        }
+        res
+    }
+
+    fn argleq(&self, v: Pos) -> Option<usize> {
+        // INF entries are "empty" and never qualify, so clamp the bound
+        // below the sentinel (stored values are chain positions < INF).
+        let v = v.min(INF - 1);
+        if self.tree[1] > v {
+            return None;
+        }
+        let mut node = 1;
+        while node < self.cap {
+            if self.tree[2 * node + 1] <= v {
+                node = 2 * node + 1;
+            } else {
+                node *= 2;
+            }
+        }
+        Some(node - self.cap)
+    }
+
+    fn density(&self) -> usize {
+        self.density
+    }
+
+    fn peak_density(&self) -> usize {
+        self.peak_density
+    }
+
+    fn structure_name() -> &'static str {
+        "STs"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.tree.capacity() * std::mem::size_of::<Pos>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suffix::NaiveSuffixArray;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn example_1() {
+        let mut st = SegmentTree::with_len(4);
+        for (i, v) in [6, 9, 8, 10].into_iter().enumerate() {
+            st.update(i, v);
+        }
+        assert_eq!(st.suffix_min(0), 6);
+        assert_eq!(st.suffix_min(1), 8);
+        assert_eq!(st.suffix_min(3), 10);
+        assert_eq!(st.argleq(7), Some(0));
+        assert_eq!(st.argleq(9), Some(2));
+        assert_eq!(st.argleq(11), Some(3));
+        st.update(3, 7);
+        assert_eq!(st.suffix_min(2), 7);
+    }
+
+    #[test]
+    fn empty_and_erase() {
+        let mut st = SegmentTree::with_len(5);
+        assert_eq!(st.suffix_min(0), INF);
+        assert_eq!(st.argleq(100), None);
+        st.update(3, 2);
+        assert_eq!(st.density(), 1);
+        st.update(3, INF);
+        assert_eq!(st.density(), 0);
+        assert_eq!(st.suffix_min(0), INF);
+        assert_eq!(st.peak_density(), 1);
+    }
+
+    #[test]
+    fn argleq_ignores_empty_entries() {
+        let mut st = SegmentTree::with_len(8);
+        st.update(2, 3);
+        // Index 7 is empty (∞); argleq(INF) must not report it.
+        assert_eq!(st.argleq(INF), Some(2));
+    }
+
+    #[test]
+    fn non_power_of_two_length() {
+        let mut st = SegmentTree::with_len(5);
+        st.update(4, 1);
+        assert_eq!(st.suffix_min(4), 1);
+        assert_eq!(st.suffix_min(5), INF);
+        assert_eq!(st.argleq(1), Some(4));
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        for n in [1usize, 3, 16, 61, 200] {
+            let mut st = SegmentTree::with_len(n);
+            let mut oracle = NaiveSuffixArray::with_len(n);
+            let mut rng = SmallRng::seed_from_u64(n as u64);
+            for _ in 0..500 {
+                let i = rng.gen_range(0..n);
+                let v = if rng.gen_bool(0.25) {
+                    INF
+                } else {
+                    rng.gen_range(0..40)
+                };
+                st.update(i, v);
+                oracle.update(i, v);
+                let q = rng.gen_range(0..=n);
+                assert_eq!(st.suffix_min(q), oracle.suffix_min(q));
+                let a = rng.gen_range(0..45);
+                assert_eq!(st.argleq(a), oracle.argleq(a));
+                assert_eq!(st.density(), oracle.density());
+            }
+        }
+    }
+}

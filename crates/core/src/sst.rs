@@ -1,0 +1,1000 @@
+//! Sparse Segment Trees (§3.2 of the paper, Algorithm 1).
+//!
+//! A Sparse Segment Tree (SST) solves the dynamic suffix-minima problem
+//! with two optimizations over classic segment trees:
+//!
+//! * **Minima indexing** — every node `nd` stores a pair
+//!   `(nd.min, nd.pos)` satisfying Eq. (2): `nd.pos` is the largest
+//!   index of the minimum entry of its subtree, after excluding the
+//!   indices already claimed by its ancestors. Suffix queries can then
+//!   stop as soon as they meet a node with `nd.pos ≥ i`.
+//! * **Sparse representation** — empty (`∞`) array entries are never
+//!   represented. Every node holds exactly one non-empty entry, so the
+//!   tree height is bounded by `min(log n, d)` where `d` is the number
+//!   of non-empty entries (Lemma 1). Nodes carry *canonical* (dyadic)
+//!   ranges; missing intermediate levels are materialized on demand via
+//!   the lowest-common-ancestor construction of Algorithm 1.
+//!
+//! Additionally, subtrees whose canonical range is at most the block
+//! size `b` are flattened into **block nodes** storing the subarray
+//! directly (Figure 7); the paper's stress test selects `b = 32`.
+//!
+//! The implementation uses an index-based arena (no `unsafe`, no
+//! per-node allocation except for blocks) and maintains the min-heap
+//! invariant *value(parent) ≤ value(descendants)* on which the early
+//! stopping of both queries relies.
+
+use crate::index::{Pos, INF};
+use crate::suffix::SuffixMinima;
+
+/// Sentinel for "no node" links in the arena.
+const NIL: u32 = u32::MAX;
+
+/// Default block-size threshold `b`; §5.1 selects 32 by stress testing
+/// (reproduced by `repro -- blocksize`).
+pub const DEFAULT_BLOCK_SIZE: u32 = 32;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Inclusive canonical (dyadic) range start.
+    start: Pos,
+    /// Inclusive canonical (dyadic) range end.
+    end: Pos,
+    /// Index of the entry stored at this node (for block nodes: the
+    /// cached best index, `INF` when the block is empty).
+    pos: Pos,
+    /// Value of the entry stored at this node (for block nodes: the
+    /// cached minimum, `INF` when the block is empty).
+    min: Pos,
+    left: u32,
+    right: u32,
+    /// `Some` for block nodes: the flattened subarray, indexed by
+    /// `i - start`.
+    block: Option<Box<[Pos]>>,
+}
+
+impl Node {
+    #[inline]
+    fn contains(&self, i: Pos) -> bool {
+        self.start <= i && i <= self.end
+    }
+
+    #[inline]
+    fn mid(&self) -> Pos {
+        self.start + (self.end - self.start) / 2
+    }
+}
+
+/// Entry ordering used throughout: smaller value wins; on equal values
+/// the larger index wins (Eq. (2) takes the *largest* arg-min, which
+/// maximizes the chance of early stops on suffix queries).
+#[inline]
+fn better(v1: Pos, p1: Pos, v2: Pos, p2: Pos) -> bool {
+    v1 < v2 || (v1 == v2 && p1 > p2)
+}
+
+/// A Sparse Segment Tree over an array of `len` entries in
+/// `ℕ ∪ {∞}` (Algorithm 1).
+///
+/// ```
+/// use csst_core::{SparseSegmentTree, SuffixMinima, INF};
+///
+/// let mut sst = SparseSegmentTree::with_len(8);
+/// // Figure 6: A[2] = 65, A[3] = 42, A[0] = 59, A[7] = 13.
+/// sst.update(2, 65);
+/// sst.update(3, 42);
+/// sst.update(0, 59);
+/// sst.update(7, 13);
+/// assert_eq!(sst.suffix_min(0), 13);
+/// assert_eq!(sst.suffix_min(4), 13);
+/// assert_eq!(sst.argleq(42), Some(7));
+/// sst.update(7, INF); // erase
+/// assert_eq!(sst.suffix_min(4), INF);
+/// assert_eq!(sst.argleq(42), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseSegmentTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    block_size: u32,
+    density: usize,
+    peak_density: usize,
+    live_nodes: usize,
+    peak_nodes: usize,
+}
+
+impl SparseSegmentTree {
+    /// Creates an SST with a custom block-size threshold `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size == 0` or `len > 2^31`.
+    pub fn with_block_size(len: usize, block_size: u32) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(len <= 1 << 31, "SST supports arrays up to 2^31 entries");
+        SparseSegmentTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len,
+            block_size,
+            density: 0,
+            peak_density: 0,
+            live_nodes: 0,
+            peak_nodes: 0,
+        }
+    }
+
+    /// Number of live arena nodes (block nodes count once).
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Largest number of live nodes reached so far.
+    pub fn peak_node_count(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// Height of the tree (0 for an empty tree); bounded by
+    /// `min(log n, d)` per Lemma 1.
+    pub fn height(&self) -> usize {
+        fn rec(sst: &SparseSegmentTree, nd: u32) -> usize {
+            if nd == NIL {
+                return 0;
+            }
+            let n = &sst.nodes[nd as usize];
+            1 + rec(sst, n.left).max(rec(sst, n.right))
+        }
+        rec(self, self.root)
+    }
+
+    /// Validates the structural invariants the query algorithms rely
+    /// on; used by the test suite after every mutation step.
+    ///
+    /// Checked invariants:
+    /// 1. node ranges are canonical (power-of-two sized and aligned)
+    ///    and children lie strictly within their parent's halves;
+    /// 2. the min-heap property: a node's cached value is ≤ every value
+    ///    in its subtree (what lets `min`/`argleq` stop early);
+    /// 3. every node's `pos` lies in its range and, for block nodes,
+    ///    the `(min, pos)` cache matches the block contents exactly
+    ///    (ties broken toward the larger index, per Eq. (2));
+    /// 4. each array index is represented at most once;
+    /// 5. the tracked density equals the number of stored entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn assert_invariants(&self) {
+        fn canonical(start: Pos, end: Pos) -> bool {
+            let size = (end - start) as u64 + 1;
+            size.is_power_of_two() && (start as u64) % size == 0
+        }
+        fn rec(sst: &SparseSegmentTree, nd: u32, seen: &mut std::collections::HashSet<Pos>) {
+            let n = &sst.nodes[nd as usize];
+            assert!(
+                canonical(n.start, n.end),
+                "range [{}, {}] is not canonical",
+                n.start,
+                n.end
+            );
+            if let Some(block) = &n.block {
+                let mut best: Option<(Pos, Pos)> = None;
+                for (off, &v) in block.iter().enumerate() {
+                    if v == INF {
+                        continue;
+                    }
+                    let p = n.start + off as Pos;
+                    assert!(seen.insert(p), "index {p} stored twice");
+                    best = match best {
+                        Some((bv, bp)) if !better(v, p, bv, bp) => Some((bv, bp)),
+                        _ => Some((v, p)),
+                    };
+                }
+                let (bv, bp) = best.expect("live block node must be non-empty");
+                assert_eq!((n.min, n.pos), (bv, bp), "stale block cache");
+                assert!(n.left == NIL && n.right == NIL, "block node with children");
+                return;
+            }
+            assert!(n.contains(n.pos), "entry index outside node range");
+            assert!(seen.insert(n.pos), "index {} stored twice", n.pos);
+            let mid = n.mid();
+            for (child, is_left) in [(n.left, true), (n.right, false)] {
+                if child == NIL {
+                    continue;
+                }
+                let c = &sst.nodes[child as usize];
+                if is_left {
+                    assert!(c.end <= mid, "left child [{}, {}] beyond mid {mid}", c.start, c.end);
+                } else {
+                    assert!(c.start > mid, "right child [{}, {}] before mid {mid}", c.start, c.end);
+                }
+                // The early stops of `min`/`argleq` rely on the value
+                // heap; the tie direction of Eq. (2) is a best-effort
+                // optimization and not asserted.
+                assert!(
+                    n.min <= c.min,
+                    "heap violation: parent value {} above child value {}",
+                    n.min,
+                    c.min
+                );
+                rec(sst, child, seen);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        if self.root != NIL {
+            rec(self, self.root, &mut seen);
+        }
+        assert_eq!(seen.len(), self.density, "density counter out of sync");
+    }
+
+    /// Returns the value stored at index `i` ([`INF`] if empty).
+    pub fn get(&self, i: usize) -> Pos {
+        if i >= self.len {
+            return INF;
+        }
+        let target = i as Pos;
+        let mut nd = self.root;
+        while nd != NIL {
+            let n = &self.nodes[nd as usize];
+            if !n.contains(target) {
+                return INF;
+            }
+            if let Some(block) = &n.block {
+                return block[(target - n.start) as usize];
+            }
+            if n.pos == target {
+                return n.min;
+            }
+            nd = if target <= n.mid() { n.left } else { n.right };
+        }
+        INF
+    }
+
+    /// All non-empty `(index, value)` entries, in no particular order.
+    /// Intended for tests and diagnostics.
+    pub fn entries(&self) -> Vec<(usize, Pos)> {
+        let mut out = Vec::with_capacity(self.density);
+        self.collect_entries(self.root, &mut out);
+        out
+    }
+
+    fn collect_entries(&self, nd: u32, out: &mut Vec<(usize, Pos)>) {
+        if nd == NIL {
+            return;
+        }
+        let n = &self.nodes[nd as usize];
+        if let Some(block) = &n.block {
+            for (off, &v) in block.iter().enumerate() {
+                if v != INF {
+                    out.push((n.start as usize + off, v));
+                }
+            }
+            return;
+        }
+        out.push((n.pos as usize, n.min));
+        self.collect_entries(n.left, out);
+        self.collect_entries(n.right, out);
+    }
+
+    // ----- arena plumbing -------------------------------------------------
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        self.live_nodes += 1;
+        self.peak_nodes = self.peak_nodes.max(self.live_nodes);
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.live_nodes -= 1;
+        self.nodes[idx as usize].block = None;
+        self.free.push(idx);
+    }
+
+    fn new_leaf(&mut self, pos: Pos, v: Pos) -> u32 {
+        self.alloc(Node {
+            start: pos,
+            end: pos,
+            pos,
+            min: v,
+            left: NIL,
+            right: NIL,
+            block: None,
+        })
+    }
+
+    // ----- dyadic range arithmetic ----------------------------------------
+
+    /// Smallest canonical (power-of-two aligned) range containing both
+    /// the canonical range `[s, e]` and the index `pos`.
+    fn dyadic_lca(s: Pos, e: Pos, pos: Pos) -> (Pos, Pos) {
+        let mut size = e - s + 1;
+        let mut ns = s;
+        while !(ns <= pos && pos <= ns + (size - 1)) {
+            size <<= 1;
+            ns &= !(size - 1);
+        }
+        (ns, ns + size - 1)
+    }
+
+    // ----- insertion (Algorithm 1: update / updateHelper / createLCA) -----
+
+    /// Inserts `(pos, v)` into the subtree rooted at `nd`, which must
+    /// contain `pos` in its range; maintains the heap invariant by
+    /// swapping entries downward.
+    fn insert(&mut self, nd: u32, mut pos: Pos, mut v: Pos) -> u32 {
+        debug_assert!(self.nodes[nd as usize].contains(pos));
+        if self.nodes[nd as usize].block.is_some() {
+            self.block_write(nd, pos, v);
+            return nd;
+        }
+        {
+            let n = &mut self.nodes[nd as usize];
+            debug_assert!(
+                n.pos != pos,
+                "insert precondition: entry at pos was erased first"
+            );
+            if better(v, pos, n.min, n.pos) {
+                std::mem::swap(&mut n.min, &mut v);
+                std::mem::swap(&mut n.pos, &mut pos);
+            }
+        }
+        let n = &self.nodes[nd as usize];
+        let go_left = pos <= n.mid();
+        let child = if go_left { n.left } else { n.right };
+        let new_child = if child == NIL {
+            self.new_leaf(pos, v)
+        } else if self.nodes[child as usize].contains(pos) {
+            self.insert(child, pos, v)
+        } else {
+            self.join_lca(child, pos, v)
+        };
+        let n = &mut self.nodes[nd as usize];
+        if go_left {
+            n.left = new_child;
+        } else {
+            n.right = new_child;
+        }
+        nd
+    }
+
+    /// `createLowestCommonAncestor` of Algorithm 1: `pos` lies outside
+    /// the canonical range of `child`; build the node whose range is the
+    /// dyadic LCA of the two. When that range is at most the block-size
+    /// threshold the subtree is flattened into a block node instead.
+    fn join_lca(&mut self, child: u32, pos: Pos, v: Pos) -> u32 {
+        let (cs, ce) = {
+            let c = &self.nodes[child as usize];
+            (c.start, c.end)
+        };
+        let (ns, ne) = Self::dyadic_lca(cs, ce, pos);
+        if ne - ns < self.block_size {
+            let block_idx = self.alloc(Node {
+                start: ns,
+                end: ne,
+                pos: INF,
+                min: INF,
+                left: NIL,
+                right: NIL,
+                block: Some(vec![INF; (ne - ns + 1) as usize].into_boxed_slice()),
+            });
+            self.flatten_into(child, block_idx);
+            self.block_write(block_idx, pos, v);
+            return block_idx;
+        }
+        let mid = ns + (ne - ns) / 2;
+        let child_left = cs <= mid;
+        let (cv, cp) = {
+            let c = &self.nodes[child as usize];
+            (c.min, c.pos)
+        };
+        if better(v, pos, cv, cp) {
+            // New entry claims the LCA node; the existing subtree hangs
+            // below unchanged.
+            let mut node = Node {
+                start: ns,
+                end: ne,
+                pos,
+                min: v,
+                left: NIL,
+                right: NIL,
+                block: None,
+            };
+            if child_left {
+                node.left = child;
+            } else {
+                node.right = child;
+            }
+            self.alloc(node)
+        } else {
+            // The existing subtree's top entry moves up to the LCA node
+            // (preserving the heap invariant); the new entry becomes a
+            // fresh leaf on the opposite side.
+            let new_child = self.remove_top(child);
+            let leaf = self.new_leaf(pos, v);
+            let (l, r) = if child_left {
+                (new_child, leaf)
+            } else {
+                (leaf, new_child)
+            };
+            self.alloc(Node {
+                start: ns,
+                end: ne,
+                pos: cp,
+                min: cv,
+                left: l,
+                right: r,
+                block: None,
+            })
+        }
+    }
+
+    /// Walks `sub`, moving every entry into the block node `block_idx`
+    /// and releasing `sub`'s nodes. The block cache is refreshed by the
+    /// subsequent [`Self::block_write`].
+    fn flatten_into(&mut self, sub: u32, block_idx: u32) {
+        if sub == NIL {
+            return;
+        }
+        let (left, right) = {
+            let n = &self.nodes[sub as usize];
+            (n.left, n.right)
+        };
+        if let Some(sub_block) = self.nodes[sub as usize].block.take() {
+            let sub_start = self.nodes[sub as usize].start;
+            for (off, &v) in sub_block.iter().enumerate() {
+                if v != INF {
+                    self.block_set_raw(block_idx, sub_start + off as Pos, v);
+                }
+            }
+        } else {
+            let (p, v) = {
+                let n = &self.nodes[sub as usize];
+                (n.pos, n.min)
+            };
+            self.block_set_raw(block_idx, p, v);
+        }
+        self.flatten_into(left, block_idx);
+        self.flatten_into(right, block_idx);
+        self.release(sub);
+    }
+
+    /// Raw cell write into a block, updating the cache opportunistically.
+    fn block_set_raw(&mut self, block_idx: u32, pos: Pos, v: Pos) {
+        let n = &mut self.nodes[block_idx as usize];
+        let off = (pos - n.start) as usize;
+        n.block.as_mut().expect("block node")[off] = v;
+        if better(v, pos, n.min, n.pos) {
+            n.min = v;
+            n.pos = pos;
+        }
+    }
+
+    /// Writes a (fresh) entry into a block node and keeps the cache
+    /// exact. The cell must be empty (public `update` erases first).
+    fn block_write(&mut self, block_idx: u32, pos: Pos, v: Pos) {
+        debug_assert_eq!(
+            self.nodes[block_idx as usize].block.as_ref().expect("block")
+                [(pos - self.nodes[block_idx as usize].start) as usize],
+            INF,
+            "block cell must be empty on insert"
+        );
+        self.block_set_raw(block_idx, pos, v);
+    }
+
+    /// Rescans a block to restore the exact `(min, pos)` cache.
+    fn block_recache(&mut self, block_idx: u32) {
+        let n = &mut self.nodes[block_idx as usize];
+        let start = n.start;
+        let block = n.block.as_ref().expect("block node");
+        let mut best_v = INF;
+        let mut best_p = INF;
+        for (off, &v) in block.iter().enumerate() {
+            if v == INF {
+                continue;
+            }
+            let p = start + off as Pos;
+            if best_v == INF || better(v, p, best_v, best_p) {
+                best_v = v;
+                best_p = p;
+            }
+        }
+        n.min = best_v;
+        n.pos = best_p;
+    }
+
+    // ----- removal ---------------------------------------------------------
+
+    /// Removes the top entry of the subtree rooted at `nd`, promoting
+    /// entries upward along the cheaper child; returns the new subtree
+    /// root (`NIL` if the subtree became empty).
+    fn remove_top(&mut self, nd: u32) -> u32 {
+        if self.nodes[nd as usize].block.is_some() {
+            let best = self.nodes[nd as usize].pos;
+            debug_assert_ne!(best, INF, "remove_top on empty block");
+            let start = self.nodes[nd as usize].start;
+            let off = (best - start) as usize;
+            self.nodes[nd as usize].block.as_mut().expect("block")[off] = INF;
+            self.block_recache(nd);
+            if self.nodes[nd as usize].min == INF {
+                self.release(nd);
+                return NIL;
+            }
+            return nd;
+        }
+        let (left, right) = {
+            let n = &self.nodes[nd as usize];
+            (n.left, n.right)
+        };
+        let pick = match (left, right) {
+            (NIL, NIL) => {
+                self.release(nd);
+                return NIL;
+            }
+            (l, NIL) => l,
+            (NIL, r) => r,
+            (l, r) => {
+                let ln = &self.nodes[l as usize];
+                let rn = &self.nodes[r as usize];
+                if better(ln.min, ln.pos, rn.min, rn.pos) {
+                    l
+                } else {
+                    r
+                }
+            }
+        };
+        let (pv, pp) = {
+            let p = &self.nodes[pick as usize];
+            (p.min, p.pos)
+        };
+        let new_pick = self.remove_top(pick);
+        let n = &mut self.nodes[nd as usize];
+        n.min = pv;
+        n.pos = pp;
+        if pick == left {
+            n.left = new_pick;
+        } else {
+            n.right = new_pick;
+        }
+        nd
+    }
+
+    /// Removes the entry at index `i` if present; returns whether an
+    /// entry was removed and the new subtree root.
+    fn erase_rec(&mut self, nd: u32, i: Pos) -> (u32, bool) {
+        if nd == NIL {
+            return (NIL, false);
+        }
+        if !self.nodes[nd as usize].contains(i) {
+            return (nd, false);
+        }
+        if self.nodes[nd as usize].block.is_some() {
+            let start = self.nodes[nd as usize].start;
+            let off = (i - start) as usize;
+            let block = self.nodes[nd as usize].block.as_mut().expect("block");
+            if block[off] == INF {
+                return (nd, false);
+            }
+            block[off] = INF;
+            if self.nodes[nd as usize].pos == i {
+                self.block_recache(nd);
+                if self.nodes[nd as usize].min == INF {
+                    self.release(nd);
+                    return (NIL, true);
+                }
+            }
+            return (nd, true);
+        }
+        if self.nodes[nd as usize].pos == i {
+            return (self.remove_top(nd), true);
+        }
+        let go_left = i <= self.nodes[nd as usize].mid();
+        let child = if go_left {
+            self.nodes[nd as usize].left
+        } else {
+            self.nodes[nd as usize].right
+        };
+        let (new_child, found) = self.erase_rec(child, i);
+        let n = &mut self.nodes[nd as usize];
+        if go_left {
+            n.left = new_child;
+        } else {
+            n.right = new_child;
+        }
+        (nd, found)
+    }
+
+    // ----- queries (Algorithm 1: min / argleq) ------------------------------
+
+    fn min_rec(&self, nd: u32, i: Pos) -> Pos {
+        if nd == NIL {
+            return INF;
+        }
+        let n = &self.nodes[nd as usize];
+        if i > n.end {
+            return INF;
+        }
+        // Minima indexing: the cached entry is at an index ≥ i, and by
+        // the heap invariant it is ≤ every entry below, so the
+        // traversal stops here.
+        if n.pos != INF && n.pos >= i {
+            return n.min;
+        }
+        if let Some(block) = &n.block {
+            let lo = i.max(n.start) - n.start;
+            return block[lo as usize..].iter().copied().min().unwrap_or(INF);
+        }
+        let l = self.min_rec(n.left, i);
+        let r = self.min_rec(n.right, i);
+        l.min(r)
+    }
+
+    fn argleq_rec(&self, nd: u32, v: Pos) -> Option<Pos> {
+        if nd == NIL {
+            return None;
+        }
+        let n = &self.nodes[nd as usize];
+        if n.min > v {
+            // Heap invariant: every entry below is ≥ n.min > v.
+            return None;
+        }
+        if let Some(block) = &n.block {
+            for off in (0..block.len()).rev() {
+                if block[off] <= v {
+                    return Some(n.start + off as Pos);
+                }
+            }
+            unreachable!("block cache said min ≤ v");
+        }
+        let left_end = if n.left == NIL {
+            None
+        } else {
+            Some(self.nodes[n.left as usize].end)
+        };
+        let right_end = if n.right == NIL {
+            None
+        } else {
+            Some(self.nodes[n.right as usize].end)
+        };
+        // Line 29: no child range extends past our own entry's index.
+        if left_end.is_none_or(|e| n.pos >= e) && right_end.is_none_or(|e| n.pos >= e) {
+            return Some(n.pos);
+        }
+        if n.right != NIL && self.nodes[n.right as usize].min <= v {
+            let sub = self
+                .argleq_rec(n.right, v)
+                .expect("right subtree min ≤ v implies a qualifying entry");
+            Some(n.pos.max(sub))
+        } else {
+            match self.argleq_rec(n.left, v) {
+                Some(sub) => Some(n.pos.max(sub)),
+                None => Some(n.pos),
+            }
+        }
+    }
+}
+
+impl SuffixMinima for SparseSegmentTree {
+    fn with_len(len: usize) -> Self {
+        Self::with_block_size(len, DEFAULT_BLOCK_SIZE)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn update(&mut self, i: usize, v: Pos) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let pos = i as Pos;
+        let (new_root, found) = self.erase_rec(self.root, pos);
+        self.root = new_root;
+        if found {
+            self.density -= 1;
+        }
+        if v == INF {
+            return;
+        }
+        self.density += 1;
+        self.peak_density = self.peak_density.max(self.density);
+        self.root = if self.root == NIL {
+            self.new_leaf(pos, v)
+        } else if self.nodes[self.root as usize].contains(pos) {
+            self.insert(self.root, pos, v)
+        } else {
+            self.join_lca(self.root, pos, v)
+        };
+    }
+
+    fn suffix_min(&self, i: usize) -> Pos {
+        if i >= self.len {
+            return INF;
+        }
+        self.min_rec(self.root, i as Pos)
+    }
+
+    fn argleq(&self, v: Pos) -> Option<usize> {
+        // INF entries are "empty"; clamping below the sentinel keeps
+        // them from qualifying (stored values are positions < INF).
+        let v = v.min(INF - 1);
+        self.argleq_rec(self.root, v).map(|p| p as usize)
+    }
+
+    fn density(&self) -> usize {
+        self.density
+    }
+
+    fn peak_density(&self) -> usize {
+        self.peak_density
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let blocks: usize = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.block.as_ref())
+            .map(|b| b.len() * std::mem::size_of::<Pos>())
+            .sum();
+        std::mem::size_of::<Self>()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suffix::NaiveSuffixArray;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_equiv(sst: &SparseSegmentTree, oracle: &NaiveSuffixArray) {
+        let n = oracle.len();
+        for i in 0..=n {
+            assert_eq!(
+                sst.suffix_min(i),
+                oracle.suffix_min(i),
+                "suffix_min({i}) mismatch"
+            );
+        }
+        for v in [0, 1, 2, 3, 5, 10, 100, 1000, INF - 1, INF] {
+            assert_eq!(sst.argleq(v), oracle.argleq(v), "argleq({v}) mismatch");
+        }
+        assert_eq!(sst.density(), oracle.density(), "density mismatch");
+    }
+
+    #[test]
+    fn example_1_segment_tree_semantics() {
+        let mut sst = SparseSegmentTree::with_len(4);
+        for (i, v) in [6, 9, 8, 10].into_iter().enumerate() {
+            sst.update(i, v);
+        }
+        assert_eq!(sst.suffix_min(0), 6);
+        assert_eq!(sst.suffix_min(1), 8);
+        assert_eq!(sst.suffix_min(2), 8);
+        assert_eq!(sst.suffix_min(3), 10);
+        assert_eq!(sst.argleq(7), Some(0));
+        assert_eq!(sst.argleq(9), Some(2));
+        assert_eq!(sst.argleq(11), Some(3));
+        sst.update(3, 7);
+        assert_eq!(sst.suffix_min(2), 7);
+        assert_eq!(sst.argleq(7), Some(3));
+    }
+
+    #[test]
+    fn example_4_sparse_node_counts() {
+        // Use a block size of 1 so no block node forms and we can
+        // observe the sparse tree shape of Figure 6.
+        let mut sst = SparseSegmentTree::with_block_size(8, 1);
+        sst.update(2, 65);
+        assert_eq!(sst.node_count(), 1, "single-entry tree has one node");
+        sst.update(3, 42);
+        assert_eq!(sst.node_count(), 2);
+        assert_eq!(sst.get(2), 65);
+        assert_eq!(sst.get(3), 42);
+        sst.update(0, 59);
+        assert_eq!(sst.node_count(), 3);
+        sst.update(7, 13);
+        assert_eq!(sst.node_count(), 4);
+        assert_eq!(sst.suffix_min(0), 13);
+        assert_eq!(sst.suffix_min(1), 13);
+        assert_eq!(sst.suffix_min(4), 13);
+        assert_eq!(sst.argleq(50), Some(7));
+        assert_eq!(sst.argleq(12), None);
+    }
+
+    #[test]
+    fn example_5_blocks_flatten_dense_regions() {
+        // Figure 7: one lone entry plus a dense far-away cluster.
+        let mut sst = SparseSegmentTree::with_block_size(64, 8);
+        sst.update(1, 50);
+        for (i, v) in [(32, 11), (33, 10), (34, 15), (36, 13), (37, 22), (38, 24), (39, 29)] {
+            sst.update(i, v);
+        }
+        // The dense cluster shares one block node, so the node count
+        // stays far below the number of entries.
+        assert!(
+            sst.node_count() <= 4,
+            "dense cluster should flatten into a block: {} nodes",
+            sst.node_count()
+        );
+        assert_eq!(sst.suffix_min(0), 10);
+        assert_eq!(sst.suffix_min(34), 13);
+        assert_eq!(sst.suffix_min(38), 24);
+        assert_eq!(sst.argleq(10), Some(33));
+        assert_eq!(sst.argleq(30), Some(39));
+    }
+
+    #[test]
+    fn get_and_entries() {
+        let mut sst = SparseSegmentTree::with_len(16);
+        sst.update(3, 7);
+        sst.update(12, 4);
+        sst.update(5, 9);
+        assert_eq!(sst.get(3), 7);
+        assert_eq!(sst.get(12), 4);
+        assert_eq!(sst.get(5), 9);
+        assert_eq!(sst.get(0), INF);
+        assert_eq!(sst.get(100), INF);
+        let mut e = sst.entries();
+        e.sort_unstable();
+        assert_eq!(e, vec![(3, 7), (5, 9), (12, 4)]);
+    }
+
+    #[test]
+    fn overwrite_and_erase() {
+        let mut sst = SparseSegmentTree::with_len(8);
+        sst.update(4, 10);
+        sst.update(4, 3);
+        assert_eq!(sst.get(4), 3);
+        assert_eq!(sst.density(), 1);
+        sst.update(4, INF);
+        assert_eq!(sst.get(4), INF);
+        assert_eq!(sst.density(), 0);
+        assert_eq!(sst.node_count(), 0);
+        assert_eq!(sst.suffix_min(0), INF);
+        assert_eq!(sst.argleq(INF), None);
+    }
+
+    #[test]
+    fn erase_root_promotes_children() {
+        let mut sst = SparseSegmentTree::with_block_size(8, 1);
+        sst.update(0, 1); // smallest value: sits at the (current) root
+        sst.update(5, 2);
+        sst.update(7, 3);
+        sst.update(0, INF);
+        assert_eq!(sst.suffix_min(0), 2);
+        assert_eq!(sst.density(), 2);
+        assert_eq!(sst.argleq(3), Some(7));
+        sst.update(5, INF);
+        assert_eq!(sst.suffix_min(0), 3);
+        sst.update(7, INF);
+        assert_eq!(sst.suffix_min(0), INF);
+        assert_eq!(sst.node_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_values_prefer_largest_index() {
+        let mut sst = SparseSegmentTree::with_len(16);
+        sst.update(2, 5);
+        sst.update(9, 5);
+        sst.update(14, 5);
+        assert_eq!(sst.argleq(5), Some(14));
+        assert_eq!(sst.suffix_min(10), 5);
+        sst.update(14, INF);
+        assert_eq!(sst.argleq(5), Some(9));
+    }
+
+    #[test]
+    fn len_one_and_zero() {
+        let sst = SparseSegmentTree::with_len(0);
+        assert_eq!(sst.suffix_min(0), INF);
+        assert_eq!(sst.argleq(0), None);
+
+        let mut sst = SparseSegmentTree::with_len(1);
+        sst.update(0, 42);
+        assert_eq!(sst.suffix_min(0), 42);
+        assert_eq!(sst.argleq(42), Some(0));
+        assert_eq!(sst.argleq(41), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn update_out_of_bounds_panics() {
+        let mut sst = SparseSegmentTree::with_len(4);
+        sst.update(4, 0);
+    }
+
+    #[test]
+    fn height_respects_lemma_1() {
+        // d entries far apart: height must stay ≤ min(log n, d) + O(1).
+        let n = 1 << 16;
+        let mut sst = SparseSegmentTree::with_block_size(n, 1);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for d in 1..=14usize {
+            let i = rng.gen_range(0..n);
+            sst.update(i, rng.gen_range(0..1000));
+            let height = sst.height();
+            let log_n = (usize::BITS - (n - 1).leading_zeros()) as usize;
+            assert!(
+                height <= d.min(log_n) + 1,
+                "height {height} exceeds bound at density {}",
+                sst.density()
+            );
+        }
+    }
+
+    #[test]
+    fn node_count_matches_density_without_blocks() {
+        let mut sst = SparseSegmentTree::with_block_size(1 << 12, 1);
+        let mut oracle = NaiveSuffixArray::with_len(1 << 12);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..2000 {
+            let i = rng.gen_range(0..1 << 12);
+            let v = if rng.gen_bool(0.3) {
+                INF
+            } else {
+                rng.gen_range(0..500)
+            };
+            sst.update(i, v);
+            oracle.update(i, v);
+            assert_eq!(sst.node_count(), oracle.density());
+        }
+        assert_equiv(&sst, &oracle);
+    }
+
+    #[test]
+    fn randomized_against_oracle_various_block_sizes() {
+        for &bs in &[1u32, 2, 4, 8, 32, 256] {
+            for n in [1usize, 2, 7, 64, 100, 257] {
+                let mut sst = SparseSegmentTree::with_block_size(n, bs);
+                let mut oracle = NaiveSuffixArray::with_len(n);
+                let mut rng = SmallRng::seed_from_u64(n as u64 * 31 + bs as u64);
+                for step in 0..600 {
+                    let i = rng.gen_range(0..n);
+                    let v = if rng.gen_bool(0.25) {
+                        INF
+                    } else {
+                        rng.gen_range(0..50)
+                    };
+                    sst.update(i, v);
+                    oracle.update(i, v);
+                    if step % 7 == 0 {
+                        assert_equiv(&sst, &oracle);
+                    }
+                }
+                assert_equiv(&sst, &oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_shrinks_with_sparsity() {
+        let n = 1 << 20;
+        let mut sparse = SparseSegmentTree::with_len(n);
+        for i in 0..8 {
+            sparse.update(i * 1000, i as Pos);
+        }
+        // A dense segment tree over 2^20 entries costs ~8 MiB; the SST
+        // should be orders of magnitude below that.
+        assert!(sparse.memory_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = SparseSegmentTree::with_len(32);
+        a.update(5, 1);
+        let mut b = a.clone();
+        b.update(5, INF);
+        assert_eq!(a.get(5), 1);
+        assert_eq!(b.get(5), INF);
+    }
+}

@@ -1,0 +1,87 @@
+//! Density statistics matching the `q` column of the paper's tables.
+//!
+//! Tables 1–6 report, per benchmark, "the mean density among each
+//! suffix minima array inside CSSTs when it obtained its densest form"
+//! normalized by the chain length. [`DensityStats`] aggregates the
+//! per-array peak densities of a CSST (or segment-tree) index.
+
+/// Aggregated suffix-minima-array density statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityStats {
+    /// Number of (off-diagonal) suffix-minima arrays, `k(k−1)`.
+    pub arrays: usize,
+    /// Largest peak density over all arrays (absolute entry count).
+    pub max_peak: usize,
+    /// Mean peak density over all arrays (absolute entry count).
+    pub mean_peak: f64,
+    /// The paper's `q`: mean peak density normalized by the chain
+    /// capacity, over arrays that were touched at least once.
+    pub q: f64,
+}
+
+impl DensityStats {
+    /// Builds statistics from per-array `(peak_density, capacity)`
+    /// pairs.
+    pub fn from_arrays(peaks: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut arrays = 0usize;
+        let mut max_peak = 0usize;
+        let mut sum_peak = 0usize;
+        let mut q_sum = 0.0f64;
+        let mut q_count = 0usize;
+        for (peak, cap) in peaks {
+            arrays += 1;
+            max_peak = max_peak.max(peak);
+            sum_peak += peak;
+            if peak > 0 && cap > 0 {
+                q_sum += peak as f64 / cap as f64;
+                q_count += 1;
+            }
+        }
+        DensityStats {
+            arrays,
+            max_peak,
+            mean_peak: if arrays == 0 {
+                0.0
+            } else {
+                sum_peak as f64 / arrays as f64
+            },
+            q: if q_count == 0 { 0.0 } else { q_sum / q_count as f64 },
+        }
+    }
+}
+
+impl Default for DensityStats {
+    fn default() -> Self {
+        DensityStats {
+            arrays: 0,
+            max_peak: 0,
+            mean_peak: 0.0,
+            q: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let s = DensityStats::from_arrays(std::iter::empty());
+        assert_eq!(s.arrays, 0);
+        assert_eq!(s.max_peak, 0);
+        assert_eq!(s.mean_peak, 0.0);
+        assert_eq!(s.q, 0.0);
+        assert_eq!(s, DensityStats::default());
+    }
+
+    #[test]
+    fn mixed_arrays() {
+        // Two touched arrays (10/100 and 30/100) and one untouched.
+        let s = DensityStats::from_arrays([(10, 100), (30, 100), (0, 100)]);
+        assert_eq!(s.arrays, 3);
+        assert_eq!(s.max_peak, 30);
+        assert!((s.mean_peak - 40.0 / 3.0).abs() < 1e-9);
+        assert!((s.q - 0.2).abs() < 1e-9, "q should average only touched arrays");
+    }
+}

@@ -1,0 +1,668 @@
+//! The Vector Clocks baseline ("VCs" in the paper's tables) and an
+//! anchored variant.
+//!
+//! Vector clocks summarize, per event, the whole backward set of the
+//! event as a `k`-entry integer array \[Mattern 1989\]. Reachability
+//! queries are then `O(1)` lookups, but inserting an ordering between
+//! events in the *middle* of the partial order requires propagating the
+//! source's clock across up to `n` later events — the `O(nk)` cost the
+//! paper's CSSTs eliminate.
+//!
+//! [`VectorClockIndex`] is the paper-faithful baseline, including both
+//! §5.1 optimizations:
+//!
+//! 1. **Early-stop propagation** — pushing a clock forward along a
+//!    chain stops as soon as a join no longer changes anything.
+//! 2. **Lazy chain suffixes** — clocks are only materialized up to the
+//!    last event of a chain with an incoming direct ordering; later
+//!    events derive their clock from that high-water mark.
+//!
+//! Even with both optimizations, propagation walks the chain *event by
+//! event*, which is the linear cost visible throughout the paper's
+//! tables.
+//!
+//! [`AnchoredVectorClockIndex`] goes beyond the paper: clocks live only
+//! at *anchors* (endpoints of cross-chain edges) and propagation jumps
+//! from anchor to anchor. This makes updates behave like `O(d·k)`
+//! instead of `O(n·k)` and is included as an ablation point (see
+//! EXPERIMENTS.md); it shows how much of the CSST advantage comes from
+//! sparsity alone.
+//!
+//! Neither variant supports deletion: a clock merges its inputs
+//! irreversibly, which is precisely why fully dynamic analyses cannot
+//! use VCs (§1.1).
+
+use crate::error::PoError;
+use crate::index::{NodeId, Pos, ThreadId};
+use crate::reach::PartialOrderIndex;
+use std::collections::{BTreeMap, VecDeque};
+
+type Clock = Box<[Pos]>;
+
+// ---------------------------------------------------------------------------
+// Dense, paper-faithful vector clocks.
+// ---------------------------------------------------------------------------
+
+/// Vector-clock representation of a chain-DAG partial order (the
+/// paper's "VCs" baseline).
+///
+/// Clock convention: `clock[t] = c` means the first `c` events of
+/// chain `t` (positions `0..c`) happen at-or-before this event.
+///
+/// ```
+/// use csst_core::{NodeId, PartialOrderIndex, VectorClockIndex};
+/// # fn main() -> Result<(), csst_core::PoError> {
+/// let mut po = VectorClockIndex::new(2, 100);
+/// po.insert_edge(NodeId::new(0, 10), NodeId::new(1, 20))?;
+/// assert!(po.reachable(NodeId::new(0, 3), NodeId::new(1, 20)));
+/// assert!(po.delete_edge(NodeId::new(0, 10), NodeId::new(1, 20)).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VectorClockIndex {
+    k: usize,
+    cap: usize,
+    /// Per chain: flattened materialized clock rows (`mat_len × k`).
+    rows: Vec<Vec<Pos>>,
+    /// Per chain: outgoing cross edges by source position.
+    out: Vec<BTreeMap<Pos, Vec<NodeId>>>,
+    edges: usize,
+    join_work: u64,
+}
+
+impl VectorClockIndex {
+    #[inline]
+    fn mat_len(&self, t: usize) -> usize {
+        self.rows[t].len() / self.k
+    }
+
+    /// Clock entry of event `⟨t, j⟩` in dimension `dim`.
+    fn entry(&self, t: usize, j: Pos, dim: usize) -> Pos {
+        let m = self.mat_len(t);
+        let base = if m == 0 {
+            0
+        } else {
+            let row = (j as usize).min(m - 1);
+            self.rows[t][row * self.k + dim]
+        };
+        if dim == t {
+            base.max(j + 1)
+        } else {
+            base
+        }
+    }
+
+    /// Full clock of event `⟨t, j⟩` as an owned vector.
+    fn full_clock(&self, t: usize, j: Pos) -> Clock {
+        let mut clock: Clock = vec![0; self.k].into_boxed_slice();
+        let m = self.mat_len(t);
+        if m > 0 {
+            let row = (j as usize).min(m - 1);
+            clock.copy_from_slice(&self.rows[t][row * self.k..(row + 1) * self.k]);
+        }
+        clock[t] = clock[t].max(j + 1);
+        clock
+    }
+
+    /// Materializes clock rows of chain `t` up to position `upto`
+    /// (inclusive) — §5.1 optimization 2 creates clocks only up to the
+    /// last event with an incoming direct ordering.
+    fn materialize(&mut self, t: usize, upto: Pos) {
+        let k = self.k;
+        let mut m = self.mat_len(t);
+        while m <= upto as usize {
+            let mut row = if m == 0 {
+                vec![0; k]
+            } else {
+                self.rows[t][(m - 1) * k..m * k].to_vec()
+            };
+            row[t] = m as Pos + 1;
+            self.rows[t].extend_from_slice(&row);
+            m += 1;
+        }
+    }
+
+    /// Joins `src` into row `j` of chain `t`; returns whether anything
+    /// changed.
+    fn join_row(&mut self, t: usize, j: usize, src: &[Pos]) -> bool {
+        let k = self.k;
+        let row = &mut self.rows[t][j * k..(j + 1) * k];
+        let mut changed = false;
+        for (d, &s) in row.iter_mut().zip(src) {
+            self.join_work += 1;
+            if s > *d {
+                *d = s;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Propagates from the freshly inserted edge `src → dst`,
+    /// event-by-event along each receiving chain with early stop.
+    fn propagate(&mut self, src: NodeId, dst: NodeId) {
+        let mut queue: VecDeque<(NodeId, NodeId)> = VecDeque::new();
+        queue.push_back((src, dst));
+        while let Some((src, dst)) = queue.pop_front() {
+            let src_clock = self.full_clock(src.thread.index(), src.pos);
+            let t = dst.thread.index();
+            debug_assert!((dst.pos as usize) < self.mat_len(t), "target materialized");
+            let m = self.mat_len(t);
+            let mut j = dst.pos as usize;
+            // Event-by-event walk with early stop (optimization 1).
+            while j < m {
+                if !self.join_row(t, j, &src_clock) {
+                    break;
+                }
+                if let Some(targets) = self.out[t].get(&(j as Pos)) {
+                    for &tgt in targets.clone().iter() {
+                        queue.push_back((NodeId::new(dst.thread, j as Pos), tgt));
+                    }
+                }
+                j += 1;
+            }
+            if j == m {
+                // The propagation reached the lazy suffix: derived
+                // clocks changed, so edges leaving it must re-fire.
+                let suffix: Vec<(Pos, Vec<NodeId>)> = self.out[t]
+                    .range(m as Pos..)
+                    .map(|(&p, v)| (p, v.clone()))
+                    .collect();
+                for (p, targets) in suffix {
+                    for tgt in targets {
+                        queue.push_back((NodeId::new(dst.thread, p), tgt));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total number of per-entry clock joins performed — the
+    /// propagation work the paper's analysis of VCs predicts to be
+    /// `O(nk)` per insertion.
+    pub fn join_work(&self) -> u64 {
+        self.join_work
+    }
+
+    /// Number of materialized clock rows across all chains.
+    pub fn materialized_rows(&self) -> usize {
+        (0..self.k).map(|t| self.mat_len(t)).sum()
+    }
+}
+
+impl PartialOrderIndex for VectorClockIndex {
+    fn new(chains: usize, chain_capacity: usize) -> Self {
+        assert!(chains >= 1, "need at least one chain");
+        VectorClockIndex {
+            k: chains,
+            cap: chain_capacity,
+            rows: vec![Vec::new(); chains],
+            out: vec![BTreeMap::new(); chains],
+            edges: 0,
+            join_work: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "VCs"
+    }
+
+    fn chains(&self) -> usize {
+        self.k
+    }
+
+    fn chain_capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        self.out[from.thread.index()]
+            .entry(from.pos)
+            .or_default()
+            .push(to);
+        self.materialize(to.thread.index(), to.pos);
+        self.propagate(from, to);
+        self.edges += 1;
+        Ok(())
+    }
+
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        Err(PoError::DeletionUnsupported {
+            structure: "vector clocks",
+        })
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from.thread == to.thread {
+            return from.pos <= to.pos;
+        }
+        self.entry(to.thread.index(), to.pos, from.thread.index()) > from.pos
+    }
+
+    fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        debug_assert!(self.check_node(from).is_ok());
+        let t1 = from.thread.index();
+        let t2 = chain.index();
+        if t1 == t2 {
+            return Some(from.pos);
+        }
+        // Rows are monotone along the chain: binary search for the
+        // first event whose clock covers `from`.
+        let k = self.k;
+        let m = self.mat_len(t2);
+        let mut lo = 0usize;
+        let mut hi = m;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.rows[t2][mid * k + t1] > from.pos {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        if lo < m {
+            Some(lo as Pos)
+        } else {
+            None // lazy suffix derives from the last row: same entry
+        }
+    }
+
+    fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        debug_assert!(self.check_node(from).is_ok());
+        let t1 = from.thread.index();
+        let t2 = chain.index();
+        if t1 == t2 {
+            return Some(from.pos);
+        }
+        match self.entry(t1, from.pos, t2) {
+            0 => None,
+            c => Some(c - 1),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let rows: usize = self
+            .rows
+            .iter()
+            .map(|r| r.capacity() * std::mem::size_of::<Pos>())
+            .sum();
+        let out: usize = self
+            .out
+            .iter()
+            .map(|m| {
+                m.values().map(|v| {
+                        std::mem::size_of::<Pos>()
+                            + std::mem::size_of::<Vec<NodeId>>()
+                            + v.capacity() * std::mem::size_of::<NodeId>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        std::mem::size_of::<Self>() + rows + out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Anchored vector clocks (beyond-paper ablation).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Anchor {
+    idx: Pos,
+    clock: Clock,
+    out: Vec<NodeId>,
+}
+
+/// Anchored vector clocks: clocks live only at cross-edge endpoints and
+/// propagation jumps anchor-to-anchor, making updates `O(d·k)`-ish
+/// instead of `O(n·k)`.
+///
+/// Not part of the paper — an ablation showing how far a
+/// sparsity-aware VC can close the gap to CSSTs (it still cannot
+/// delete edges and its queries lack `argleq`-style predecessor
+/// search inside chains).
+#[derive(Debug, Clone)]
+pub struct AnchoredVectorClockIndex {
+    k: usize,
+    cap: usize,
+    chains: Vec<Vec<Anchor>>,
+    edges: usize,
+    join_work: u64,
+}
+
+impl AnchoredVectorClockIndex {
+    fn anchor_at(&self, t: usize, idx: Pos) -> Result<usize, usize> {
+        self.chains[t].binary_search_by_key(&idx, |a| a.idx)
+    }
+
+    fn clock_entry(&self, t: usize, j: Pos, dim: usize) -> Pos {
+        let base = match self.anchor_at(t, j) {
+            Ok(i) => Some(&self.chains[t][i]),
+            Err(0) => None,
+            Err(i) => Some(&self.chains[t][i - 1]),
+        };
+        let inherited = base.map_or(0, |a| a.clock[dim]);
+        if dim == t {
+            inherited.max(j + 1)
+        } else {
+            inherited
+        }
+    }
+
+    fn full_clock(&self, t: usize, j: Pos) -> Clock {
+        let mut clock: Clock = match self.anchor_at(t, j) {
+            Ok(i) => self.chains[t][i].clock.clone(),
+            Err(0) => vec![0; self.k].into_boxed_slice(),
+            Err(i) => self.chains[t][i - 1].clock.clone(),
+        };
+        clock[t] = clock[t].max(j + 1);
+        clock
+    }
+
+    fn ensure_anchor(&mut self, t: usize, j: Pos) -> usize {
+        match self.anchor_at(t, j) {
+            Ok(i) => i,
+            Err(i) => {
+                let clock = self.full_clock(t, j);
+                self.chains[t].insert(
+                    i,
+                    Anchor {
+                        idx: j,
+                        clock,
+                        out: Vec::new(),
+                    },
+                );
+                i
+            }
+        }
+    }
+
+    fn join(dst: &mut Clock, src: &[Pos], work: &mut u64) -> bool {
+        let mut changed = false;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *work += 1;
+            if s > *d {
+                *d = s;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn propagate(&mut self, st: usize, sj: Pos, dt: usize, dj: Pos) {
+        let mut queue: VecDeque<(usize, Pos, usize, Pos)> = VecDeque::new();
+        queue.push_back((st, sj, dt, dj));
+        while let Some((st, sj, dt, dj)) = queue.pop_front() {
+            let src_clock = {
+                let i = self.anchor_at(st, sj).expect("source anchored");
+                self.chains[st][i].clock.clone()
+            };
+            let mut ai = self.anchor_at(dt, dj).expect("target anchored");
+            loop {
+                let mut work = 0u64;
+                let anchor = &mut self.chains[dt][ai];
+                let changed = Self::join(&mut anchor.clock, &src_clock, &mut work);
+                self.join_work += work;
+                if !changed {
+                    break;
+                }
+                for target in self.chains[dt][ai].out.clone() {
+                    queue.push_back((
+                        dt,
+                        self.chains[dt][ai].idx,
+                        target.thread.index(),
+                        target.pos,
+                    ));
+                }
+                ai += 1;
+                if ai >= self.chains[dt].len() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Total per-entry clock joins (propagation work).
+    pub fn join_work(&self) -> u64 {
+        self.join_work
+    }
+
+    /// Number of materialized anchors.
+    pub fn anchor_count(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+}
+
+impl PartialOrderIndex for AnchoredVectorClockIndex {
+    fn new(chains: usize, chain_capacity: usize) -> Self {
+        assert!(chains >= 1, "need at least one chain");
+        AnchoredVectorClockIndex {
+            k: chains,
+            cap: chain_capacity,
+            chains: vec![Vec::new(); chains],
+            edges: 0,
+            join_work: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "aVCs"
+    }
+
+    fn chains(&self) -> usize {
+        self.k
+    }
+
+    fn chain_capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        let (t1, j1) = (from.thread.index(), from.pos);
+        let (t2, j2) = (to.thread.index(), to.pos);
+        self.ensure_anchor(t1, j1);
+        self.ensure_anchor(t2, j2);
+        let i = self.anchor_at(t1, j1).expect("just anchored");
+        self.chains[t1][i].out.push(to);
+        self.propagate(t1, j1, t2, j2);
+        self.edges += 1;
+        Ok(())
+    }
+
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        Err(PoError::DeletionUnsupported {
+            structure: "anchored vector clocks",
+        })
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from.thread == to.thread {
+            return from.pos <= to.pos;
+        }
+        self.clock_entry(to.thread.index(), to.pos, from.thread.index()) > from.pos
+    }
+
+    fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        debug_assert!(self.check_node(from).is_ok());
+        let t1 = from.thread.index();
+        let t2 = chain.index();
+        if t1 == t2 {
+            return Some(from.pos);
+        }
+        let anchors = &self.chains[t2];
+        let i = anchors.partition_point(|a| a.clock[t1] <= from.pos);
+        anchors.get(i).map(|a| a.idx)
+    }
+
+    fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        debug_assert!(self.check_node(from).is_ok());
+        let t1 = from.thread.index();
+        let t2 = chain.index();
+        if t1 == t2 {
+            return Some(from.pos);
+        }
+        match self.clock_entry(t1, from.pos, t2) {
+            0 => None,
+            c => Some(c - 1),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let anchors: usize = self
+            .chains
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|a| {
+                        std::mem::size_of::<Anchor>()
+                            + a.clock.len() * std::mem::size_of::<Pos>()
+                            + a.out.capacity() * std::mem::size_of::<NodeId>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        std::mem::size_of::<Self>() + anchors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(t: u32, i: u32) -> NodeId {
+        NodeId::new(t, i)
+    }
+
+    /// Shared behavioural tests for both VC variants.
+    fn basic_suite<P: PartialOrderIndex>() {
+        let po = P::new(2, 10);
+        assert!(po.reachable(n(0, 0), n(0, 5)));
+        assert!(po.reachable(n(1, 3), n(1, 3)));
+        assert!(!po.reachable(n(0, 5), n(0, 0)));
+        assert!(!po.reachable(n(0, 0), n(1, 0)));
+
+        let mut po = P::new(2, 100);
+        po.insert_edge(n(0, 10), n(1, 20)).unwrap();
+        assert!(po.reachable(n(0, 10), n(1, 20)));
+        assert!(po.reachable(n(0, 0), n(1, 99)));
+        assert!(!po.reachable(n(0, 11), n(1, 99)));
+        assert!(!po.reachable(n(0, 10), n(1, 19)));
+        assert_eq!(po.successor(n(0, 7), ThreadId(1)), Some(20));
+        assert_eq!(po.predecessor(n(1, 20), ThreadId(0)), Some(10));
+        assert_eq!(po.predecessor(n(1, 19), ThreadId(0)), None);
+        assert!(po.delete_edge(n(0, 10), n(1, 20)).is_err());
+        assert!(!po.supports_deletion());
+
+        // Transitive propagation through existing middle edges.
+        let mut po = P::new(3, 100);
+        po.insert_edge(n(1, 50), n(2, 60)).unwrap();
+        po.insert_edge(n(0, 10), n(1, 20)).unwrap();
+        assert!(po.reachable(n(0, 10), n(2, 60)));
+        assert!(po.reachable(n(0, 0), n(2, 99)));
+        assert!(!po.reachable(n(0, 11), n(2, 60)));
+        assert_eq!(po.successor(n(0, 10), ThreadId(2)), Some(60));
+        assert_eq!(po.predecessor(n(2, 60), ThreadId(0)), Some(10));
+
+        // Diamond joins.
+        let mut po = P::new(4, 50);
+        po.insert_edge(n(0, 1), n(1, 2)).unwrap();
+        po.insert_edge(n(0, 2), n(2, 3)).unwrap();
+        po.insert_edge(n(1, 5), n(3, 8)).unwrap();
+        po.insert_edge(n(2, 6), n(3, 7)).unwrap();
+        assert!(po.reachable(n(0, 1), n(3, 8)));
+        assert!(po.reachable(n(0, 2), n(3, 7)));
+        assert!(!po.reachable(n(0, 3), n(3, 49)));
+        assert_eq!(po.successor(n(0, 2), ThreadId(3)), Some(7));
+        assert_eq!(po.predecessor(n(3, 7), ThreadId(0)), Some(2));
+    }
+
+    #[test]
+    fn dense_vc_suite() {
+        basic_suite::<VectorClockIndex>();
+    }
+
+    #[test]
+    fn anchored_vc_suite() {
+        basic_suite::<AnchoredVectorClockIndex>();
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(VectorClockIndex::new(2, 2).name(), "VCs");
+        assert_eq!(AnchoredVectorClockIndex::new(2, 2).name(), "aVCs");
+    }
+
+    #[test]
+    fn dense_vc_materializes_whole_prefix() {
+        let mut po = VectorClockIndex::new(2, 100_000);
+        po.insert_edge(n(0, 10), n(1, 50_000)).unwrap();
+        // The paper's optimization 2 avoids the *suffix* only: the
+        // target chain pays one clock row per event up to the edge.
+        assert_eq!(po.materialized_rows(), 50_001);
+        assert!(po.reachable(n(0, 3), n(1, 99_999)));
+    }
+
+    #[test]
+    fn anchored_vc_stays_sparse() {
+        let mut po = AnchoredVectorClockIndex::new(2, 100_000);
+        po.insert_edge(n(0, 10), n(1, 50_000)).unwrap();
+        assert_eq!(po.anchor_count(), 2);
+        assert!(po.reachable(n(0, 3), n(1, 99_999)));
+        assert!(!po.reachable(n(0, 11), n(1, 99_999)));
+    }
+
+    #[test]
+    fn dense_propagation_is_linear_anchored_is_not() {
+        // Insert edges targeting early positions of a long chain; the
+        // dense VC must walk every later materialized event, while the
+        // anchored one touches only anchors.
+        let n_events = 5_000u32;
+        let mut dense = VectorClockIndex::new(3, n_events as usize);
+        let mut anchored = AnchoredVectorClockIndex::new(3, n_events as usize);
+        // Materialize the chain by a late incoming edge first.
+        dense.insert_edge(n(0, 1), n(1, n_events - 1)).unwrap();
+        anchored.insert_edge(n(0, 1), n(1, n_events - 1)).unwrap();
+        let before_dense = dense.join_work();
+        let before_anchored = anchored.join_work();
+        // Now an edge into the very beginning of chain 1 propagates
+        // across all materialized rows for the dense variant.
+        dense.insert_edge(n(2, 0), n(1, 0)).unwrap();
+        anchored.insert_edge(n(2, 0), n(1, 0)).unwrap();
+        let dense_work = dense.join_work() - before_dense;
+        let anchored_work = anchored.join_work() - before_anchored;
+        assert!(
+            dense_work > (n_events as u64) * 2,
+            "dense propagation must walk the chain: {dense_work}"
+        );
+        assert!(
+            anchored_work < 100,
+            "anchored propagation must stay sparse: {anchored_work}"
+        );
+        // Both still answer identically.
+        for j in [0u32, 1, 2_500, n_events - 1] {
+            assert_eq!(
+                dense.reachable(n(2, 0), n(1, j)),
+                anchored.reachable(n(2, 0), n(1, j))
+            );
+        }
+    }
+
+    #[test]
+    fn early_stop_limits_join_work() {
+        let mut po = VectorClockIndex::new(2, 1000);
+        // A ladder of edges inserted back to front: each insertion's
+        // propagation stops quickly because later events already
+        // dominate.
+        for i in (0..100).rev() {
+            po.insert_edge(n(0, i * 10), n(1, i * 10 + 5)).unwrap();
+        }
+        // Without the early stop this would be ~100 walks over the
+        // full suffix (≈ 100·1000·2 joins); with it, far less.
+        assert!(po.join_work() < 150_000, "join work: {}", po.join_work());
+    }
+}

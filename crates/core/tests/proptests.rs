@@ -1,0 +1,345 @@
+//! Property tests for the core data structures, checking the paper's
+//! lemmas and the pairwise agreement of all representations against
+//! the naive oracle.
+
+use csst_core::{
+    Csst, GraphIndex, IncrementalCsst, NaiveIndex, NaiveSuffixArray, NodeId, PartialOrderIndex,
+    SegTreeIndex, SegmentTree, SparseSegmentTree, SuffixMinima, ThreadId, VectorClockIndex, INF,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Suffix minima: SST and dense segment tree vs the naive array.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SufOp {
+    Update(usize, u32),
+    Erase(usize),
+    Min(usize),
+    Argleq(u32),
+}
+
+fn suf_ops(len: usize) -> impl Strategy<Value = Vec<SufOp>> {
+    let op = prop_oneof![
+        (0..len, 0u32..64).prop_map(|(i, v)| SufOp::Update(i, v)),
+        (0..len).prop_map(SufOp::Erase),
+        (0..=len).prop_map(SufOp::Min),
+        (0u32..70).prop_map(SufOp::Argleq),
+    ];
+    prop::collection::vec(op, 1..200)
+}
+
+fn check_suffix_impl<S: SuffixMinima + std::fmt::Debug>(len: usize, block: Option<u32>, ops: &[SufOp]) {
+    let mut s: Box<dyn SuffixMinima> = match block {
+        Some(b) => Box::new(SparseSegmentTree::with_block_size(len, b)),
+        None => Box::new(S::with_len(len)),
+    };
+    let mut oracle = NaiveSuffixArray::with_len(len);
+    for op in ops {
+        match *op {
+            SufOp::Update(i, v) => {
+                s.update(i, v);
+                oracle.update(i, v);
+            }
+            SufOp::Erase(i) => {
+                s.update(i, INF);
+                oracle.update(i, INF);
+            }
+            SufOp::Min(i) => {
+                assert_eq!(s.suffix_min(i), oracle.suffix_min(i), "suffix_min({i})");
+            }
+            SufOp::Argleq(v) => {
+                assert_eq!(s.argleq(v), oracle.argleq(v), "argleq({v})");
+            }
+        }
+        assert_eq!(s.density(), oracle.density());
+    }
+    // Final exhaustive sweep.
+    for i in 0..=len {
+        assert_eq!(s.suffix_min(i), oracle.suffix_min(i));
+    }
+    for v in 0..70 {
+        assert_eq!(s.argleq(v), oracle.argleq(v));
+    }
+    assert_eq!(s.argleq(INF), oracle.argleq(INF));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sst_matches_oracle(len in 1usize..120, ops in suf_ops(120), block in 1u32..64) {
+        let ops: Vec<_> = ops
+            .into_iter()
+            .map(|op| match op {
+                SufOp::Update(i, v) => SufOp::Update(i % len, v),
+                SufOp::Erase(i) => SufOp::Erase(i % len),
+                SufOp::Min(i) => SufOp::Min(i.min(len)),
+                o => o,
+            })
+            .collect();
+        check_suffix_impl::<SparseSegmentTree>(len, Some(block), &ops);
+    }
+
+    #[test]
+    fn segtree_matches_oracle(len in 1usize..120, ops in suf_ops(120)) {
+        let ops: Vec<_> = ops
+            .into_iter()
+            .map(|op| match op {
+                SufOp::Update(i, v) => SufOp::Update(i % len, v),
+                SufOp::Erase(i) => SufOp::Erase(i % len),
+                SufOp::Min(i) => SufOp::Min(i.min(len)),
+                o => o,
+            })
+            .collect();
+        check_suffix_impl::<SegmentTree>(len, None, &ops);
+    }
+
+    #[test]
+    fn sst_height_bounded_by_density(
+        updates in prop::collection::vec((0usize..4096, 0u32..1000), 1..24)
+    ) {
+        // Lemma 1 with block size 1 (pure sparse tree).
+        let mut sst = SparseSegmentTree::with_block_size(4096, 1);
+        for (i, v) in updates {
+            sst.update(i, v);
+            let d = sst.density();
+            prop_assert!(sst.height() <= d.min(13),
+                "height {} > min(log n, d={})", sst.height(), d);
+        }
+    }
+
+    #[test]
+    fn sst_node_count_equals_density_without_blocks(
+        ops in prop::collection::vec((0usize..256, prop::option::of(0u32..50)), 1..150)
+    ) {
+        let mut sst = SparseSegmentTree::with_block_size(256, 1);
+        let mut oracle = NaiveSuffixArray::with_len(256);
+        for (i, v) in ops {
+            let v = v.unwrap_or(INF);
+            sst.update(i, v);
+            oracle.update(i, v);
+            prop_assert_eq!(sst.node_count(), oracle.density());
+        }
+    }
+
+    #[test]
+    fn sst_structural_invariants_hold_under_churn(
+        len in 1usize..300,
+        block in 1u32..64,
+        ops in prop::collection::vec((0usize..300, prop::option::of(0u32..200)), 1..200)
+    ) {
+        // assert_invariants checks canonical ranges, the value heap,
+        // exact block caches, uniqueness, and the density counter
+        // after every single mutation.
+        let mut sst = SparseSegmentTree::with_block_size(len, block);
+        for (i, v) in ops {
+            sst.update(i % len, v.unwrap_or(INF));
+            sst.assert_invariants();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partial-order indexes vs the naive oracle.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum PoOp {
+    /// Insert edge between (t1, j1) and (t2, j2); skipped if cyclic.
+    Insert(u32, u32, u32, u32),
+    /// Delete the i-th currently live edge (mod count).
+    Delete(usize),
+}
+
+fn po_ops(k: u32, cap: u32, deletions: bool) -> impl Strategy<Value = Vec<PoOp>> {
+    let ins = (0..k, 0..cap, 0..k, 0..cap)
+        .prop_map(|(t1, j1, t2, j2)| PoOp::Insert(t1, j1, t2, j2));
+    let op = if deletions {
+        prop_oneof![3 => ins, 1 => (0usize..64).prop_map(PoOp::Delete)].boxed()
+    } else {
+        ins.boxed()
+    };
+    prop::collection::vec(op, 1..60)
+}
+
+/// Applies ops to the structure under test and the oracle, checking all
+/// queries after every step on a subsampled grid.
+fn run_po_against_oracle<P: PartialOrderIndex>(k: u32, cap: u32, ops: &[PoOp]) {
+    let mut sut = P::new(k as usize, cap as usize);
+    let mut oracle = NaiveIndex::new(k as usize, cap as usize);
+    let mut live: Vec<(NodeId, NodeId)> = Vec::new();
+    for &op in ops {
+        match op {
+            PoOp::Insert(t1, j1, t2, j2) => {
+                let (t1, t2) = (t1 % k, t2 % k);
+                if t1 == t2 {
+                    continue;
+                }
+                let u = NodeId::new(t1, j1);
+                let v = NodeId::new(t2, j2);
+                // Keep the relation acyclic: the oracle decides.
+                if oracle.reachable(v, u) {
+                    continue;
+                }
+                sut.insert_edge(u, v).unwrap();
+                oracle.insert_edge(u, v).unwrap();
+                live.push((u, v));
+            }
+            PoOp::Delete(i) => {
+                if live.is_empty() || !sut.supports_deletion() {
+                    continue;
+                }
+                let (u, v) = live.swap_remove(i % live.len());
+                sut.delete_edge(u, v).unwrap();
+                oracle.delete_edge(u, v).unwrap();
+            }
+        }
+        // Check a grid of queries.
+        for t1 in 0..k {
+            for j1 in (0..cap).step_by(3) {
+                let u = NodeId::new(t1, j1);
+                for t2 in 0..k {
+                    let c = ThreadId(t2);
+                    assert_eq!(
+                        sut.successor(u, c),
+                        oracle.successor(u, c),
+                        "{}: successor({u}, {c}) after {} edges",
+                        sut.name(),
+                        live.len()
+                    );
+                    assert_eq!(
+                        sut.predecessor(u, c),
+                        oracle.predecessor(u, c),
+                        "{}: predecessor({u}, {c})",
+                        sut.name()
+                    );
+                    for j2 in (0..cap).step_by(4) {
+                        let v = NodeId::new(t2, j2);
+                        assert_eq!(
+                            sut.reachable(u, v),
+                            oracle.reachable(u, v),
+                            "{}: reachable({u}, {v})",
+                            sut.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dynamic_csst_matches_oracle(k in 2u32..5, ops in po_ops(5, 12, true)) {
+        run_po_against_oracle::<Csst>(k, 12, &ops);
+    }
+
+    #[test]
+    fn graph_matches_oracle(k in 2u32..5, ops in po_ops(5, 12, true)) {
+        run_po_against_oracle::<GraphIndex>(k, 12, &ops);
+    }
+
+    #[test]
+    fn incremental_csst_matches_oracle(k in 2u32..5, ops in po_ops(5, 12, false)) {
+        run_po_against_oracle::<IncrementalCsst>(k, 12, &ops);
+    }
+
+    #[test]
+    fn segtree_index_matches_oracle(k in 2u32..5, ops in po_ops(5, 12, false)) {
+        run_po_against_oracle::<SegTreeIndex>(k, 12, &ops);
+    }
+
+    #[test]
+    fn vector_clock_matches_oracle(k in 2u32..5, ops in po_ops(5, 12, false)) {
+        run_po_against_oracle::<VectorClockIndex>(k, 12, &ops);
+    }
+
+    #[test]
+    fn insert_then_delete_is_identity(
+        k in 2u32..5,
+        base in po_ops(5, 12, false),
+        extra in po_ops(5, 12, false)
+    ) {
+        // Build a base partial order, snapshot all reachability
+        // answers, push extra edges, delete them in reverse, and check
+        // the snapshot is restored (the Figure 1c workflow).
+        let cap = 12u32;
+        let mut po = Csst::new(k as usize, cap as usize);
+        let mut oracle = NaiveIndex::new(k as usize, cap as usize);
+        for &op in &base {
+            if let PoOp::Insert(t1, j1, t2, j2) = op {
+                let (t1, t2) = (t1 % k, t2 % k);
+                if t1 == t2 { continue; }
+                let (u, v) = (NodeId::new(t1, j1), NodeId::new(t2, j2));
+                if oracle.reachable(v, u) { continue; }
+                po.insert_edge(u, v).unwrap();
+                oracle.insert_edge(u, v).unwrap();
+            }
+        }
+        let snapshot: Vec<bool> = (0..k)
+            .flat_map(|t1| (0..cap).map(move |j1| (t1, j1)))
+            .flat_map(|(t1, j1)| {
+                (0..k).flat_map(move |t2| (0..cap).map(move |j2| (t1, j1, t2, j2)))
+            })
+            .map(|(t1, j1, t2, j2)| po.reachable(NodeId::new(t1, j1), NodeId::new(t2, j2)))
+            .collect();
+        let mut pushed = Vec::new();
+        for &op in &extra {
+            if let PoOp::Insert(t1, j1, t2, j2) = op {
+                let (t1, t2) = (t1 % k, t2 % k);
+                if t1 == t2 { continue; }
+                let (u, v) = (NodeId::new(t1, j1), NodeId::new(t2, j2));
+                if oracle.reachable(v, u) { continue; }
+                po.insert_edge(u, v).unwrap();
+                oracle.insert_edge(u, v).unwrap();
+                pushed.push((u, v));
+            }
+        }
+        for (u, v) in pushed.into_iter().rev() {
+            po.delete_edge(u, v).unwrap();
+        }
+        let restored: Vec<bool> = (0..k)
+            .flat_map(|t1| (0..cap).map(move |j1| (t1, j1)))
+            .flat_map(|(t1, j1)| {
+                (0..k).flat_map(move |t2| (0..cap).map(move |j2| (t1, j1, t2, j2)))
+            })
+            .map(|(t1, j1, t2, j2)| po.reachable(NodeId::new(t1, j1), NodeId::new(t2, j2)))
+            .collect();
+        prop_assert_eq!(snapshot, restored);
+    }
+
+    #[test]
+    fn lemma_7_incremental_density_bound(ops in po_ops(4, 24, false)) {
+        // The density of every transitive array stays bounded by the
+        // cross-chain density d of the direct-edge graph.
+        let k = 4usize;
+        let cap = 24usize;
+        let mut po = IncrementalCsst::new(k, cap);
+        let mut oracle = NaiveIndex::new(k, cap);
+        // Direct out-edge source positions per chain.
+        let mut sources: Vec<std::collections::HashSet<u32>> =
+            vec![std::collections::HashSet::new(); k];
+        for &op in &ops {
+            if let PoOp::Insert(t1, j1, t2, j2) = op {
+                if t1 == t2 { continue; }
+                let (u, v) = (NodeId::new(t1, j1), NodeId::new(t2, j2));
+                if oracle.reachable(v, u) { continue; }
+                po.insert_edge(u, v).unwrap();
+                oracle.insert_edge(u, v).unwrap();
+                sources[t1 as usize].insert(j1);
+            }
+        }
+        let d = sources.iter().map(|s| s.len()).max().unwrap_or(0);
+        let stats = po.density_stats();
+        prop_assert!(
+            stats.max_peak <= d,
+            "array density {} exceeds cross-chain density {}",
+            stats.max_peak,
+            d
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Ergonomic trace construction with name interning.
+
+use crate::event::{EventKind, LockId, MemOrder, Method, ObjId, OpId, VarId};
+use crate::trace::Trace;
+use csst_core::ThreadId;
+use std::collections::HashMap;
+
+/// Builds a [`Trace`] step by step, interleaving threads freely, with
+/// variables/locks/objects interned by name.
+///
+/// ```
+/// use csst_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// b.on(0).write(x, 1);
+/// b.on(1).read(x, 1);
+/// let trace = b.build();
+/// assert_eq!(trace.total_events(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    vars: HashMap<String, VarId>,
+    locks: HashMap<String, LockId>,
+    objs: HashMap<String, ObjId>,
+    next_op: u32,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a variable by name.
+    pub fn var(&mut self, name: &str) -> VarId {
+        let next = self.vars.len() as u32;
+        *self.vars.entry(name.to_owned()).or_insert(VarId(next))
+    }
+
+    /// Interns a lock by name.
+    pub fn lock(&mut self, name: &str) -> LockId {
+        let next = self.locks.len() as u32;
+        *self.locks.entry(name.to_owned()).or_insert(LockId(next))
+    }
+
+    /// Interns a heap object by name.
+    pub fn obj(&mut self, name: &str) -> ObjId {
+        let next = self.objs.len() as u32;
+        *self.objs.entry(name.to_owned()).or_insert(ObjId(next))
+    }
+
+    /// Allocates a fresh operation id for an invoke/response pair.
+    pub fn fresh_op(&mut self) -> OpId {
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        op
+    }
+
+    /// Positions the builder on thread `t`; subsequent events are
+    /// appended there.
+    pub fn on(&mut self, t: impl Into<ThreadId>) -> ThreadCursor<'_> {
+        ThreadCursor {
+            builder: self,
+            thread: t.into(),
+        }
+    }
+
+    /// Appends a raw event.
+    pub fn push(&mut self, t: impl Into<ThreadId>, kind: EventKind) -> csst_core::NodeId {
+        self.trace.push(t, kind)
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Trace {
+        self.trace
+    }
+}
+
+/// A builder cursor positioned on one thread; every method appends one
+/// event and returns the event's id.
+#[derive(Debug)]
+pub struct ThreadCursor<'a> {
+    builder: &'a mut TraceBuilder,
+    thread: ThreadId,
+}
+
+impl ThreadCursor<'_> {
+    fn push(&mut self, kind: EventKind) -> csst_core::NodeId {
+        self.builder.trace.push(self.thread, kind)
+    }
+
+    /// Appends `r(var, value)`.
+    pub fn read(&mut self, var: VarId, value: u64) -> csst_core::NodeId {
+        self.push(EventKind::Read { var, value })
+    }
+
+    /// Appends `w(var, value)`.
+    pub fn write(&mut self, var: VarId, value: u64) -> csst_core::NodeId {
+        self.push(EventKind::Write { var, value })
+    }
+
+    /// Appends `acq(lock)`.
+    pub fn acquire(&mut self, lock: LockId) -> csst_core::NodeId {
+        self.push(EventKind::Acquire { lock })
+    }
+
+    /// Appends `rel(lock)`.
+    pub fn release(&mut self, lock: LockId) -> csst_core::NodeId {
+        self.push(EventKind::Release { lock })
+    }
+
+    /// Appends `fork(child)`.
+    pub fn fork(&mut self, child: impl Into<ThreadId>) -> csst_core::NodeId {
+        self.push(EventKind::Fork {
+            child: child.into(),
+        })
+    }
+
+    /// Appends `join(child)`.
+    pub fn join(&mut self, child: impl Into<ThreadId>) -> csst_core::NodeId {
+        self.push(EventKind::Join {
+            child: child.into(),
+        })
+    }
+
+    /// Appends `alloc(obj)`.
+    pub fn alloc(&mut self, obj: ObjId) -> csst_core::NodeId {
+        self.push(EventKind::Alloc { obj })
+    }
+
+    /// Appends `free(obj)`.
+    pub fn free(&mut self, obj: ObjId) -> csst_core::NodeId {
+        self.push(EventKind::Free { obj })
+    }
+
+    /// Appends a pointer dereference of `obj`.
+    pub fn deref(&mut self, obj: ObjId, write: bool) -> csst_core::NodeId {
+        self.push(EventKind::Deref { obj, write })
+    }
+
+    /// Appends an atomic load.
+    pub fn atomic_load(&mut self, var: VarId, order: MemOrder, value: u64) -> csst_core::NodeId {
+        self.push(EventKind::AtomicLoad { var, order, value })
+    }
+
+    /// Appends an atomic store.
+    pub fn atomic_store(&mut self, var: VarId, order: MemOrder, value: u64) -> csst_core::NodeId {
+        self.push(EventKind::AtomicStore { var, order, value })
+    }
+
+    /// Appends an atomic read-modify-write.
+    pub fn atomic_rmw(
+        &mut self,
+        var: VarId,
+        order: MemOrder,
+        read: u64,
+        write: u64,
+    ) -> csst_core::NodeId {
+        self.push(EventKind::AtomicRmw {
+            var,
+            order,
+            read,
+            write,
+        })
+    }
+
+    /// Appends a fence.
+    pub fn fence(&mut self, order: MemOrder) -> csst_core::NodeId {
+        self.push(EventKind::Fence { order })
+    }
+
+    /// Appends an operation invocation (allocating a fresh op id) and
+    /// returns `(event, op)`.
+    pub fn invoke(&mut self, method: Method, arg: u64) -> (csst_core::NodeId, OpId) {
+        let op = self.builder.fresh_op();
+        let id = self.builder.trace.push(
+            self.thread,
+            EventKind::Invoke { op, method, arg },
+        );
+        (id, op)
+    }
+
+    /// Appends the response of `op`.
+    pub fn respond(&mut self, op: OpId, result: u64) -> csst_core::NodeId {
+        self.push(EventKind::Response { op, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind as K;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        assert_ne!(x, y);
+        assert_eq!(b.var("x"), x);
+        let l = b.lock("m");
+        assert_eq!(b.lock("m"), l);
+        let o = b.obj("p");
+        assert_eq!(b.obj("p"), o);
+    }
+
+    #[test]
+    fn figure_1_trace() {
+        // The motivating example of Figure 1 (threads 0..2).
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.on(0).write(x, 1); // e0
+        b.on(1).write(x, 3); // e3
+        b.on(1).write(y, 4); // e4
+        b.on(1).write(y, 5); // e5
+        b.on(0).read(y, 5); // e1
+        b.on(0).read(x, 3); // e2
+        b.on(2).write(x, 3); // e6
+        b.on(2).read(y, 4); // en
+        let t = b.build();
+        assert_eq!(t.num_threads(), 3);
+        assert_eq!(t.thread_len(ThreadId(0)), 3);
+        assert_eq!(t.thread_len(ThreadId(1)), 3);
+        assert_eq!(t.thread_len(ThreadId(2)), 2);
+        assert!(matches!(
+            t.kind(csst_core::NodeId::new(0, 2)),
+            K::Read { value: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn invoke_respond_pairs() {
+        let mut b = TraceBuilder::new();
+        let (i1, op1) = b.on(0).invoke(Method::Add, 4);
+        let (i2, op2) = b.on(1).invoke(Method::Contains, 4);
+        b.on(0).respond(op1, 1);
+        b.on(1).respond(op2, 0);
+        assert_ne!(op1, op2);
+        let t = b.build();
+        assert!(matches!(t.kind(i1), K::Invoke { method: Method::Add, .. }));
+        assert!(matches!(
+            t.kind(i2),
+            K::Invoke { method: Method::Contains, .. }
+        ));
+    }
+}

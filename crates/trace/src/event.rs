@@ -1,0 +1,367 @@
+//! The event model of concurrent execution traces (§2.1).
+//!
+//! An event is a tuple `⟨t, i, m⟩`: thread `t`, sequence id `i`, and
+//! meta information `m`. CSSTs only ever look at `⟨t, i⟩` (a
+//! [`NodeId`](csst_core::NodeId)); the meta information — what the
+//! event *does* — is what the analyses interpret, and is modelled by
+//! [`EventKind`].
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index, for table lookups.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A shared variable (memory location).
+    VarId,
+    "x"
+);
+id_type!(
+    /// A lock (mutex).
+    LockId,
+    "l"
+);
+id_type!(
+    /// A heap object, for allocation-lifetime analyses.
+    ObjId,
+    "o"
+);
+id_type!(
+    /// An operation instance on a concurrent object (one
+    /// invoke/response interval).
+    OpId,
+    "op"
+);
+
+/// C11-style memory orders, used by atomic events.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemOrder {
+    /// `memory_order_relaxed`.
+    Relaxed,
+    /// `memory_order_acquire` (loads).
+    Acquire,
+    /// `memory_order_release` (stores).
+    Release,
+    /// `memory_order_acq_rel` (read-modify-writes).
+    AcqRel,
+    /// `memory_order_seq_cst`.
+    SeqCst,
+}
+
+impl MemOrder {
+    /// `true` if the order has acquire semantics on a load.
+    pub fn is_acquire(self) -> bool {
+        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    /// `true` if the order has release semantics on a store.
+    pub fn is_release(self) -> bool {
+        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    /// Short textual form used by the trace format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemOrder::Relaxed => "rlx",
+            MemOrder::Acquire => "acq",
+            MemOrder::Release => "rel",
+            MemOrder::AcqRel => "acqrel",
+            MemOrder::SeqCst => "sc",
+        }
+    }
+
+    /// Parses the textual form produced by [`MemOrder::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "rlx" => MemOrder::Relaxed,
+            "acq" => MemOrder::Acquire,
+            "rel" => MemOrder::Release,
+            "acqrel" => MemOrder::AcqRel,
+            "sc" => MemOrder::SeqCst,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Methods of the concurrent-object histories used by the
+/// linearizability analysis (a set/queue-style object).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// `add(arg) -> bool`.
+    Add,
+    /// `remove(arg) -> bool`.
+    Remove,
+    /// `contains(arg) -> bool`.
+    Contains,
+}
+
+impl Method {
+    /// Short textual form used by the trace format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Add => "add",
+            Method::Remove => "remove",
+            Method::Contains => "contains",
+        }
+    }
+
+    /// Parses the textual form produced by [`Method::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "add" => Method::Add,
+            "remove" => Method::Remove,
+            "contains" => Method::Contains,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What an event does — the meta information `m` of §2.1.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// Plain (non-atomic) read of `var` observing `value`.
+    Read {
+        /// Variable read.
+        var: VarId,
+        /// Value observed.
+        value: u64,
+    },
+    /// Plain (non-atomic) write of `value` to `var`.
+    Write {
+        /// Variable written.
+        var: VarId,
+        /// Value written.
+        value: u64,
+    },
+    /// Lock acquisition.
+    Acquire {
+        /// The lock.
+        lock: LockId,
+    },
+    /// Lock release.
+    Release {
+        /// The lock.
+        lock: LockId,
+    },
+    /// Thread creation; orders the forking event before the child's
+    /// first event.
+    Fork {
+        /// The created thread.
+        child: csst_core::ThreadId,
+    },
+    /// Thread join; orders the child's last event before this event.
+    Join {
+        /// The joined thread.
+        child: csst_core::ThreadId,
+    },
+    /// Heap allocation of `obj`.
+    Alloc {
+        /// The allocated object.
+        obj: ObjId,
+    },
+    /// Heap deallocation of `obj`.
+    Free {
+        /// The freed object.
+        obj: ObjId,
+    },
+    /// Memory access through a pointer to `obj` (the "use" of
+    /// use-after-free analyses).
+    Deref {
+        /// The object accessed.
+        obj: ObjId,
+        /// Whether the access writes.
+        write: bool,
+    },
+    /// C11 atomic load.
+    AtomicLoad {
+        /// Variable.
+        var: VarId,
+        /// Memory order.
+        order: MemOrder,
+        /// Value observed.
+        value: u64,
+    },
+    /// C11 atomic store.
+    AtomicStore {
+        /// Variable.
+        var: VarId,
+        /// Memory order.
+        order: MemOrder,
+        /// Value stored.
+        value: u64,
+    },
+    /// C11 atomic read-modify-write.
+    AtomicRmw {
+        /// Variable.
+        var: VarId,
+        /// Memory order.
+        order: MemOrder,
+        /// Value read.
+        read: u64,
+        /// Value written.
+        write: u64,
+    },
+    /// C11 fence.
+    Fence {
+        /// Memory order.
+        order: MemOrder,
+    },
+    /// Invocation of an operation on a concurrent object.
+    Invoke {
+        /// The operation instance.
+        op: OpId,
+        /// The method invoked.
+        method: Method,
+        /// The argument.
+        arg: u64,
+    },
+    /// Response of an operation on a concurrent object.
+    Response {
+        /// The operation instance.
+        op: OpId,
+        /// The returned value (0/1 for booleans).
+        result: u64,
+    },
+}
+
+impl EventKind {
+    /// The variable accessed, for plain and atomic accesses.
+    pub fn var(&self) -> Option<VarId> {
+        match *self {
+            EventKind::Read { var, .. }
+            | EventKind::Write { var, .. }
+            | EventKind::AtomicLoad { var, .. }
+            | EventKind::AtomicStore { var, .. }
+            | EventKind::AtomicRmw { var, .. } => Some(var),
+            _ => None,
+        }
+    }
+
+    /// `true` for events that write a plain variable.
+    pub fn is_plain_write(&self) -> bool {
+        matches!(self, EventKind::Write { .. })
+    }
+
+    /// `true` for events that read a plain variable.
+    pub fn is_plain_read(&self) -> bool {
+        matches!(self, EventKind::Read { .. })
+    }
+
+    /// `true` if two plain accesses to the same variable conflict
+    /// (at least one is a write).
+    pub fn conflicts_with(&self, other: &EventKind) -> bool {
+        match (self.var(), other.var()) {
+            (Some(a), Some(b)) if a == b => self.is_plain_write() || other.is_plain_write(),
+            _ => false,
+        }
+    }
+}
+
+/// One event of a trace: its kind plus the position in the observed
+/// total order (filled by the trace container).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// The meta information.
+    pub kind: EventKind,
+    /// Index of this event in the observed total (trace) order.
+    pub trace_pos: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_order_roundtrip() {
+        for o in [
+            MemOrder::Relaxed,
+            MemOrder::Acquire,
+            MemOrder::Release,
+            MemOrder::AcqRel,
+            MemOrder::SeqCst,
+        ] {
+            assert_eq!(MemOrder::parse(o.as_str()), Some(o));
+        }
+        assert_eq!(MemOrder::parse("bogus"), None);
+        assert!(MemOrder::SeqCst.is_acquire() && MemOrder::SeqCst.is_release());
+        assert!(!MemOrder::Relaxed.is_acquire());
+        assert!(MemOrder::Acquire.is_acquire() && !MemOrder::Acquire.is_release());
+    }
+
+    #[test]
+    fn method_roundtrip() {
+        for m in [Method::Add, Method::Remove, Method::Contains] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("push"), None);
+    }
+
+    #[test]
+    fn conflicts() {
+        let w = EventKind::Write {
+            var: VarId(0),
+            value: 1,
+        };
+        let r = EventKind::Read {
+            var: VarId(0),
+            value: 1,
+        };
+        let r2 = EventKind::Read {
+            var: VarId(1),
+            value: 0,
+        };
+        assert!(w.conflicts_with(&r));
+        assert!(r.conflicts_with(&w));
+        assert!(w.conflicts_with(&w));
+        assert!(!r.conflicts_with(&r));
+        assert!(!w.conflicts_with(&r2));
+        let aq = EventKind::Acquire { lock: LockId(0) };
+        assert!(!w.conflicts_with(&aq));
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(VarId(3).to_string(), "x3");
+        assert_eq!(LockId(1).to_string(), "l1");
+        assert_eq!(ObjId(2).to_string(), "o2");
+        assert_eq!(OpId(9).to_string(), "op9");
+        assert_eq!(VarId::from(4u32).index(), 4);
+    }
+}

@@ -1,0 +1,285 @@
+//! Allocation-lifetime programs — the workload family of the memory
+//! bug prediction (Table 3) and use-after-free (Table 5) experiments.
+
+use super::{pick_active, rng_from_seed};
+use crate::event::{EventKind, LockId, ObjId, VarId};
+use crate::trace::Trace;
+use rand::Rng;
+
+/// Configuration of [`alloc_program`].
+#[derive(Debug, Clone)]
+pub struct AllocProgramCfg {
+    /// Number of threads.
+    pub threads: usize,
+    /// Number of heap objects over the trace.
+    pub objects: usize,
+    /// Dereferences per object.
+    pub derefs_per_object: usize,
+    /// Probability that an object's lifetime is lock-protected (every
+    /// deref and the free happen under a common lock).
+    pub protected_frac: f64,
+    /// Probability that an (otherwise unprotected) object is
+    /// *thread-confined with a handoff*: only the owner dereferences
+    /// it, then publishes a flag the freeing thread reads before the
+    /// free — a happens-before edge making the lifetime safe.
+    pub confined_frac: f64,
+    /// Probability that the free happens on a different thread than
+    /// the allocation.
+    pub remote_free_frac: f64,
+    /// Number of locks used for protection.
+    pub locks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AllocProgramCfg {
+    fn default() -> Self {
+        AllocProgramCfg {
+            threads: 4,
+            objects: 40,
+            derefs_per_object: 6,
+            protected_frac: 0.3,
+            confined_frac: 0.3,
+            remote_free_frac: 0.5,
+            locks: 2,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Protection {
+    /// Derefs and free under a common lock.
+    Lock(LockId),
+    /// Owner-confined derefs + flag handoff to the freer.
+    Handoff,
+    /// Nothing orders uses and free: the bug candidates.
+    None,
+}
+
+/// Simulates a producer/consumer-style heap workload: objects are
+/// allocated, dereferenced, and eventually freed — in the observed
+/// trace always *after* every use, so any use-after-free is a
+/// predicted reordering, not an observed crash.
+///
+/// Three lifetime disciplines are mixed: lock-protected, confined with
+/// a reads-from handoff (both safe), and unprotected remote frees (the
+/// candidates the analyses should report).
+pub fn alloc_program(cfg: &AllocProgramCfg) -> Trace {
+    assert!(cfg.threads >= 2, "need at least an allocator and a user");
+    let mut rng = rng_from_seed(cfg.seed);
+    let mut trace = Trace::new(cfg.threads);
+
+    #[derive(Debug)]
+    struct Live {
+        obj: ObjId,
+        owner: usize,
+        derefs_left: usize,
+        protection: Protection,
+        freer: usize,
+        last_deref_thread: usize,
+        next_flag_value: u64,
+    }
+    let mut next_obj = 0usize;
+    let mut live: Vec<Live> = Vec::new();
+    let mut budget = vec![0usize; cfg.threads];
+
+    while next_obj < cfg.objects || !live.is_empty() {
+        // Admit new objects while the window has room.
+        while next_obj < cfg.objects && live.len() < 4 {
+            let owner = rng.gen_range(0..cfg.threads);
+            let protection = if cfg.locks > 0 && rng.gen_bool(cfg.protected_frac) {
+                Protection::Lock(LockId(rng.gen_range(0..cfg.locks) as u32))
+            } else if rng.gen_bool(cfg.confined_frac) {
+                Protection::Handoff
+            } else {
+                Protection::None
+            };
+            let freer = if rng.gen_bool(cfg.remote_free_frac) {
+                (owner + 1 + rng.gen_range(0..cfg.threads - 1)) % cfg.threads
+            } else {
+                owner
+            };
+            let obj = ObjId(next_obj as u32);
+            next_obj += 1;
+            if let Protection::Lock(l) = protection {
+                trace.push(owner, EventKind::Acquire { lock: l });
+                trace.push(owner, EventKind::Alloc { obj });
+                trace.push(owner, EventKind::Release { lock: l });
+            } else {
+                trace.push(owner, EventKind::Alloc { obj });
+            }
+            live.push(Live {
+                obj,
+                owner,
+                derefs_left: cfg.derefs_per_object,
+                protection,
+                freer,
+                last_deref_thread: owner,
+                next_flag_value: 1,
+            });
+        }
+        // Progress a random live object.
+        let i = rng.gen_range(0..live.len());
+        let entry = &mut live[i];
+        if entry.derefs_left > 0 {
+            entry.derefs_left -= 1;
+            let t = match entry.protection {
+                Protection::Handoff => entry.owner, // confined
+                _ => {
+                    if rng.gen_bool(0.5) {
+                        entry.owner
+                    } else {
+                        rng.gen_range(0..cfg.threads)
+                    }
+                }
+            };
+            entry.last_deref_thread = t;
+            budget[t] += 1;
+            let write = rng.gen_bool(0.3);
+            if let Protection::Lock(l) = entry.protection {
+                trace.push(t, EventKind::Acquire { lock: l });
+                trace.push(t, EventKind::Deref { obj: entry.obj, write });
+                trace.push(t, EventKind::Release { lock: l });
+            } else {
+                trace.push(t, EventKind::Deref { obj: entry.obj, write });
+            }
+        } else {
+            let Live {
+                obj,
+                protection,
+                freer,
+                last_deref_thread,
+                next_flag_value,
+                ..
+            } = live.swap_remove(i);
+            match protection {
+                Protection::Lock(l) => {
+                    trace.push(freer, EventKind::Acquire { lock: l });
+                    trace.push(freer, EventKind::Free { obj });
+                    trace.push(freer, EventKind::Release { lock: l });
+                }
+                Protection::Handoff => {
+                    // The flag variable of this object: the last user
+                    // publishes, the freer acquires the handoff.
+                    let flag = VarId(obj.0);
+                    trace.push(
+                        last_deref_thread,
+                        EventKind::Write {
+                            var: flag,
+                            value: next_flag_value,
+                        },
+                    );
+                    trace.push(
+                        freer,
+                        EventKind::Read {
+                            var: flag,
+                            value: next_flag_value,
+                        },
+                    );
+                    trace.push(freer, EventKind::Free { obj });
+                }
+                Protection::None => {
+                    trace.push(freer, EventKind::Free { obj });
+                }
+            }
+        }
+        let _ = pick_active(&mut rng, &budget); // keep RNG stream moving
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn lifetimes_are_well_formed() {
+        let t = alloc_program(&AllocProgramCfg::default());
+        // Every object: exactly one alloc, one free, derefs in between
+        // (in trace order).
+        #[derive(Default, Debug)]
+        struct State {
+            allocated: bool,
+            freed: bool,
+            derefs: usize,
+        }
+        let mut state: HashMap<ObjId, State> = HashMap::new();
+        for (_, ev) in t.iter_order() {
+            match ev.kind {
+                EventKind::Alloc { obj } => {
+                    let s = state.entry(obj).or_default();
+                    assert!(!s.allocated, "double alloc of {obj}");
+                    s.allocated = true;
+                }
+                EventKind::Free { obj } => {
+                    let s = state.entry(obj).or_default();
+                    assert!(s.allocated && !s.freed, "bad free of {obj}");
+                    s.freed = true;
+                }
+                EventKind::Deref { obj, .. } => {
+                    let s = state.entry(obj).or_default();
+                    assert!(
+                        s.allocated && !s.freed,
+                        "observed use-after-free of {obj} (the trace must be clean)"
+                    );
+                    s.derefs += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(state.len(), 40);
+        for (obj, s) in state {
+            assert!(s.allocated && s.freed, "{obj} leaked");
+            assert_eq!(s.derefs, 6);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = AllocProgramCfg::default();
+        assert_eq!(alloc_program(&cfg).order(), alloc_program(&cfg).order());
+    }
+
+    #[test]
+    fn unprotected_mode_has_no_locks() {
+        let t = alloc_program(&AllocProgramCfg {
+            protected_frac: 0.0,
+            ..Default::default()
+        });
+        assert!(t.critical_sections().is_empty());
+    }
+
+    #[test]
+    fn handoff_objects_publish_flags() {
+        let t = alloc_program(&AllocProgramCfg {
+            protected_frac: 0.0,
+            confined_frac: 1.0,
+            remote_free_frac: 1.0,
+            seed: 3,
+            ..Default::default()
+        });
+        // Every free must be preceded (in trace order) by a read of the
+        // object's flag on the freeing thread.
+        let rf = t.reads_from();
+        let mut handoffs = 0;
+        for (id, ev) in t.iter_order() {
+            if let EventKind::Free { obj } = ev.kind {
+                // The freer's previous event is the flag read.
+                assert!(id.pos > 0, "free must follow the handoff read");
+                let prev = csst_core::NodeId::new(id.thread, id.pos - 1);
+                match t.kind(prev) {
+                    EventKind::Read { var, .. } => {
+                        assert_eq!(var.0, obj.0, "flag variable matches object");
+                        if rf.get(&prev).is_some_and(|w| w.thread != id.thread) {
+                            handoffs += 1;
+                        }
+                    }
+                    other => panic!("expected flag read before free, got {other:?}"),
+                }
+            }
+        }
+        assert!(handoffs > 0, "cross-thread handoffs must occur");
+    }
+}

@@ -1,0 +1,245 @@
+//! C11 atomic programs — the workload family of the C11 race detection
+//! experiment (Table 6).
+//!
+//! C11Tester-style analyses process the trace in order; most new
+//! orderings attach to the *current* event (streaming), which is the
+//! regime where vector clocks win (the paper's own negative result).
+//! The `middle_sync_frac` knob injects release-sequence patterns that
+//! force orderings between middle-of-trace events — the
+//! `readerswriters`/`atomicblocks` behaviour where CSSTs win again.
+
+use super::{pick_active, rng_from_seed};
+use crate::event::{EventKind, MemOrder, VarId};
+use crate::trace::Trace;
+use rand::Rng;
+
+/// Configuration of [`c11_program`].
+#[derive(Debug, Clone)]
+pub struct C11Cfg {
+    /// Number of threads.
+    pub threads: usize,
+    /// Events per thread.
+    pub events_per_thread: usize,
+    /// Number of atomic variables.
+    pub atomic_vars: usize,
+    /// Number of non-atomic variables (the race candidates).
+    pub plain_vars: usize,
+    /// Fraction of atomic stores carrying release semantics (their
+    /// acquire-load readers create sw edges).
+    pub release_frac: f64,
+    /// Fraction of events that are plain (non-atomic) accesses.
+    pub plain_frac: f64,
+    /// Fraction of atomic operations that are RMWs.
+    pub rmw_frac: f64,
+    /// Fraction of scheduler rounds that emit a "late reader" of an
+    /// old store, creating orderings between middle-of-trace events.
+    pub middle_sync_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for C11Cfg {
+    fn default() -> Self {
+        C11Cfg {
+            threads: 4,
+            events_per_thread: 300,
+            atomic_vars: 4,
+            plain_vars: 6,
+            release_frac: 0.6,
+            plain_frac: 0.4,
+            rmw_frac: 0.15,
+            middle_sync_frac: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Simulates a sequentially consistent execution of a mixed
+/// atomic/non-atomic program. Atomic writes carry globally unique
+/// values (so readers determine the reads-from map); plain accesses
+/// use per-variable counters.
+pub fn c11_program(cfg: &C11Cfg) -> Trace {
+    assert!(cfg.threads >= 1 && cfg.atomic_vars >= 1 && cfg.plain_vars >= 1);
+    let mut rng = rng_from_seed(cfg.seed);
+    let mut trace = Trace::new(cfg.threads);
+    let mut remaining = vec![cfg.events_per_thread; cfg.threads];
+    // Current value of each atomic variable plus, for the late-reader
+    // pattern, one retained *stale* value per variable (the value the
+    // variable held one store ago).
+    let mut atomic_now: Vec<u64> = vec![0; cfg.atomic_vars];
+    let mut atomic_stale: Vec<u64> = vec![0; cfg.atomic_vars];
+    let mut plain_now: Vec<u64> = vec![0; cfg.plain_vars];
+    let mut next_value = 1u64;
+
+    while let Some(t) = pick_active(&mut rng, &remaining) {
+        remaining[t] -= 1;
+        if rng.gen_bool(cfg.plain_frac) {
+            let var = VarId(rng.gen_range(0..cfg.plain_vars) as u32);
+            if rng.gen_bool(0.5) {
+                plain_now[var.index()] += 1;
+                trace.push(
+                    t,
+                    EventKind::Write {
+                        var,
+                        value: plain_now[var.index()],
+                    },
+                );
+            } else {
+                trace.push(
+                    t,
+                    EventKind::Read {
+                        var,
+                        value: plain_now[var.index()],
+                    },
+                );
+            }
+            continue;
+        }
+        let v = rng.gen_range(0..cfg.atomic_vars);
+        let var = VarId(v as u32);
+        if cfg.middle_sync_frac > 0.0 && atomic_stale[v] != 0 && rng.gen_bool(cfg.middle_sync_frac)
+        {
+            // Late reader: observe the stale (previous) value, forcing
+            // the analysis to insert an ordering from a middle-of-trace
+            // store to this load.
+            trace.push(
+                t,
+                EventKind::AtomicLoad {
+                    var,
+                    order: MemOrder::Acquire,
+                    value: atomic_stale[v],
+                },
+            );
+            continue;
+        }
+        let roll: f64 = rng.gen();
+        if roll < cfg.rmw_frac {
+            let read = atomic_now[v];
+            let write = next_value;
+            next_value += 1;
+            atomic_stale[v] = atomic_now[v];
+            atomic_now[v] = write;
+            trace.push(
+                t,
+                EventKind::AtomicRmw {
+                    var,
+                    order: MemOrder::AcqRel,
+                    read,
+                    write,
+                },
+            );
+        } else if roll < cfg.rmw_frac + 0.45 {
+            let order = if rng.gen_bool(cfg.release_frac) {
+                MemOrder::Release
+            } else {
+                MemOrder::Relaxed
+            };
+            let value = next_value;
+            next_value += 1;
+            atomic_stale[v] = atomic_now[v];
+            atomic_now[v] = value;
+            trace.push(t, EventKind::AtomicStore { var, order, value });
+        } else {
+            let order = if rng.gen_bool(cfg.release_frac) {
+                MemOrder::Acquire
+            } else {
+                MemOrder::Relaxed
+            };
+            trace.push(
+                t,
+                EventKind::AtomicLoad {
+                    var,
+                    order,
+                    value: atomic_now[v],
+                },
+            );
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic() {
+        let cfg = C11Cfg::default();
+        assert_eq!(c11_program(&cfg).order(), c11_program(&cfg).order());
+    }
+
+    #[test]
+    fn atomic_values_unique_and_rf_well_typed() {
+        let t = c11_program(&C11Cfg::default());
+        let mut writes: HashMap<u64, VarId> = HashMap::new();
+        for (_, ev) in t.iter_order() {
+            match ev.kind {
+                EventKind::AtomicStore { var, value, .. } => {
+                    assert!(writes.insert(value, var).is_none());
+                }
+                EventKind::AtomicRmw { var, write, .. } => {
+                    assert!(writes.insert(write, var).is_none());
+                }
+                _ => {}
+            }
+        }
+        for (_, ev) in t.iter_order() {
+            match ev.kind {
+                EventKind::AtomicLoad { var, value, .. } if value != 0 => {
+                    assert_eq!(writes.get(&value), Some(&var));
+                }
+                EventKind::AtomicRmw { var, read, .. } if read != 0 => {
+                    assert_eq!(writes.get(&read), Some(&var));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn middle_sync_produces_stale_reads() {
+        let cfg = C11Cfg {
+            middle_sync_frac: 0.4,
+            plain_frac: 0.1,
+            seed: 7,
+            ..Default::default()
+        };
+        let t = c11_program(&cfg);
+        // At least one load must observe a value that was already
+        // overwritten when the load executed.
+        let mut overwritten: std::collections::HashSet<u64> = Default::default();
+        let mut current: HashMap<VarId, u64> = HashMap::new();
+        let mut found_stale = false;
+        for (_, ev) in t.iter_order() {
+            match ev.kind {
+                EventKind::AtomicStore { var, value, .. } => {
+                    if let Some(old) = current.insert(var, value) {
+                        overwritten.insert(old);
+                    }
+                }
+                EventKind::AtomicRmw { var, write, .. } => {
+                    if let Some(old) = current.insert(var, write) {
+                        overwritten.insert(old);
+                    }
+                }
+                EventKind::AtomicLoad { value, .. }
+                    if overwritten.contains(&value) => {
+                        found_stale = true;
+                    }
+                _ => {}
+            }
+        }
+        assert!(found_stale, "expected at least one stale (late) read");
+    }
+
+    #[test]
+    fn plain_accesses_present() {
+        let t = c11_program(&C11Cfg::default());
+        let plain = t
+            .iter_order()
+            .filter(|(_, e)| matches!(e.kind, EventKind::Read { .. } | EventKind::Write { .. }))
+            .count();
+        assert!(plain > 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Lock-hierarchy programs with inverted nested acquisitions — the
+//! workload family of the deadlock prediction experiment (Table 2).
+
+use super::{pick_active, rng_from_seed};
+use crate::event::{EventKind, LockId, VarId};
+use crate::trace::Trace;
+use rand::Rng;
+
+/// Configuration of [`lock_program`].
+#[derive(Debug, Clone)]
+pub struct LockProgramCfg {
+    /// Number of threads.
+    pub threads: usize,
+    /// Nested lock blocks per thread.
+    pub blocks_per_thread: usize,
+    /// Number of locks.
+    pub locks: usize,
+    /// Probability that a nested block inverts the canonical lock
+    /// order (creating a deadlock pattern).
+    pub inversion_frac: f64,
+    /// Probability that an inverted block is guarded by a common gate
+    /// lock (making the pattern a false positive).
+    pub guard_frac: f64,
+    /// Number of shared variables touched inside sections.
+    pub vars: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LockProgramCfg {
+    fn default() -> Self {
+        LockProgramCfg {
+            threads: 4,
+            blocks_per_thread: 40,
+            locks: 6,
+            inversion_frac: 0.2,
+            guard_frac: 0.3,
+            vars: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Simulates a program whose threads take *nested* pairs of locks,
+/// sometimes in inverted order (potential deadlocks), sometimes
+/// additionally protected by a gate lock (benign inversions).
+///
+/// The observed execution itself is deadlock-free — blocks run to
+/// completion under the random scheduler — which is exactly the
+/// *prediction* setting of SeqCheck: the analysis must reorder the
+/// trace to witness the deadlock.
+pub fn lock_program(cfg: &LockProgramCfg) -> Trace {
+    assert!(cfg.locks >= 2 && cfg.threads >= 1);
+    let mut rng = rng_from_seed(cfg.seed);
+    let mut trace = Trace::new(cfg.threads);
+    let mut remaining = vec![cfg.blocks_per_thread; cfg.threads];
+    let gate = LockId((cfg.locks - 1) as u32);
+    let vars = cfg.vars.max(1);
+    // Current value of each shared variable; reads observe the latest
+    // write (possibly of another thread), which is what creates the
+    // cross-thread reads-from structure the witness checks reason over.
+    let mut value: Vec<u64> = vec![0; vars];
+    let mut next_value = 0u64;
+
+    while let Some(t) = pick_active(&mut rng, &remaining) {
+        remaining[t] -= 1;
+        // Pick an ordered pair of distinct non-gate locks.
+        let inner_locks = (cfg.locks - 1).max(2);
+        let a = rng.gen_range(0..inner_locks);
+        let mut b = rng.gen_range(0..inner_locks);
+        while b == a {
+            b = rng.gen_range(0..inner_locks);
+        }
+        let (lo, hi) = (a.min(b) as u32, a.max(b) as u32);
+        let invert = rng.gen_bool(cfg.inversion_frac);
+        let guard = invert && rng.gen_bool(cfg.guard_frac);
+        let (first, second) = if invert {
+            (LockId(hi), LockId(lo))
+        } else {
+            (LockId(lo), LockId(hi))
+        };
+        if guard {
+            trace.push(t, EventKind::Acquire { lock: gate });
+        }
+        trace.push(t, EventKind::Acquire { lock: first });
+        // A write inside the outer section and a read of a (possibly
+        // different) variable inside the inner one.
+        let wvar = VarId(rng.gen_range(0..vars) as u32);
+        next_value += 1;
+        value[wvar.index()] = next_value;
+        trace.push(
+            t,
+            EventKind::Write {
+                var: wvar,
+                value: next_value,
+            },
+        );
+        trace.push(t, EventKind::Acquire { lock: second });
+        // Mostly re-read the own write (thread-local rf); occasionally
+        // read another variable, creating the cross-thread reads-from
+        // structure without totally ordering the trace.
+        let rvar = if rng.gen_bool(0.15) {
+            VarId(rng.gen_range(0..vars) as u32)
+        } else {
+            wvar
+        };
+        trace.push(
+            t,
+            EventKind::Read {
+                var: rvar,
+                value: value[rvar.index()],
+            },
+        );
+        trace.push(t, EventKind::Release { lock: second });
+        trace.push(t, EventKind::Release { lock: first });
+        if guard {
+            trace.push(t, EventKind::Release { lock: gate });
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_well_formed() {
+        let cfg = LockProgramCfg::default();
+        let a = lock_program(&cfg);
+        let b = lock_program(&cfg);
+        assert_eq!(a.order(), b.order());
+        for cs in a.critical_sections() {
+            assert!(cs.release.is_some(), "all sections closed");
+        }
+    }
+
+    #[test]
+    fn produces_inversions() {
+        // With inversion_frac 1.0 every block inverts; at least one
+        // pair of threads must exhibit opposite nesting orders.
+        let t = lock_program(&LockProgramCfg {
+            inversion_frac: 0.5,
+            guard_frac: 0.0,
+            blocks_per_thread: 50,
+            seed: 3,
+            ..Default::default()
+        });
+        // Collect nesting pairs (outer, inner) per thread.
+        let mut pairs = std::collections::HashSet::new();
+        for tid in 0..t.num_threads() {
+            let mut stack = Vec::new();
+            for ev in t.events_of(csst_core::ThreadId(tid as u32)) {
+                match ev.kind {
+                    EventKind::Acquire { lock } => {
+                        if let Some(&outer) = stack.last() {
+                            pairs.insert((outer, lock));
+                        }
+                        stack.push(lock);
+                    }
+                    EventKind::Release { .. } => {
+                        stack.pop();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let inverted = pairs
+            .iter()
+            .any(|&(a, b)| pairs.contains(&(b, a)) && a != b);
+        assert!(inverted, "expected at least one lock-order inversion");
+    }
+
+    #[test]
+    fn block_budget() {
+        let cfg = LockProgramCfg {
+            threads: 2,
+            blocks_per_thread: 10,
+            ..Default::default()
+        };
+        let t = lock_program(&cfg);
+        // 6–8 events per block.
+        assert!(t.total_events() >= 2 * 10 * 6);
+        assert!(t.total_events() <= 2 * 10 * 8);
+    }
+}

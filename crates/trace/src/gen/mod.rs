@@ -1,0 +1,53 @@
+//! Seeded synthetic workload generators, one family per analysis of
+//! the paper's evaluation (§5).
+//!
+//! The paper's datasets are traces recorded by (mostly closed-source)
+//! tools from Java/C++ benchmark suites; they are not redistributable
+//! and not available offline. Each generator here *simulates* an
+//! execution of the corresponding program family under a seeded random
+//! scheduler, producing traces with the structural properties the data
+//! structures are sensitive to: thread count `k`, event count `n`,
+//! cross-chain density `d`, update/query mix, and sharing patterns.
+//! DESIGN.md §5 documents the substitution argument in full.
+//!
+//! All generators are deterministic in their seed.
+
+mod alloc;
+mod c11;
+mod locks;
+mod objects;
+mod racy;
+mod tso;
+
+pub use alloc::{alloc_program, AllocProgramCfg};
+pub use c11::{c11_program, C11Cfg};
+pub use locks::{lock_program, LockProgramCfg};
+pub use objects::{object_history, ObjectHistoryCfg};
+pub use racy::{racy_program, RacyProgramCfg};
+pub use tso::{tso_history, TsoCfg};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG used by every generator (fast, seedable, portable).
+pub type GenRng = SmallRng;
+
+pub(crate) fn rng_from_seed(seed: u64) -> GenRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Picks a thread index among those with remaining budget; returns
+/// `None` when all budgets are exhausted.
+pub(crate) fn pick_active(rng: &mut GenRng, remaining: &[usize]) -> Option<usize> {
+    let live: Vec<usize> = remaining
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r > 0)
+        .map(|(i, _)| i)
+        .collect();
+    if live.is_empty() {
+        None
+    } else {
+        Some(live[rng.gen_range(0..live.len())])
+    }
+}

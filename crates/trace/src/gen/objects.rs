@@ -1,0 +1,224 @@
+//! Concurrent-object histories — the workload family of the
+//! linearizability root-cause experiment (Table 7).
+//!
+//! Histories of `add`/`remove`/`contains` operations on a shared set.
+//! The generator runs a *linearizable* execution (each operation takes
+//! effect atomically at a random point inside its invoke/response
+//! interval); the `violation` knob then corrupts one response,
+//! producing the violating histories the root-cause analysis consumes.
+
+use super::rng_from_seed;
+use crate::event::{EventKind, Method, OpId};
+use crate::trace::Trace;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Configuration of [`object_history`].
+#[derive(Debug, Clone)]
+pub struct ObjectHistoryCfg {
+    /// Number of threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Keys are drawn from `0..key_range`.
+    pub key_range: u64,
+    /// If `true`, corrupt one response to inject a linearizability
+    /// violation.
+    pub violation: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ObjectHistoryCfg {
+    fn default() -> Self {
+        ObjectHistoryCfg {
+            threads: 3,
+            ops_per_thread: 30,
+            key_range: 6,
+            violation: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a history of set operations with overlapping intervals.
+///
+/// Each operation is an `Invoke` event followed (possibly after other
+/// threads' events) by a `Response` event on the same thread. The
+/// results are those of a legal linearization; with `violation: true`
+/// exactly one response is flipped.
+pub fn object_history(cfg: &ObjectHistoryCfg) -> Trace {
+    assert!(cfg.threads >= 1 && cfg.key_range >= 1);
+    let mut rng = rng_from_seed(cfg.seed);
+    let mut trace = Trace::new(cfg.threads);
+    let mut set: HashSet<u64> = HashSet::new();
+
+    #[derive(Debug, Clone, Copy)]
+    enum Phase {
+        Idle,
+        /// Invoked but effect not yet applied.
+        Pending(OpId, Method, u64),
+        /// Effect applied; result recorded, response not yet emitted.
+        Effected(OpId, u64),
+    }
+    let mut phase = vec![Phase::Idle; cfg.threads];
+    let mut remaining = vec![cfg.ops_per_thread; cfg.threads];
+    let mut next_op = 0u32;
+    let mut responses: Vec<csst_core::NodeId> = Vec::new();
+
+    loop {
+        let live: Vec<usize> = (0..cfg.threads)
+            .filter(|&t| remaining[t] > 0 || !matches!(phase[t], Phase::Idle))
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let t = live[rng.gen_range(0..live.len())];
+        match phase[t] {
+            Phase::Idle => {
+                let method = match rng.gen_range(0..3) {
+                    0 => Method::Add,
+                    1 => Method::Remove,
+                    _ => Method::Contains,
+                };
+                let arg = rng.gen_range(0..cfg.key_range);
+                let op = OpId(next_op);
+                next_op += 1;
+                remaining[t] -= 1;
+                trace.push(t, EventKind::Invoke { op, method, arg });
+                phase[t] = Phase::Pending(op, method, arg);
+            }
+            Phase::Pending(op, method, arg) => {
+                // The linearization point: apply the effect atomically.
+                let result = match method {
+                    Method::Add => set.insert(arg) as u64,
+                    Method::Remove => set.remove(&arg) as u64,
+                    Method::Contains => set.contains(&arg) as u64,
+                };
+                phase[t] = Phase::Effected(op, result);
+            }
+            Phase::Effected(op, result) => {
+                let id = trace.push(t, EventKind::Response { op, result });
+                responses.push(id);
+                phase[t] = Phase::Idle;
+            }
+        }
+    }
+
+    if cfg.violation && !responses.is_empty() {
+        // Flip one response chosen deterministically from the seed.
+        let victim = responses[rng.gen_range(0..responses.len())];
+        let flipped = match *trace.kind(victim) {
+            EventKind::Response { op, result } => EventKind::Response {
+                op,
+                result: 1 - (result & 1),
+            },
+            _ => unreachable!("responses list holds Response events"),
+        };
+        // Rebuild the trace with the flipped event (Trace is append-only).
+        let mut out = Trace::new(cfg.threads);
+        for (id, ev) in trace.iter_order() {
+            out.push(id.thread, if id == victim { flipped } else { ev.kind });
+        }
+        return out;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn intervals_well_formed(t: &Trace) {
+        // Every op has exactly one invoke and one response, on the same
+        // thread, invoke first.
+        let mut inv: HashMap<OpId, csst_core::NodeId> = HashMap::new();
+        let mut res: HashMap<OpId, csst_core::NodeId> = HashMap::new();
+        for (id, ev) in t.iter_order() {
+            match ev.kind {
+                EventKind::Invoke { op, .. } => {
+                    assert!(inv.insert(op, id).is_none());
+                }
+                EventKind::Response { op, .. } => {
+                    assert!(res.insert(op, id).is_none());
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(inv.len(), res.len());
+        for (op, i) in &inv {
+            let r = res[op];
+            assert_eq!(i.thread, r.thread);
+            assert!(t.trace_pos(*i) < t.trace_pos(r));
+        }
+    }
+
+    #[test]
+    fn clean_history_is_well_formed() {
+        let t = object_history(&ObjectHistoryCfg::default());
+        intervals_well_formed(&t);
+        assert_eq!(
+            t.iter_order()
+                .filter(|(_, e)| matches!(e.kind, EventKind::Invoke { .. }))
+                .count(),
+            90
+        );
+    }
+
+    #[test]
+    fn violation_flips_exactly_one_response() {
+        let clean = object_history(&ObjectHistoryCfg {
+            seed: 5,
+            ..Default::default()
+        });
+        let bad = object_history(&ObjectHistoryCfg {
+            seed: 5,
+            violation: true,
+            ..Default::default()
+        });
+        intervals_well_formed(&bad);
+        assert_eq!(clean.order(), bad.order());
+        let mut diffs = 0;
+        for (id, ev) in clean.iter_order() {
+            if ev.kind != *bad.kind(id) {
+                diffs += 1;
+                assert!(matches!(ev.kind, EventKind::Response { .. }));
+            }
+        }
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ObjectHistoryCfg::default();
+        let a = object_history(&cfg);
+        let b = object_history(&cfg);
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn intervals_overlap_across_threads() {
+        // With several threads running concurrently, some operation
+        // must be invoked while another is pending.
+        let t = object_history(&ObjectHistoryCfg {
+            threads: 4,
+            ops_per_thread: 20,
+            seed: 2,
+            ..Default::default()
+        });
+        let mut open = 0usize;
+        let mut max_open = 0usize;
+        for (_, ev) in t.iter_order() {
+            match ev.kind {
+                EventKind::Invoke { .. } => {
+                    open += 1;
+                    max_open = max_open.max(open);
+                }
+                EventKind::Response { .. } => open -= 1,
+                _ => {}
+            }
+        }
+        assert!(max_open >= 2, "no concurrency in the history");
+    }
+}

@@ -1,0 +1,188 @@
+//! x86-TSO histories — the workload family of the consistency checking
+//! experiment (Table 4).
+//!
+//! The generator *runs* a TSO abstract machine (per-thread FIFO store
+//! buffers over a shared memory) under a seeded random scheduler, so
+//! every produced history is TSO-consistent by construction. Loads can
+//! observe either their own buffered stores (store-to-load forwarding)
+//! or main memory; buffer flushes happen at random points. Every write
+//! carries a globally unique value so the reads-from map is recoverable
+//! from values alone — the standard assumption of consistency checkers.
+
+use super::{pick_active, rng_from_seed};
+use crate::event::{EventKind, VarId};
+use crate::trace::Trace;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Configuration of [`tso_history`].
+#[derive(Debug, Clone)]
+pub struct TsoCfg {
+    /// Number of threads.
+    pub threads: usize,
+    /// Loads/stores per thread.
+    pub events_per_thread: usize,
+    /// Number of shared variables.
+    pub vars: usize,
+    /// Probability that a scheduler step flushes a buffered store
+    /// instead of issuing a new operation.
+    pub flush_frac: f64,
+    /// Probability that an issued operation is a store.
+    pub store_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TsoCfg {
+    fn default() -> Self {
+        TsoCfg {
+            threads: 4,
+            events_per_thread: 200,
+            vars: 6,
+            flush_frac: 0.3,
+            store_frac: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs the TSO abstract machine and records the per-thread
+/// instruction streams (program order) as a trace of plain
+/// reads/writes. Value `0` denotes the initial value of every
+/// variable; written values start at `1` and are globally unique.
+pub fn tso_history(cfg: &TsoCfg) -> Trace {
+    assert!(cfg.threads >= 1 && cfg.vars >= 1);
+    let mut rng = rng_from_seed(cfg.seed);
+    let mut trace = Trace::new(cfg.threads);
+    let mut memory: Vec<u64> = vec![0; cfg.vars];
+    // Store buffers: FIFO of (var, value).
+    let mut buffers: Vec<VecDeque<(usize, u64)>> = vec![VecDeque::new(); cfg.threads];
+    let mut remaining = vec![cfg.events_per_thread; cfg.threads];
+    let mut next_value = 1u64;
+
+    loop {
+        // Optionally flush a random non-empty buffer.
+        let non_empty: Vec<usize> = (0..cfg.threads)
+            .filter(|&t| !buffers[t].is_empty())
+            .collect();
+        if !non_empty.is_empty() && rng.gen_bool(cfg.flush_frac) {
+            let t = non_empty[rng.gen_range(0..non_empty.len())];
+            let (var, val) = buffers[t].pop_front().expect("non-empty buffer");
+            memory[var] = val;
+            continue;
+        }
+        let Some(t) = pick_active(&mut rng, &remaining) else {
+            break;
+        };
+        remaining[t] -= 1;
+        let var = rng.gen_range(0..cfg.vars);
+        if rng.gen_bool(cfg.store_frac) {
+            let value = next_value;
+            next_value += 1;
+            buffers[t].push_back((var, value));
+            trace.push(
+                t,
+                EventKind::Write {
+                    var: VarId(var as u32),
+                    value,
+                },
+            );
+        } else {
+            // Store-to-load forwarding: latest buffered store to `var`
+            // from this thread wins; otherwise main memory.
+            let value = buffers[t]
+                .iter()
+                .rev()
+                .find(|&&(v, _)| v == var)
+                .map(|&(_, val)| val)
+                .unwrap_or(memory[var]);
+            trace.push(
+                t,
+                EventKind::Read {
+                    var: VarId(var as u32),
+                    value,
+                },
+            );
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic() {
+        let cfg = TsoCfg::default();
+        assert_eq!(tso_history(&cfg).order(), tso_history(&cfg).order());
+    }
+
+    #[test]
+    fn values_are_unique_per_write() {
+        let t = tso_history(&TsoCfg::default());
+        let mut seen = std::collections::HashSet::new();
+        for (_, ev) in t.iter_order() {
+            if let EventKind::Write { value, .. } = ev.kind {
+                assert!(seen.insert(value), "duplicate written value {value}");
+                assert!(value > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn reads_observe_some_write_to_same_var_or_initial() {
+        let t = tso_history(&TsoCfg::default());
+        let mut writes: HashMap<u64, VarId> = HashMap::new();
+        for (_, ev) in t.iter_order() {
+            if let EventKind::Write { var, value } = ev.kind {
+                writes.insert(value, var);
+            }
+        }
+        for (_, ev) in t.iter_order() {
+            if let EventKind::Read { var, value } = ev.kind {
+                if value != 0 {
+                    assert_eq!(writes.get(&value), Some(&var), "rf variable mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_budget_respected() {
+        let cfg = TsoCfg {
+            threads: 3,
+            events_per_thread: 50,
+            ..Default::default()
+        };
+        let t = tso_history(&cfg);
+        assert_eq!(t.total_events(), 150);
+        for tid in 0..3 {
+            assert_eq!(t.thread_len(csst_core::ThreadId(tid)), 50);
+        }
+    }
+
+    #[test]
+    fn forwarding_lets_threads_read_unflushed_stores() {
+        // With flush_frac 0 nothing ever reaches memory, so any read of
+        // a non-zero value must be forwarded from the own buffer.
+        let t = tso_history(&TsoCfg {
+            flush_frac: 0.0,
+            seed: 42,
+            ..Default::default()
+        });
+        let mut writer_of: HashMap<u64, csst_core::ThreadId> = HashMap::new();
+        for (id, ev) in t.iter_order() {
+            match ev.kind {
+                EventKind::Write { value, .. } => {
+                    writer_of.insert(value, id.thread);
+                }
+                EventKind::Read { value, .. } if value != 0 => {
+                    assert_eq!(writer_of[&value], id.thread, "forwarded from own buffer");
+                }
+                _ => {}
+            }
+        }
+    }
+}

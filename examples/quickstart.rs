@@ -1,0 +1,68 @@
+//! Quickstart: maintaining a partial order with CSSTs.
+//!
+//! Builds the chain DAG of a small concurrent execution, inserts and
+//! deletes orderings, and issues the five operations of the paper
+//! (§2.2): `insertEdge`, `deleteEdge`, `reachable`, `successor`,
+//! `predecessor`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use csst_core::{Csst, IncrementalCsst, NodeId, PartialOrderIndex, PoError, ThreadId};
+
+fn main() -> Result<(), PoError> {
+    // A partial order over 3 chains (threads) with up to 100 events
+    // each. Events of one chain are implicitly ordered (program
+    // order); only cross-chain orderings are ever inserted.
+    let mut po = Csst::new(3, 100);
+
+    let e1 = NodeId::new(0, 10); // event 10 of thread 0
+    let e2 = NodeId::new(1, 20); // event 20 of thread 1
+    let e3 = NodeId::new(2, 5); // event 5 of thread 2
+
+    // Program order is built in.
+    assert!(po.reachable(NodeId::new(0, 3), NodeId::new(0, 42)));
+
+    // Insert cross-chain orderings (e.g. a reads-from edge discovered
+    // by an analysis).
+    po.insert_edge(e1, e2)?;
+    po.insert_edge(e2, e3)?;
+    println!("inserted {} edges", po.edge_count());
+
+    // Reachability is transitive and respects program order.
+    assert!(po.reachable(e1, e3));
+    assert!(po.reachable(NodeId::new(0, 0), NodeId::new(2, 99)));
+    assert!(!po.reachable(NodeId::new(0, 11), e3));
+
+    // successor/predecessor: the frontier operations analyses use.
+    println!(
+        "earliest event of thread 2 reachable from {e1}: {:?}",
+        po.successor(e1, ThreadId(2))
+    );
+    println!(
+        "latest event of thread 0 reaching {e3}: {:?}",
+        po.predecessor(e3, ThreadId(0))
+    );
+
+    // Fully dynamic: deletion rolls the order back (the Figure 1c
+    // workflow — try a reads-from choice, fail, undo it).
+    po.delete_edge(e2, e3)?;
+    assert!(!po.reachable(e1, e3));
+    println!("after deletion, {e1} no longer reaches {e3}");
+
+    // Checked insertion refuses cycles.
+    po.insert_edge_checked(e2, NodeId::new(0, 50))?;
+    let err = po.insert_edge_checked(NodeId::new(0, 50), e1).unwrap_err();
+    println!("cycle refused: {err}");
+
+    // The incremental variant answers queries in a single
+    // suffix-minima lookup; use it when the analysis never deletes.
+    let mut inc = IncrementalCsst::new(3, 100);
+    inc.insert_edge(e1, e2)?;
+    inc.insert_edge(e2, e3)?;
+    assert!(inc.reachable(e1, e3));
+    println!(
+        "incremental CSST arrays peak density: {:?}",
+        inc.density_stats()
+    );
+    Ok(())
+}

@@ -1,0 +1,273 @@
+//! End-to-end tests of the seven analyses on generated workloads,
+//! checking cross-representation agreement and the qualitative
+//! properties each analysis must have.
+
+use csst_analyses::{c11, deadlock, linearizability, membug, race, tso, uaf};
+use csst_core::{Csst, GraphIndex, IncrementalCsst, SegTreeIndex, VectorClockIndex};
+use csst_trace::gen::{
+    alloc_program, c11_program, lock_program, object_history, racy_program, tso_history,
+    AllocProgramCfg, C11Cfg, LockProgramCfg, ObjectHistoryCfg, RacyProgramCfg, TsoCfg,
+};
+
+#[test]
+fn race_prediction_all_structures_and_monotone_candidates() {
+    let trace = racy_program(&RacyProgramCfg {
+        threads: 6,
+        events_per_thread: 400,
+        vars: 6,
+        locks: 2,
+        lock_frac: 0.4,
+        shared_frac: 0.25,
+        seed: 1,
+        ..Default::default()
+    });
+    let cfg = race::RaceCfg {
+        max_candidates: 30,
+        ..Default::default()
+    };
+    let a = race::predict::<IncrementalCsst>(&trace, &cfg);
+    let b = race::predict::<SegTreeIndex>(&trace, &cfg);
+    let c = race::predict::<VectorClockIndex>(&trace, &cfg);
+    let d = race::predict::<GraphIndex>(&trace, &cfg);
+    assert_eq!(a.races, b.races);
+    assert_eq!(a.races, c.races);
+    assert_eq!(a.races, d.races);
+    assert!(a.candidates > 0, "workload must produce candidates");
+    assert!(!a.races.is_empty(), "unprotected sharing must race");
+
+    // Fully protected workloads must not race.
+    let safe = racy_program(&RacyProgramCfg {
+        threads: 6,
+        events_per_thread: 300,
+        vars: 4,
+        locks: 1,
+        lock_frac: 1.0,
+        shared_frac: 0.3,
+        seed: 2,
+        ..Default::default()
+    });
+    let r = race::predict::<IncrementalCsst>(&safe, &cfg);
+    assert!(
+        r.races.is_empty(),
+        "single-lock protection must kill all races: {:?}",
+        r.races
+    );
+}
+
+#[test]
+fn deadlock_prediction_monotone_in_inversions() {
+    let mk = |inversion_frac: f64| {
+        lock_program(&LockProgramCfg {
+            threads: 5,
+            blocks_per_thread: 120,
+            locks: 5,
+            inversion_frac,
+            guard_frac: 0.0,
+            vars: 6,
+            seed: 5,
+        })
+    };
+    let cfg = deadlock::DeadlockCfg {
+        max_patterns: 30,
+        ..Default::default()
+    };
+    let none = deadlock::predict::<IncrementalCsst>(&mk(0.0), &cfg);
+    assert!(
+        none.deadlocks.is_empty(),
+        "canonical lock order cannot deadlock"
+    );
+    let some = deadlock::predict::<IncrementalCsst>(&mk(0.3), &cfg);
+    assert!(!some.deadlocks.is_empty(), "inversions must be detected");
+    // All structures agree.
+    let g = deadlock::predict::<GraphIndex>(&mk(0.3), &cfg);
+    assert_eq!(some.deadlocks.len(), g.deadlocks.len());
+}
+
+#[test]
+fn membug_and_uaf_consistency() {
+    let trace = alloc_program(&AllocProgramCfg {
+        threads: 5,
+        objects: 120,
+        derefs_per_object: 5,
+        protected_frac: 0.3,
+        confined_frac: 0.3,
+        remote_free_frac: 0.6,
+        locks: 2,
+        seed: 8,
+    });
+    let mb = membug::predict::<IncrementalCsst>(
+        &trace,
+        &membug::MemBugCfg {
+            max_candidates: 50,
+            ..Default::default()
+        },
+    );
+    let uf = uaf::generate::<IncrementalCsst>(&trace, &uaf::UafCfg::default());
+    assert!(mb.candidates > 0);
+    assert!(
+        !uf.candidates.is_empty(),
+        "unprotected remote frees must survive pruning"
+    );
+    assert!(uf.total_constraints > 0);
+    // Every membug UAF pair must also be a UFO candidate (same
+    // prefiltering, stricter witness).
+    for bug in &mb.bugs {
+        if let membug::MemBug::UseAfterFree {
+            use_event,
+            free_event,
+            ..
+        } = bug
+        {
+            assert!(
+                uf.candidates
+                    .iter()
+                    .any(|c| c.use_event == *use_event && c.free_event == *free_event),
+                "witnessed bug missing from UFO candidates"
+            );
+        }
+    }
+    // Fully confined + protected workloads are clean.
+    let safe = alloc_program(&AllocProgramCfg {
+        threads: 5,
+        objects: 80,
+        protected_frac: 0.5,
+        confined_frac: 1.0,
+        seed: 9,
+        ..Default::default()
+    });
+    let mb_safe = membug::predict::<IncrementalCsst>(&safe, &membug::MemBugCfg::default());
+    assert!(
+        mb_safe.bugs.is_empty(),
+        "confined/protected lifetimes are safe: {:?}",
+        mb_safe.bugs
+    );
+}
+
+#[test]
+fn tso_checker_accepts_machine_output_and_rejects_mutations() {
+    let trace = tso_history(&TsoCfg {
+        threads: 5,
+        events_per_thread: 300,
+        vars: 4,
+        seed: 13,
+        ..Default::default()
+    });
+    let cfg = tso::TsoCheckCfg::default();
+    let ok = tso::check::<IncrementalCsst>(&trace, &cfg);
+    assert!(ok.consistent);
+
+    // Mutate one read to observe a value from the future: must be
+    // rejected (value has the wrong variable or breaks coherence).
+    let mut mutated = csst_trace::Trace::new(trace.num_threads());
+    let mut flipped = false;
+    for (id, ev) in trace.iter_order() {
+        let kind = match ev.kind {
+            csst_trace::EventKind::Read { var, .. } if !flipped => {
+                flipped = true;
+                csst_trace::EventKind::Read {
+                    var,
+                    value: u64::MAX, // a value never written
+                }
+            }
+            k => k,
+        };
+        mutated.push(id.thread, kind);
+    }
+    assert!(flipped);
+    let bad = tso::check::<IncrementalCsst>(&mutated, &cfg);
+    assert!(!bad.consistent, "value from nowhere must be rejected");
+}
+
+#[test]
+fn c11_detector_structures_agree_and_sync_reduces_races() {
+    let racy = c11_program(&C11Cfg {
+        threads: 6,
+        events_per_thread: 500,
+        release_frac: 0.0, // all relaxed: no sw edges
+        seed: 17,
+        ..Default::default()
+    });
+    let synced = c11_program(&C11Cfg {
+        threads: 6,
+        events_per_thread: 500,
+        release_frac: 1.0, // all release/acquire
+        seed: 17,
+        ..Default::default()
+    });
+    let cfg = c11::C11Cfg::default();
+    let r_racy = c11::detect::<IncrementalCsst>(&racy, &cfg);
+    let r_sync = c11::detect::<IncrementalCsst>(&synced, &cfg);
+    assert!(
+        r_sync.races.len() <= r_racy.races.len(),
+        "release/acquire sync must not increase races ({} vs {})",
+        r_sync.races.len(),
+        r_racy.races.len()
+    );
+    assert!(r_sync.sw_edges > 0);
+    let r_vc = c11::detect::<VectorClockIndex>(&synced, &cfg);
+    assert_eq!(r_sync.races, r_vc.races);
+}
+
+#[test]
+fn linearizability_clean_vs_violating_histories() {
+    let mut violations = 0;
+    for seed in 0..5u64 {
+        let clean = object_history(&ObjectHistoryCfg {
+            threads: 3,
+            ops_per_thread: 40,
+            key_range: 6,
+            violation: false,
+            seed,
+        });
+        let r = linearizability::analyze::<Csst>(&clean, &linearizability::LinCfg::default());
+        assert!(
+            matches!(r.verdict, linearizability::LinVerdict::Linearizable(_)),
+            "seed {seed}: clean history rejected: {:?}",
+            r.verdict
+        );
+
+        let bad = object_history(&ObjectHistoryCfg {
+            threads: 3,
+            ops_per_thread: 40,
+            key_range: 6,
+            violation: true,
+            seed,
+        });
+        let r = linearizability::analyze::<Csst>(&bad, &linearizability::LinCfg::default());
+        let g = linearizability::analyze::<GraphIndex>(&bad, &linearizability::LinCfg::default());
+        assert_eq!(r.verdict, g.verdict, "seed {seed}");
+        if matches!(r.verdict, linearizability::LinVerdict::Violation(_)) {
+            violations += 1;
+        }
+    }
+    assert!(violations >= 3, "corrupted histories mostly violate");
+}
+
+#[test]
+fn linearization_order_respects_spec() {
+    let history = object_history(&ObjectHistoryCfg {
+        threads: 4,
+        ops_per_thread: 25,
+        key_range: 4,
+        violation: false,
+        seed: 33,
+    });
+    let r = linearizability::analyze::<Csst>(&history, &linearizability::LinCfg::default());
+    let linearizability::LinVerdict::Linearizable(order) = &r.verdict else {
+        panic!("clean history must linearize");
+    };
+    // Replaying the produced order against a sequential set must
+    // reproduce every recorded result.
+    let ops = linearizability::operations(&history);
+    let by_id: std::collections::HashMap<_, _> = ops.iter().map(|o| (o.op, o)).collect();
+    let mut set = std::collections::HashSet::new();
+    for opid in order {
+        let op = by_id[opid];
+        let result = match op.method {
+            csst_trace::Method::Add => set.insert(op.arg) as u64,
+            csst_trace::Method::Remove => set.remove(&op.arg) as u64,
+            csst_trace::Method::Contains => set.contains(&op.arg) as u64,
+        };
+        assert_eq!(result, op.result, "op {opid:?} result mismatch in replay");
+    }
+}

@@ -1,0 +1,198 @@
+//! Integration tests spanning the core and trace crates: trace
+//! construction → partial-order maintenance → linearization, plus
+//! text-format round trips feeding the analyses.
+
+use csst_core::{
+    Csst, IncrementalCsst, NaiveIndex, NodeId, PartialOrderIndex, SegTreeIndex, ThreadId,
+    VectorClockIndex,
+};
+use csst_trace::sc::{is_acyclic, linearize};
+use csst_trace::{gen, text, EventKind, Trace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the observed order of a trace in a given representation:
+/// fork/join plus reads-from edges.
+fn observed_order<P: PartialOrderIndex>(trace: &Trace) -> P {
+    let mut po = P::new(trace.num_threads().max(1), trace.max_chain_len().max(1));
+    for (id, ev) in trace.iter_order() {
+        match ev.kind {
+            EventKind::Fork { child }
+                if child != id.thread && trace.thread_len(child) > 0 => {
+                    let _ = po.insert_edge_checked(id, NodeId::new(child, 0));
+                }
+            EventKind::Join { child } => {
+                let len = trace.thread_len(child);
+                if child != id.thread && len > 0 {
+                    let _ = po.insert_edge_checked(NodeId::new(child, (len - 1) as u32), id);
+                }
+            }
+            _ => {}
+        }
+    }
+    for (r, w) in trace.reads_from() {
+        if r.thread != w.thread {
+            let _ = po.insert_edge_checked(w, r);
+        }
+    }
+    po
+}
+
+#[test]
+fn generated_trace_roundtrips_through_text_format() {
+    let trace = gen::racy_program(&gen::RacyProgramCfg {
+        threads: 5,
+        events_per_thread: 120,
+        seed: 11,
+        ..Default::default()
+    });
+    let serialized = text::write(&trace);
+    let parsed = text::parse(&serialized).expect("self-produced text parses");
+    assert_eq!(trace.order(), parsed.order());
+    for (id, ev) in trace.iter_order() {
+        assert_eq!(&ev.kind, parsed.kind(id));
+    }
+}
+
+#[test]
+fn observed_order_is_linearizable_back_to_a_valid_schedule() {
+    // The observed order of any real trace must be acyclic, and its
+    // linearization must respect all inserted edges.
+    let trace = gen::racy_program(&gen::RacyProgramCfg {
+        threads: 4,
+        events_per_thread: 150,
+        shared_frac: 0.5,
+        seed: 3,
+        ..Default::default()
+    });
+    let mut edges = Vec::new();
+    for (r, w) in trace.reads_from() {
+        if r.thread != w.thread {
+            edges.push((w, r));
+        }
+    }
+    let chain_lens: Vec<usize> = (0..trace.num_threads())
+        .map(|t| trace.thread_len(ThreadId(t as u32)))
+        .collect();
+    assert!(is_acyclic(&chain_lens, &edges));
+    let order = linearize(&chain_lens, &edges).expect("acyclic");
+    assert_eq!(order.len(), trace.total_events());
+    let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+    for (u, v) in edges {
+        assert!(pos(u) < pos(v), "{u} must precede {v}");
+    }
+}
+
+#[test]
+fn all_representations_agree_on_observed_orders() {
+    for seed in 0..4u64 {
+        let trace = gen::racy_program(&gen::RacyProgramCfg {
+            threads: 5,
+            events_per_thread: 80,
+            shared_frac: 0.4,
+            seed,
+            ..Default::default()
+        });
+        let csst: IncrementalCsst = observed_order(&trace);
+        let st: SegTreeIndex = observed_order(&trace);
+        let vc: VectorClockIndex = observed_order(&trace);
+        let dy: Csst = observed_order(&trace);
+        let naive: NaiveIndex = observed_order(&trace);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..300 {
+            let t1 = rng.gen_range(0..trace.num_threads()) as u32;
+            let t2 = rng.gen_range(0..trace.num_threads()) as u32;
+            let u = NodeId::new(t1, rng.gen_range(0..trace.thread_len(ThreadId(t1))) as u32);
+            let v = NodeId::new(t2, rng.gen_range(0..trace.thread_len(ThreadId(t2))) as u32);
+            let expect = naive.reachable(u, v);
+            assert_eq!(csst.reachable(u, v), expect, "CSST {u}→{v}");
+            assert_eq!(st.reachable(u, v), expect, "ST {u}→{v}");
+            assert_eq!(vc.reachable(u, v), expect, "VC {u}→{v}");
+            assert_eq!(dy.reachable(u, v), expect, "dynamic CSST {u}→{v}");
+        }
+    }
+}
+
+#[test]
+fn figure_1_walkthrough_with_deletions() {
+    // The §1.1 consistency-analysis workflow: trial orderings are
+    // inserted, contradicted, deleted, and replaced.
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    let e0 = b.on(0).write(x, 1);
+    let e3 = b.on(1).write(x, 3);
+    let _e4 = b.on(1).write(y, 4);
+    let e5 = b.on(1).write(y, 5);
+    let e1 = b.on(0).read(y, 5);
+    let e2 = b.on(0).read(x, 3);
+    let e6 = b.on(2).write(x, 3);
+    let en = b.on(2).read(y, 4);
+    let trace = b.build();
+
+    let mut po = Csst::new(trace.num_threads(), trace.max_chain_len());
+    po.insert_edge(e5, e1).unwrap();
+
+    // Trial 1: e3 ↦ e2 with saturation edges.
+    po.insert_edge_checked(e3, e2).unwrap();
+    po.insert_edge_checked(e0, e3).unwrap();
+    po.insert_edge_checked(e2, e6).unwrap();
+    // en must precede e5 (it reads the older y); with trial 1 in
+    // place this closes the paper's cycle.
+    assert!(po.insert_edge_checked(en, e5).is_err(), "cycle expected");
+    // Roll back and take the alternative writer.
+    po.delete_edge(e2, e6).unwrap();
+    po.delete_edge(e0, e3).unwrap();
+    po.delete_edge(e3, e2).unwrap();
+    po.insert_edge_checked(e6, e2).unwrap();
+    po.insert_edge_checked(e0, e6).unwrap();
+    po.insert_edge_checked(en, e5).unwrap();
+    assert!(po.reachable(e0, e2));
+    assert!(!po.reachable(e2, e3));
+}
+
+#[test]
+fn tso_histories_parse_and_check_via_text() {
+    let trace = gen::tso_history(&gen::TsoCfg {
+        threads: 4,
+        events_per_thread: 200,
+        seed: 21,
+        ..Default::default()
+    });
+    let reparsed = text::parse(&text::write(&trace)).unwrap();
+    let report = csst_analyses::tso::check::<IncrementalCsst>(
+        &reparsed,
+        &csst_analyses::tso::TsoCheckCfg::default(),
+    );
+    assert!(report.consistent);
+}
+
+#[test]
+fn deep_transitive_chains_across_many_threads() {
+    // A long chain of cross-thread edges: every representation must
+    // discover reachability through k−1 hops.
+    let k = 12usize;
+    let cap = 40usize;
+    let mut csst = Csst::new(k, cap);
+    let mut inc = IncrementalCsst::new(k, cap);
+    let mut vc = VectorClockIndex::new(k, cap);
+    for t in 0..(k - 1) as u32 {
+        let u = NodeId::new(t, 2 * t + 1);
+        let v = NodeId::new(t + 1, 2 * t);
+        csst.insert_edge(u, v).unwrap();
+        inc.insert_edge(u, v).unwrap();
+        vc.insert_edge(u, v).unwrap();
+    }
+    let start = NodeId::new(0, 0);
+    let end = NodeId::new((k - 1) as u32, (cap - 1) as u32);
+    assert!(csst.reachable(start, end));
+    assert!(inc.reachable(start, end));
+    assert!(vc.reachable(start, end));
+    let t_last = ThreadId((k - 1) as u32);
+    assert_eq!(csst.successor(start, t_last), inc.successor(start, t_last));
+    assert_eq!(csst.successor(start, t_last), vc.successor(start, t_last));
+    assert_eq!(
+        csst.predecessor(end, ThreadId(0)),
+        inc.predecessor(end, ThreadId(0))
+    );
+}
