@@ -171,7 +171,10 @@ fn run_linearizability(trace: &Trace, index: &str) -> ExitCode {
     };
     match verdict {
         linearizability::LinVerdict::Linearizable(order) => {
-            println!("linearizable; one witness order of {} ops found", order.len());
+            println!(
+                "linearizable; one witness order of {} ops found",
+                order.len()
+            );
             ExitCode::SUCCESS
         }
         linearizability::LinVerdict::Violation(rc) => {

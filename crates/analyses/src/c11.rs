@@ -115,19 +115,18 @@ pub fn detect<P: PartialOrderIndex>(trace: &Trace, cfg: &C11Cfg) -> C11Report<P>
     let mut plain: HashMap<VarId, PlainState> = HashMap::new();
     let mut races = Vec::new();
 
-    let record_store =
-        |store_of_value: &mut HashMap<u64, StoreInfo>,
-         latest_of_var: &mut HashMap<VarId, u64>,
-         overwritten_by: &mut HashMap<u64, u64>,
-         id: NodeId,
-         var: VarId,
-         value: u64,
-         release: bool| {
-            store_of_value.insert(value, StoreInfo { event: id, release });
-            if let Some(prev) = latest_of_var.insert(var, value) {
-                overwritten_by.insert(prev, value);
-            }
-        };
+    let record_store = |store_of_value: &mut HashMap<u64, StoreInfo>,
+                        latest_of_var: &mut HashMap<VarId, u64>,
+                        overwritten_by: &mut HashMap<u64, u64>,
+                        id: NodeId,
+                        var: VarId,
+                        value: u64,
+                        release: bool| {
+        store_of_value.insert(value, StoreInfo { event: id, release });
+        if let Some(prev) = latest_of_var.insert(var, value) {
+            overwritten_by.insert(prev, value);
+        }
+    };
 
     for (id, ev) in trace.iter_order() {
         match ev.kind {

@@ -17,11 +17,10 @@ pub fn index_for_trace<P: PartialOrderIndex>(trace: &Trace) -> P {
 pub fn insert_fork_join<P: PartialOrderIndex>(po: &mut P, trace: &Trace) {
     for (id, ev) in trace.iter_order() {
         match ev.kind {
-            EventKind::Fork { child }
-                if trace.thread_len(child) > 0 && child != id.thread => {
-                    let first = NodeId::new(child, 0);
-                    let _ = po.insert_edge_checked(id, first);
-                }
+            EventKind::Fork { child } if trace.thread_len(child) > 0 && child != id.thread => {
+                let first = NodeId::new(child, 0);
+                let _ = po.insert_edge_checked(id, first);
+            }
             EventKind::Join { child } => {
                 let len = trace.thread_len(child);
                 if len > 0 && child != id.thread {
@@ -48,11 +47,7 @@ pub enum OrderOutcome {
 
 /// Enforces `from → to` in `po`, classifying the result. This is the
 /// primitive all saturation rules are built from.
-pub fn require_order<P: PartialOrderIndex>(
-    po: &mut P,
-    from: NodeId,
-    to: NodeId,
-) -> OrderOutcome {
+pub fn require_order<P: PartialOrderIndex>(po: &mut P, from: NodeId, to: NodeId) -> OrderOutcome {
     if from.thread == to.thread {
         return if from.pos <= to.pos {
             OrderOutcome::AlreadyOrdered
@@ -244,9 +239,12 @@ mod tests {
     #[test]
     fn counting_index_counts() {
         let mut po: CountingIndex<Csst> = CountingIndex::new(3, 10);
-        po.insert_edge(NodeId::new(0, 0), NodeId::new(1, 1)).unwrap();
-        po.insert_edge(NodeId::new(1, 2), NodeId::new(2, 3)).unwrap();
-        po.delete_edge(NodeId::new(1, 2), NodeId::new(2, 3)).unwrap();
+        po.insert_edge(NodeId::new(0, 0), NodeId::new(1, 1))
+            .unwrap();
+        po.insert_edge(NodeId::new(1, 2), NodeId::new(2, 3))
+            .unwrap();
+        po.delete_edge(NodeId::new(1, 2), NodeId::new(2, 3))
+            .unwrap();
         po.reachable(NodeId::new(0, 0), NodeId::new(1, 5));
         po.successor(NodeId::new(0, 0), ThreadId(1));
         po.predecessor(NodeId::new(1, 5), ThreadId(0));

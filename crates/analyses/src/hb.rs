@@ -57,12 +57,10 @@ pub fn detect<P: PartialOrderIndex>(trace: &Trace) -> HbReport<P> {
             EventKind::Release { lock } => {
                 last_release.insert(lock, id);
             }
-            EventKind::Fork { child } => {
-                if child != id.thread && trace.thread_len(child) > 0 {
-                    let first = NodeId::new(child, 0);
-                    if hb.insert_edge_checked(id, first).is_ok() {
-                        sync_edges += 1;
-                    }
+            EventKind::Fork { child } if child != id.thread && trace.thread_len(child) > 0 => {
+                let first = NodeId::new(child, 0);
+                if hb.insert_edge_checked(id, first).is_ok() {
+                    sync_edges += 1;
                 }
             }
             EventKind::Join { child } => {

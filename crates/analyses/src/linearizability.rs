@@ -442,7 +442,11 @@ mod tests {
         b.on(0).respond(op_a, 1);
         let trace = b.build();
         let r = analyze::<Csst>(&trace, &LinCfg::default());
-        assert!(matches!(r.verdict, LinVerdict::Violation(_)), "{:?}", r.verdict);
+        assert!(
+            matches!(r.verdict, LinVerdict::Violation(_)),
+            "{:?}",
+            r.verdict
+        );
         assert!(r.backtracks > 0 || r.steps > 0);
     }
 

@@ -175,9 +175,8 @@ impl<'t> ClosureCtx<'t> {
             })
             .map(|(&r, &w)| (r, w))
             .collect();
-        rf_grouped.sort_unstable_by_key(|&(r, _)| {
-            (trace.kind(r).var().map(|v| v.0), trace.trace_pos(r))
-        });
+        rf_grouped
+            .sort_unstable_by_key(|&(r, _)| (trace.kind(r).var().map(|v| v.0), trace.trace_pos(r)));
         ClosureCtx {
             trace,
             rf,
@@ -582,10 +581,9 @@ pub fn witness_co_enabled<P: PartialOrderIndex>(
             continue;
         }
         match kind {
-            EventKind::Fork { child }
-                if child != id.thread && upto[child.index()] > 0 => {
-                    let _ = po.insert_edge_checked(id, NodeId::new(child, 0));
-                }
+            EventKind::Fork { child } if child != id.thread && upto[child.index()] > 0 => {
+                let _ = po.insert_edge_checked(id, NodeId::new(child, 0));
+            }
             EventKind::Join { child } => {
                 let len = trace.thread_len(child) as u32;
                 if child != id.thread && len > 0 {

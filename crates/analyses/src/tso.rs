@@ -109,7 +109,8 @@ pub fn check<P: PartialOrderIndex>(trace: &Trace, cfg: &TsoCheckCfg) -> TsoRepor
 
     // Base edges: issue(s) → commit(s).
     for (&s, &c) in &commit_of {
-        po.insert_edge(issue(s), c).expect("issue → commit is valid");
+        po.insert_edge(issue(s), c)
+            .expect("issue → commit is valid");
         inserted += 1;
     }
 

@@ -36,13 +36,11 @@ pub struct UafCandidate {
 }
 
 /// Configuration of [`generate`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct UafCfg {
     /// Saturation settings for the base order.
     pub saturation: SaturationCfg,
 }
-
 
 /// Result of the query-generation phase.
 #[derive(Debug, Clone)]

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use csst_core::{
-    AnchoredVectorClockIndex, GraphIndex, IncrementalCsst, NodeId, PartialOrderIndex,
-    SegTreeIndex, VectorClockIndex,
+    AnchoredVectorClockIndex, GraphIndex, IncrementalCsst, NodeId, PartialOrderIndex, SegTreeIndex,
+    VectorClockIndex,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

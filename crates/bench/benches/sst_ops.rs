@@ -23,17 +23,13 @@ fn bench_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("suffix_minima/update");
     group.sample_size(20);
     for &density in &[64usize, 4096, 262_144] {
-        group.bench_with_input(
-            BenchmarkId::new("SST", density),
-            &density,
-            |b, &density| {
-                let (mut s, mut rng) = prefill::<SparseSegmentTree>(density, 1);
-                b.iter(|| {
-                    let i = rng.gen_range(0..N);
-                    s.update(i, rng.gen_range(0..N as u32));
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("SST", density), &density, |b, &density| {
+            let (mut s, mut rng) = prefill::<SparseSegmentTree>(density, 1);
+            b.iter(|| {
+                let i = rng.gen_range(0..N);
+                s.update(i, rng.gen_range(0..N as u32));
+            });
+        });
         group.bench_with_input(BenchmarkId::new("ST", density), &density, |b, &density| {
             let (mut s, mut rng) = prefill::<SegmentTree>(density, 1);
             b.iter(|| {

@@ -75,8 +75,7 @@ fn main() {
         }
     };
     let wants = |name: &str| {
-        args.experiments.iter().any(|e| e == name)
-            || args.experiments.iter().any(|e| e == "all")
+        args.experiments.iter().any(|e| e == name) || args.experiments.iter().any(|e| e == "all")
     };
     let scale = args.scale;
     eprintln!("# repro at scale {scale}");

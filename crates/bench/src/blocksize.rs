@@ -64,7 +64,7 @@ pub fn stress(cfg: &BlockCfg) -> Vec<BlockPoint> {
             let roll: f64 = rng.gen();
             let idx = if rng.gen_bool(cfg.cluster_frac) {
                 let c = centers[rng.gen_range(0..centers.len())];
-                (c + rng.gen_range(0..64)).min(cfg.len - 1)
+                (c + rng.gen_range(0..64usize)).min(cfg.len - 1)
             } else {
                 rng.gen_range(0..cfg.len)
             };
@@ -78,9 +78,8 @@ pub fn stress(cfg: &BlockCfg) -> Vec<BlockPoint> {
             } else if roll < 0.8 {
                 sink = sink.wrapping_add(sst.suffix_min(idx) as u64);
             } else {
-                sink = sink.wrapping_add(
-                    sst.argleq(rng.gen_range(0..cfg.len as u32)).unwrap_or(0) as u64,
-                );
+                sink = sink
+                    .wrapping_add(sst.argleq(rng.gen_range(0..cfg.len as u32)).unwrap_or(0) as u64);
             }
         }
         let elapsed = start.elapsed().as_secs_f64();
@@ -97,7 +96,10 @@ pub fn stress(cfg: &BlockCfg) -> Vec<BlockPoint> {
 /// Renders the stress-test results.
 pub fn render(points: &[BlockPoint]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== block-size stress test (§5.1; paper selects b = 32) ==");
+    let _ = writeln!(
+        out,
+        "== block-size stress test (§5.1; paper selects b = 32) =="
+    );
     let _ = writeln!(out, "{:>6} {:>14} {:>12}", "b", "time/op (s)", "peak nodes");
     for p in points {
         let _ = writeln!(

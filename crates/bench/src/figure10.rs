@@ -86,8 +86,20 @@ mod tests {
                 q: 0.1,
                 findings: 0,
                 cells: vec![
-                    ("VCs".into(), Cell { time: Duration::from_millis(vc_ms), memory: 100 }),
-                    ("CSSTs".into(), Cell { time: Duration::from_millis(csst_ms), memory: 50 }),
+                    (
+                        "VCs".into(),
+                        Cell {
+                            time: Duration::from_millis(vc_ms),
+                            memory: 100,
+                        },
+                    ),
+                    (
+                        "CSSTs".into(),
+                        Cell {
+                            time: Duration::from_millis(csst_ms),
+                            memory: 50,
+                        },
+                    ),
                 ],
             }],
         }

@@ -58,7 +58,11 @@ impl Table {
         let mut out = String::new();
         let structures = self.structures();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
-        let _ = write!(out, "{:<18} {:>3} {:>9} {:>6} {:>9}", "benchmark", "T", "N", "q", "found");
+        let _ = write!(
+            out,
+            "{:<18} {:>3} {:>9} {:>6} {:>9}",
+            "benchmark", "T", "N", "q", "found"
+        );
         for s in &structures {
             let _ = write!(out, " {:>12}", format!("{s} (s)"));
         }
@@ -82,7 +86,11 @@ impl Table {
             }
             let _ = writeln!(out);
         }
-        let _ = write!(out, "{:<18} {:>3} {:>9} {:>6} {:>9}", "Total", "-", "-", "-", "-");
+        let _ = write!(
+            out,
+            "{:<18} {:>3} {:>9} {:>6} {:>9}",
+            "Total", "-", "-", "-", "-"
+        );
         for t in &total_time {
             let _ = write!(out, " {:>12.4}", t.as_secs_f64());
         }
@@ -92,7 +100,9 @@ impl Table {
 
     /// CSV export (one row per benchmark × structure).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("table,benchmark,threads,events,q,findings,structure,time_s,memory_bytes\n");
+        let mut out = String::from(
+            "table,benchmark,threads,events,q,findings,structure,time_s,memory_bytes\n",
+        );
         for row in &self.rows {
             for (s, cell) in &row.cells {
                 let _ = writeln!(
@@ -120,12 +130,7 @@ impl Table {
         let mut log_mem = 0.0f64;
         let mut n = 0usize;
         for row in &self.rows {
-            let get = |name: &str| {
-                row.cells
-                    .iter()
-                    .find(|(s, _)| s == name)
-                    .map(|(_, c)| *c)
-            };
+            let get = |name: &str| row.cells.iter().find(|(s, _)| s == name).map(|(_, c)| *c);
             let (Some(b), Some(t)) = (get(baseline), get(target)) else {
                 continue;
             };
@@ -168,8 +173,20 @@ mod tests {
                     q: 0.5,
                     findings: 1,
                     cells: vec![
-                        ("VCs".into(), Cell { time: Duration::from_millis(40), memory: 4000 }),
-                        ("CSSTs".into(), Cell { time: Duration::from_millis(10), memory: 1000 }),
+                        (
+                            "VCs".into(),
+                            Cell {
+                                time: Duration::from_millis(40),
+                                memory: 4000,
+                            },
+                        ),
+                        (
+                            "CSSTs".into(),
+                            Cell {
+                                time: Duration::from_millis(10),
+                                memory: 1000,
+                            },
+                        ),
                     ],
                 },
                 Row {
@@ -179,8 +196,20 @@ mod tests {
                     q: 0.1,
                     findings: 0,
                     cells: vec![
-                        ("VCs".into(), Cell { time: Duration::from_millis(90), memory: 9000 }),
-                        ("CSSTs".into(), Cell { time: Duration::from_millis(10), memory: 1000 }),
+                        (
+                            "VCs".into(),
+                            Cell {
+                                time: Duration::from_millis(90),
+                                memory: 9000,
+                            },
+                        ),
+                        (
+                            "CSSTs".into(),
+                            Cell {
+                                time: Duration::from_millis(10),
+                                memory: 1000,
+                            },
+                        ),
                     ],
                 },
             ],

@@ -64,11 +64,7 @@ impl Default for ScalCfg {
     }
 }
 
-fn run_structure<P: PartialOrderIndex>(
-    k: usize,
-    ell: usize,
-    cfg: &ScalCfg,
-) -> (f64, f64, usize) {
+fn run_structure<P: PartialOrderIndex>(k: usize, ell: usize, cfg: &ScalCfg) -> (f64, f64, usize) {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut po = P::new(k, ell);
     let attempts = cfg.edge_factor * ell;
@@ -178,11 +174,7 @@ pub fn render(points: &[ScalPoint]) -> String {
                 let _ = write!(out, " {:>12}", s);
             }
             let _ = writeln!(out);
-            let mut ells: Vec<usize> = points
-                .iter()
-                .filter(|p| p.k == k)
-                .map(|p| p.ell)
-                .collect();
+            let mut ells: Vec<usize> = points.iter().filter(|p| p.k == k).map(|p| p.ell).collect();
             ells.sort_unstable();
             ells.dedup();
             for ell in ells {
@@ -192,7 +184,11 @@ pub fn render(points: &[ScalPoint]) -> String {
                         .iter()
                         .find(|p| p.k == k && p.ell == ell && &p.structure == s)
                         .expect("point measured");
-                    let v = if metric == "insert" { p.insert_s } else { p.query_s };
+                    let v = if metric == "insert" {
+                        p.insert_s
+                    } else {
+                        p.query_s
+                    };
                     let _ = write!(out, " {:>12.3e}", v);
                 }
                 let _ = writeln!(out);

@@ -19,8 +19,7 @@ use csst_core::{
 };
 use csst_trace::gen::{
     alloc_program, c11_program, lock_program, object_history, racy_program, tso_history,
-    AllocProgramCfg, C11Cfg as C11GenCfg, LockProgramCfg, ObjectHistoryCfg, RacyProgramCfg,
-    TsoCfg,
+    AllocProgramCfg, C11Cfg as C11GenCfg, LockProgramCfg, ObjectHistoryCfg, RacyProgramCfg, TsoCfg,
 };
 use csst_trace::Trace;
 
@@ -77,9 +76,27 @@ pub fn table1(scale: f64) -> Table {
             q: rep_csst.base.density_stats().q,
             findings: rep_csst.races.len(),
             cells: vec![
-                ("VCs".into(), Cell { time: t_vc, memory: rep_vc.base.memory_bytes() }),
-                ("STs".into(), Cell { time: t_st, memory: rep_st.base.memory_bytes() }),
-                ("CSSTs".into(), Cell { time: t_csst, memory: rep_csst.base.memory_bytes() }),
+                (
+                    "VCs".into(),
+                    Cell {
+                        time: t_vc,
+                        memory: rep_vc.base.memory_bytes(),
+                    },
+                ),
+                (
+                    "STs".into(),
+                    Cell {
+                        time: t_st,
+                        memory: rep_st.base.memory_bytes(),
+                    },
+                ),
+                (
+                    "CSSTs".into(),
+                    Cell {
+                        time: t_csst,
+                        memory: rep_csst.base.memory_bytes(),
+                    },
+                ),
             ],
         });
     }
@@ -130,9 +147,27 @@ pub fn table2(scale: f64) -> Table {
             q: rep_csst.base.density_stats().q,
             findings: rep_csst.deadlocks.len(),
             cells: vec![
-                ("VCs".into(), Cell { time: t_vc, memory: rep_vc.base.memory_bytes() }),
-                ("STs".into(), Cell { time: t_st, memory: rep_st.base.memory_bytes() }),
-                ("CSSTs".into(), Cell { time: t_csst, memory: rep_csst.base.memory_bytes() }),
+                (
+                    "VCs".into(),
+                    Cell {
+                        time: t_vc,
+                        memory: rep_vc.base.memory_bytes(),
+                    },
+                ),
+                (
+                    "STs".into(),
+                    Cell {
+                        time: t_st,
+                        memory: rep_st.base.memory_bytes(),
+                    },
+                ),
+                (
+                    "CSSTs".into(),
+                    Cell {
+                        time: t_csst,
+                        memory: rep_csst.base.memory_bytes(),
+                    },
+                ),
             ],
         });
     }
@@ -184,9 +219,27 @@ pub fn table3(scale: f64) -> Table {
             q: rep_csst.base.density_stats().q,
             findings: rep_csst.bugs.len(),
             cells: vec![
-                ("VCs".into(), Cell { time: t_vc, memory: rep_vc.base.memory_bytes() }),
-                ("STs".into(), Cell { time: t_st, memory: rep_st.base.memory_bytes() }),
-                ("CSSTs".into(), Cell { time: t_csst, memory: rep_csst.base.memory_bytes() }),
+                (
+                    "VCs".into(),
+                    Cell {
+                        time: t_vc,
+                        memory: rep_vc.base.memory_bytes(),
+                    },
+                ),
+                (
+                    "STs".into(),
+                    Cell {
+                        time: t_st,
+                        memory: rep_st.base.memory_bytes(),
+                    },
+                ),
+                (
+                    "CSSTs".into(),
+                    Cell {
+                        time: t_csst,
+                        memory: rep_csst.base.memory_bytes(),
+                    },
+                ),
             ],
         });
     }
@@ -249,9 +302,27 @@ pub fn table4(scale: f64) -> Table {
             q: rep_csst.po.density_stats().q,
             findings: rep_csst.consistent as usize,
             cells: vec![
-                ("VCs".into(), Cell { time: t_vc, memory: rep_vc.po.memory_bytes() }),
-                ("STs".into(), Cell { time: t_st, memory: rep_st.po.memory_bytes() }),
-                ("CSSTs".into(), Cell { time: t_csst, memory: rep_csst.po.memory_bytes() }),
+                (
+                    "VCs".into(),
+                    Cell {
+                        time: t_vc,
+                        memory: rep_vc.po.memory_bytes(),
+                    },
+                ),
+                (
+                    "STs".into(),
+                    Cell {
+                        time: t_st,
+                        memory: rep_st.po.memory_bytes(),
+                    },
+                ),
+                (
+                    "CSSTs".into(),
+                    Cell {
+                        time: t_csst,
+                        memory: rep_csst.po.memory_bytes(),
+                    },
+                ),
             ],
         });
     }
@@ -298,9 +369,27 @@ pub fn table5(scale: f64) -> Table {
             q: rep_csst.base.density_stats().q,
             findings: rep_csst.candidates.len(),
             cells: vec![
-                ("VCs".into(), Cell { time: t_vc, memory: rep_vc.base.memory_bytes() }),
-                ("STs".into(), Cell { time: t_st, memory: rep_st.base.memory_bytes() }),
-                ("CSSTs".into(), Cell { time: t_csst, memory: rep_csst.base.memory_bytes() }),
+                (
+                    "VCs".into(),
+                    Cell {
+                        time: t_vc,
+                        memory: rep_vc.base.memory_bytes(),
+                    },
+                ),
+                (
+                    "STs".into(),
+                    Cell {
+                        time: t_st,
+                        memory: rep_st.base.memory_bytes(),
+                    },
+                ),
+                (
+                    "CSSTs".into(),
+                    Cell {
+                        time: t_csst,
+                        memory: rep_csst.base.memory_bytes(),
+                    },
+                ),
             ],
         });
     }
@@ -368,9 +457,27 @@ pub fn table6(scale: f64) -> Table {
             q: rep_csst.hb.density_stats().q,
             findings: rep_csst.races.len(),
             cells: vec![
-                ("VCs".into(), Cell { time: t_vc, memory: rep_vc.hb.memory_bytes() }),
-                ("STs".into(), Cell { time: t_st, memory: rep_st.hb.memory_bytes() }),
-                ("CSSTs".into(), Cell { time: t_csst, memory: rep_csst.hb.memory_bytes() }),
+                (
+                    "VCs".into(),
+                    Cell {
+                        time: t_vc,
+                        memory: rep_vc.hb.memory_bytes(),
+                    },
+                ),
+                (
+                    "STs".into(),
+                    Cell {
+                        time: t_st,
+                        memory: rep_st.hb.memory_bytes(),
+                    },
+                ),
+                (
+                    "CSSTs".into(),
+                    Cell {
+                        time: t_csst,
+                        memory: rep_csst.hb.memory_bytes(),
+                    },
+                ),
             ],
         });
     }
@@ -412,10 +519,7 @@ pub fn table7(scale: f64) -> Table {
         let (rep_csst, t_csst) = timed(|| linearizability::analyze::<Csst>(&trace, &cfg));
         let (rep_g, t_g) = timed(|| linearizability::analyze::<GraphIndex>(&trace, &cfg));
         assert_eq!(rep_csst.verdict, rep_g.verdict, "{name}/{ops}");
-        let found = matches!(
-            rep_csst.verdict,
-            linearizability::LinVerdict::Violation(_)
-        ) as usize;
+        let found = matches!(rep_csst.verdict, linearizability::LinVerdict::Violation(_)) as usize;
         rows.push(Row {
             name: format!("{name}-{}", trace.total_events() / 2),
             threads,
@@ -423,8 +527,20 @@ pub fn table7(scale: f64) -> Table {
             q: rep_csst.po.density_stats().q,
             findings: found,
             cells: vec![
-                ("Graphs".into(), Cell { time: t_g, memory: rep_g.po.memory_bytes() }),
-                ("CSSTs".into(), Cell { time: t_csst, memory: rep_csst.po.memory_bytes() }),
+                (
+                    "Graphs".into(),
+                    Cell {
+                        time: t_g,
+                        memory: rep_g.po.memory_bytes(),
+                    },
+                ),
+                (
+                    "CSSTs".into(),
+                    Cell {
+                        time: t_csst,
+                        memory: rep_csst.po.memory_bytes(),
+                    },
+                ),
             ],
         });
     }

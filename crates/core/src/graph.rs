@@ -209,7 +209,8 @@ impl PartialOrderIndex for GraphIndex {
             .iter()
             .chain(self.inc.iter())
             .map(|m| {
-                m.values().map(|v| {
+                m.values()
+                    .map(|v| {
                         std::mem::size_of::<Pos>()
                             + std::mem::size_of::<Vec<NodeId>>()
                             + v.capacity() * std::mem::size_of::<NodeId>()

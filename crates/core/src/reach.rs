@@ -88,8 +88,7 @@ pub trait PartialOrderIndex {
         if from.thread == to.thread {
             return from.pos <= to.pos;
         }
-        self.successor(from, to.thread)
-            .is_some_and(|j| j <= to.pos)
+        self.successor(from, to.thread).is_some_and(|j| j <= to.pos)
     }
 
     /// Position of the earliest node of `chain` reachable from `from`,

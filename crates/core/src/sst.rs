@@ -170,7 +170,7 @@ impl SparseSegmentTree {
     pub fn assert_invariants(&self) {
         fn canonical(start: Pos, end: Pos) -> bool {
             let size = (end - start) as u64 + 1;
-            size.is_power_of_two() && (start as u64) % size == 0
+            size.is_power_of_two() && (start as u64).is_multiple_of(size)
         }
         fn rec(sst: &SparseSegmentTree, nd: u32, seen: &mut std::collections::HashSet<Pos>) {
             let n = &sst.nodes[nd as usize];
@@ -207,9 +207,19 @@ impl SparseSegmentTree {
                 }
                 let c = &sst.nodes[child as usize];
                 if is_left {
-                    assert!(c.end <= mid, "left child [{}, {}] beyond mid {mid}", c.start, c.end);
+                    assert!(
+                        c.end <= mid,
+                        "left child [{}, {}] beyond mid {mid}",
+                        c.start,
+                        c.end
+                    );
                 } else {
-                    assert!(c.start > mid, "right child [{}, {}] before mid {mid}", c.start, c.end);
+                    assert!(
+                        c.start > mid,
+                        "right child [{}, {}] before mid {mid}",
+                        c.start,
+                        c.end
+                    );
                 }
                 // The early stops of `min`/`argleq` rely on the value
                 // heap; the tie direction of Eq. (2) is a best-effort
@@ -482,8 +492,10 @@ impl SparseSegmentTree {
     /// exact. The cell must be empty (public `update` erases first).
     fn block_write(&mut self, block_idx: u32, pos: Pos, v: Pos) {
         debug_assert_eq!(
-            self.nodes[block_idx as usize].block.as_ref().expect("block")
-                [(pos - self.nodes[block_idx as usize].start) as usize],
+            self.nodes[block_idx as usize]
+                .block
+                .as_ref()
+                .expect("block")[(pos - self.nodes[block_idx as usize].start) as usize],
             INF,
             "block cell must be empty on insert"
         );
@@ -816,7 +828,15 @@ mod tests {
         // Figure 7: one lone entry plus a dense far-away cluster.
         let mut sst = SparseSegmentTree::with_block_size(64, 8);
         sst.update(1, 50);
-        for (i, v) in [(32, 11), (33, 10), (34, 15), (36, 13), (37, 22), (38, 24), (39, 29)] {
+        for (i, v) in [
+            (32, 11),
+            (33, 10),
+            (34, 15),
+            (36, 13),
+            (37, 22),
+            (38, 24),
+            (39, 29),
+        ] {
             sst.update(i, v);
         }
         // The dense cluster shares one block node, so the node count

@@ -45,7 +45,11 @@ impl DensityStats {
             } else {
                 sum_peak as f64 / arrays as f64
             },
-            q: if q_count == 0 { 0.0 } else { q_sum / q_count as f64 },
+            q: if q_count == 0 {
+                0.0
+            } else {
+                q_sum / q_count as f64
+            },
         }
     }
 }
@@ -82,6 +86,9 @@ mod tests {
         assert_eq!(s.arrays, 3);
         assert_eq!(s.max_peak, 30);
         assert!((s.mean_peak - 40.0 / 3.0).abs() < 1e-9);
-        assert!((s.q - 0.2).abs() < 1e-9, "q should average only touched arrays");
+        assert!(
+            (s.q - 0.2).abs() < 1e-9,
+            "q should average only touched arrays"
+        );
     }
 }

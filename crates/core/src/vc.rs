@@ -293,7 +293,8 @@ impl PartialOrderIndex for VectorClockIndex {
             .out
             .iter()
             .map(|m| {
-                m.values().map(|v| {
+                m.values()
+                    .map(|v| {
                         std::mem::size_of::<Pos>()
                             + std::mem::size_of::<Vec<NodeId>>()
                             + v.capacity() * std::mem::size_of::<NodeId>()

@@ -30,7 +30,11 @@ fn suf_ops(len: usize) -> impl Strategy<Value = Vec<SufOp>> {
     prop::collection::vec(op, 1..200)
 }
 
-fn check_suffix_impl<S: SuffixMinima + std::fmt::Debug>(len: usize, block: Option<u32>, ops: &[SufOp]) {
+fn check_suffix_impl<S: SuffixMinima + std::fmt::Debug>(
+    len: usize,
+    block: Option<u32>,
+    ops: &[SufOp],
+) {
     let mut s: Box<dyn SuffixMinima> = match block {
         Some(b) => Box::new(SparseSegmentTree::with_block_size(len, b)),
         None => Box::new(S::with_len(len)),
@@ -154,8 +158,8 @@ enum PoOp {
 }
 
 fn po_ops(k: u32, cap: u32, deletions: bool) -> impl Strategy<Value = Vec<PoOp>> {
-    let ins = (0..k, 0..cap, 0..k, 0..cap)
-        .prop_map(|(t1, j1, t2, j2)| PoOp::Insert(t1, j1, t2, j2));
+    let ins =
+        (0..k, 0..cap, 0..k, 0..cap).prop_map(|(t1, j1, t2, j2)| PoOp::Insert(t1, j1, t2, j2));
     let op = if deletions {
         prop_oneof![3 => ins, 1 => (0usize..64).prop_map(PoOp::Delete)].boxed()
     } else {
@@ -227,6 +231,103 @@ fn run_po_against_oracle<P: PartialOrderIndex>(k: u32, cap: u32, ops: &[PoOp]) {
                 }
             }
         }
+    }
+}
+
+/// Applies one random insert/delete/query script to *all five*
+/// representations simultaneously and checks that every `reachable` and
+/// `successor` answer is identical across them (and the naive oracle).
+///
+/// The incremental structures ([`IncrementalCsst`], [`SegTreeIndex`],
+/// [`VectorClockIndex`]) cannot delete, so after every deletion they
+/// are rebuilt from the surviving edge set — which by definition must
+/// leave them agreeing with the fully dynamic structures.
+fn run_cross_structure_script(k: u32, cap: u32, ops: &[PoOp]) {
+    let (ku, capu) = (k as usize, cap as usize);
+    let mut csst = Csst::new(ku, capu);
+    let mut graph = GraphIndex::new(ku, capu);
+    let mut oracle = NaiveIndex::new(ku, capu);
+    let mut live: Vec<(NodeId, NodeId)> = Vec::new();
+    for &op in ops {
+        match op {
+            PoOp::Insert(t1, j1, t2, j2) => {
+                let (t1, t2) = (t1 % k, t2 % k);
+                if t1 == t2 {
+                    continue;
+                }
+                let u = NodeId::new(t1, j1);
+                let v = NodeId::new(t2, j2);
+                if oracle.reachable(v, u) {
+                    continue; // keep the relation acyclic
+                }
+                csst.insert_edge(u, v).unwrap();
+                graph.insert_edge(u, v).unwrap();
+                oracle.insert_edge(u, v).unwrap();
+                live.push((u, v));
+            }
+            PoOp::Delete(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (u, v) = live.swap_remove(i % live.len());
+                csst.delete_edge(u, v).unwrap();
+                graph.delete_edge(u, v).unwrap();
+                oracle.delete_edge(u, v).unwrap();
+            }
+        }
+        // Rebuild the insert-only structures over the surviving edges.
+        let mut inc = IncrementalCsst::new(ku, capu);
+        let mut st = SegTreeIndex::new(ku, capu);
+        let mut vc = VectorClockIndex::new(ku, capu);
+        for &(u, v) in &live {
+            inc.insert_edge(u, v).unwrap();
+            st.insert_edge(u, v).unwrap();
+            vc.insert_edge(u, v).unwrap();
+        }
+        // Every structure must answer every query identically.
+        for t1 in 0..k {
+            for j1 in (0..cap).step_by(3) {
+                let u = NodeId::new(t1, j1);
+                for t2 in 0..k {
+                    let c = ThreadId(t2);
+                    let expect = oracle.successor(u, c);
+                    for (name, got) in [
+                        ("Csst", csst.successor(u, c)),
+                        ("GraphIndex", graph.successor(u, c)),
+                        ("IncrementalCsst", inc.successor(u, c)),
+                        ("SegTreeIndex", st.successor(u, c)),
+                        ("VectorClockIndex", vc.successor(u, c)),
+                    ] {
+                        assert_eq!(got, expect, "{name}: successor({u}, {c})");
+                    }
+                    for j2 in (0..cap).step_by(4) {
+                        let v = NodeId::new(t2, j2);
+                        let expect = oracle.reachable(u, v);
+                        for (name, got) in [
+                            ("Csst", csst.reachable(u, v)),
+                            ("GraphIndex", graph.reachable(u, v)),
+                            ("IncrementalCsst", inc.reachable(u, v)),
+                            ("SegTreeIndex", st.reachable(u, v)),
+                            ("VectorClockIndex", vc.reachable(u, v)),
+                        ] {
+                            assert_eq!(got, expect, "{name}: reachable({u}, {v})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_five_structures_agree_on_random_scripts(
+        k in 2u32..5,
+        ops in po_ops(5, 10, true)
+    ) {
+        run_cross_structure_script(k, 10, &ops);
     }
 }
 

@@ -175,10 +175,10 @@ impl ThreadCursor<'_> {
     /// returns `(event, op)`.
     pub fn invoke(&mut self, method: Method, arg: u64) -> (csst_core::NodeId, OpId) {
         let op = self.builder.fresh_op();
-        let id = self.builder.trace.push(
-            self.thread,
-            EventKind::Invoke { op, method, arg },
-        );
+        let id = self
+            .builder
+            .trace
+            .push(self.thread, EventKind::Invoke { op, method, arg });
         (id, op)
     }
 
@@ -240,10 +240,19 @@ mod tests {
         b.on(1).respond(op2, 0);
         assert_ne!(op1, op2);
         let t = b.build();
-        assert!(matches!(t.kind(i1), K::Invoke { method: Method::Add, .. }));
+        assert!(matches!(
+            t.kind(i1),
+            K::Invoke {
+                method: Method::Add,
+                ..
+            }
+        ));
         assert!(matches!(
             t.kind(i2),
-            K::Invoke { method: Method::Contains, .. }
+            K::Invoke {
+                method: Method::Contains,
+                ..
+            }
         ));
     }
 }

@@ -76,12 +76,18 @@ pub enum MemOrder {
 impl MemOrder {
     /// `true` if the order has acquire semantics on a load.
     pub fn is_acquire(self) -> bool {
-        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+        matches!(
+            self,
+            MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+        )
     }
 
     /// `true` if the order has release semantics on a store.
     pub fn is_release(self) -> bool {
-        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+        matches!(
+            self,
+            MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+        )
     }
 
     /// Short textual form used by the trace format.

@@ -139,10 +139,22 @@ pub fn alloc_program(cfg: &AllocProgramCfg) -> Trace {
             let write = rng.gen_bool(0.3);
             if let Protection::Lock(l) = entry.protection {
                 trace.push(t, EventKind::Acquire { lock: l });
-                trace.push(t, EventKind::Deref { obj: entry.obj, write });
+                trace.push(
+                    t,
+                    EventKind::Deref {
+                        obj: entry.obj,
+                        write,
+                    },
+                );
                 trace.push(t, EventKind::Release { lock: l });
             } else {
-                trace.push(t, EventKind::Deref { obj: entry.obj, write });
+                trace.push(
+                    t,
+                    EventKind::Deref {
+                        obj: entry.obj,
+                        write,
+                    },
+                );
             }
         } else {
             let Live {

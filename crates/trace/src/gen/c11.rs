@@ -223,10 +223,9 @@ mod tests {
                         overwritten.insert(old);
                     }
                 }
-                EventKind::AtomicLoad { value, .. }
-                    if overwritten.contains(&value) => {
-                        found_stale = true;
-                    }
+                EventKind::AtomicLoad { value, .. } if overwritten.contains(&value) => {
+                    found_stale = true;
+                }
                 _ => {}
             }
         }

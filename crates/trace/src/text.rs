@@ -153,9 +153,7 @@ pub fn parse(input: &str) -> Result<Trace, ParseError> {
                     write: match toks[3] {
                         "w" => true,
                         "r" => false,
-                        other => {
-                            return Err(err(lineno, format!("expected r|w, got `{other}`")))
-                        }
+                        other => return Err(err(lineno, format!("expected r|w, got `{other}`"))),
                     },
                 }
             }
@@ -232,7 +230,12 @@ pub fn write(trace: &Trace) -> String {
             EventKind::Alloc { obj } => writeln!(out, "t{} alloc {obj}", t.0),
             EventKind::Free { obj } => writeln!(out, "t{} free {obj}", t.0),
             EventKind::Deref { obj, write } => {
-                writeln!(out, "t{} deref {obj} {}", t.0, if write { "w" } else { "r" })
+                writeln!(
+                    out,
+                    "t{} deref {obj} {}",
+                    t.0,
+                    if write { "w" } else { "r" }
+                )
             }
             EventKind::AtomicLoad { var, order, value } => {
                 writeln!(out, "t{} aload {var} {order} {value}", t.0)

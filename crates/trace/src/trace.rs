@@ -228,9 +228,27 @@ mod tests {
     #[test]
     fn push_and_addressing() {
         let mut t = Trace::new(2);
-        let a = t.push(0, K::Write { var: VarId(0), value: 1 });
-        let b = t.push(1, K::Read { var: VarId(0), value: 1 });
-        let c = t.push(0, K::Write { var: VarId(0), value: 2 });
+        let a = t.push(
+            0,
+            K::Write {
+                var: VarId(0),
+                value: 1,
+            },
+        );
+        let b = t.push(
+            1,
+            K::Read {
+                var: VarId(0),
+                value: 1,
+            },
+        );
+        let c = t.push(
+            0,
+            K::Write {
+                var: VarId(0),
+                value: 2,
+            },
+        );
         assert_eq!(a, NodeId::new(0, 0));
         assert_eq!(b, NodeId::new(1, 0));
         assert_eq!(c, NodeId::new(0, 1));
@@ -245,7 +263,12 @@ mod tests {
     #[test]
     fn push_grows_thread_table() {
         let mut t = Trace::new(0);
-        t.push(3, K::Fence { order: crate::MemOrder::SeqCst });
+        t.push(
+            3,
+            K::Fence {
+                order: crate::MemOrder::SeqCst,
+            },
+        );
         assert_eq!(t.num_threads(), 4);
         assert_eq!(t.thread_len(ThreadId(3)), 1);
         assert_eq!(t.thread_len(ThreadId(0)), 0);
@@ -255,11 +278,41 @@ mod tests {
     #[test]
     fn reads_from_latest_write() {
         let mut t = Trace::new(2);
-        let w1 = t.push(0, K::Write { var: VarId(0), value: 1 });
-        let r1 = t.push(1, K::Read { var: VarId(0), value: 1 });
-        let w2 = t.push(0, K::Write { var: VarId(0), value: 2 });
-        let r2 = t.push(1, K::Read { var: VarId(0), value: 2 });
-        let r_other = t.push(1, K::Read { var: VarId(1), value: 0 });
+        let w1 = t.push(
+            0,
+            K::Write {
+                var: VarId(0),
+                value: 1,
+            },
+        );
+        let r1 = t.push(
+            1,
+            K::Read {
+                var: VarId(0),
+                value: 1,
+            },
+        );
+        let w2 = t.push(
+            0,
+            K::Write {
+                var: VarId(0),
+                value: 2,
+            },
+        );
+        let r2 = t.push(
+            1,
+            K::Read {
+                var: VarId(0),
+                value: 2,
+            },
+        );
+        let r_other = t.push(
+            1,
+            K::Read {
+                var: VarId(1),
+                value: 0,
+            },
+        );
         let rf = t.reads_from();
         assert_eq!(rf.get(&r1), Some(&w1));
         assert_eq!(rf.get(&r2), Some(&w2));
@@ -269,8 +322,20 @@ mod tests {
     #[test]
     fn var_accesses_in_order() {
         let mut t = Trace::new(2);
-        let w = t.push(0, K::Write { var: VarId(5), value: 1 });
-        let r = t.push(1, K::Read { var: VarId(5), value: 1 });
+        let w = t.push(
+            0,
+            K::Write {
+                var: VarId(5),
+                value: 1,
+            },
+        );
+        let r = t.push(
+            1,
+            K::Read {
+                var: VarId(5),
+                value: 1,
+            },
+        );
         let acc = t.var_accesses();
         let xs = &acc[&VarId(5)];
         assert_eq!(xs.writes, vec![w]);
@@ -282,7 +347,13 @@ mod tests {
         let mut t = Trace::new(1);
         let a1 = t.push(0, K::Acquire { lock: LockId(0) });
         let a2 = t.push(0, K::Acquire { lock: LockId(1) });
-        let mid = t.push(0, K::Write { var: VarId(0), value: 0 });
+        let mid = t.push(
+            0,
+            K::Write {
+                var: VarId(0),
+                value: 0,
+            },
+        );
         let r2 = t.push(0, K::Release { lock: LockId(1) });
         let r1 = t.push(0, K::Release { lock: LockId(0) });
         let cs = t.critical_sections();
@@ -316,8 +387,20 @@ mod tests {
                 arg: 7,
             },
         );
-        let r = t.push(0, K::Response { op: OpId(0), result: 1 });
-        assert!(matches!(t.kind(i), K::Invoke { method: Method::Add, .. }));
+        let r = t.push(
+            0,
+            K::Response {
+                op: OpId(0),
+                result: 1,
+            },
+        );
+        assert!(matches!(
+            t.kind(i),
+            K::Invoke {
+                method: Method::Add,
+                ..
+            }
+        ));
         assert!(matches!(t.kind(r), K::Response { result: 1, .. }));
     }
 }

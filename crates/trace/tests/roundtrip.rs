@@ -1,0 +1,143 @@
+//! Round-trip tests for the two interchange formats over every
+//! `gen::*` workload family.
+//!
+//! * **text** is lossless: `parse(write(t))` must reproduce the exact
+//!   event sequence of `t`, for every generator family.
+//! * **rapid** is a lossy projection (values and non-RAPID events are
+//!   dropped, names are interned by first appearance), so the test
+//!   asserts the projection is *stable*: one `write ∘ parse`
+//!   normalization pass is a fixpoint, and the normalized trace
+//!   preserves the multiset of per-thread RAPID event counts.
+
+use csst_trace::gen::{
+    alloc_program, c11_program, lock_program, object_history, racy_program, tso_history,
+    AllocProgramCfg, C11Cfg, LockProgramCfg, ObjectHistoryCfg, RacyProgramCfg, TsoCfg,
+};
+use csst_trace::{rapid, text, EventKind, Trace};
+use std::collections::BTreeMap;
+
+/// One small seeded trace per generator family.
+fn family_traces() -> Vec<(&'static str, Trace)> {
+    vec![
+        (
+            "racy_program",
+            racy_program(&RacyProgramCfg {
+                seed: 0xA11CE,
+                ..Default::default()
+            }),
+        ),
+        (
+            "lock_program",
+            lock_program(&LockProgramCfg {
+                seed: 0xB0B,
+                ..Default::default()
+            }),
+        ),
+        (
+            "alloc_program",
+            alloc_program(&AllocProgramCfg {
+                seed: 0xCAFE,
+                ..Default::default()
+            }),
+        ),
+        (
+            "tso_history",
+            tso_history(&TsoCfg {
+                seed: 0xD00D,
+                ..Default::default()
+            }),
+        ),
+        (
+            "c11_program",
+            c11_program(&C11Cfg {
+                seed: 0xE66,
+                ..Default::default()
+            }),
+        ),
+        (
+            "object_history",
+            object_history(&ObjectHistoryCfg {
+                seed: 0xF00,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+fn assert_same_events(family: &str, a: &Trace, b: &Trace) {
+    assert_eq!(a.order(), b.order(), "{family}: observed order differs");
+    for (id, ev) in a.iter_order() {
+        assert_eq!(&ev.kind, b.kind(id), "{family}: event {id} differs");
+    }
+}
+
+#[test]
+fn text_roundtrip_is_lossless_for_every_family() {
+    for (family, trace) in family_traces() {
+        assert!(trace.total_events() > 0, "{family}: empty workload");
+        let serialized = text::write(&trace);
+        let parsed = text::parse(&serialized)
+            .unwrap_or_else(|e| panic!("{family}: own text output fails to parse: {e:?}"));
+        assert_same_events(family, &trace, &parsed);
+        // And the writer is deterministic on the reparsed trace.
+        assert_eq!(
+            serialized,
+            text::write(&parsed),
+            "{family}: unstable writer"
+        );
+    }
+}
+
+/// Per-thread counts of each RAPID-representable event class, keyed so
+/// the comparison is insensitive to thread renumbering (rapid interns
+/// thread names by first appearance).
+fn rapid_profile(trace: &Trace) -> BTreeMap<Vec<(&'static str, usize)>, usize> {
+    let mut per_thread: Vec<BTreeMap<&'static str, usize>> =
+        vec![BTreeMap::new(); trace.num_threads()];
+    for (id, ev) in trace.iter_order() {
+        let class = match ev.kind {
+            EventKind::Read { .. } => "r",
+            EventKind::Write { .. } => "w",
+            EventKind::Acquire { .. } => "acq",
+            EventKind::Release { .. } => "rel",
+            EventKind::Fork { .. } => "fork",
+            EventKind::Join { .. } => "join",
+            _ => continue,
+        };
+        *per_thread[id.thread.0 as usize].entry(class).or_default() += 1;
+    }
+    let mut profile = BTreeMap::new();
+    for counts in per_thread {
+        if counts.is_empty() {
+            continue; // threads with no RAPID events vanish from the format
+        }
+        *profile
+            .entry(counts.into_iter().collect::<Vec<_>>())
+            .or_default() += 1;
+    }
+    profile
+}
+
+#[test]
+fn rapid_projection_is_stable_for_every_family() {
+    for (family, trace) in family_traces() {
+        let first = rapid::write(&trace);
+        let normalized = rapid::parse(&first)
+            .unwrap_or_else(|e| panic!("{family}: own rapid output fails to parse: {e:?}"));
+        assert_eq!(
+            normalized.total_events(),
+            first.lines().count(),
+            "{family}: every written line must parse to one event"
+        );
+        assert_eq!(
+            rapid_profile(&trace),
+            rapid_profile(&normalized),
+            "{family}: RAPID projection must preserve per-thread event profiles"
+        );
+        // After one normalization pass, write ∘ parse is the identity.
+        let second = rapid::write(&normalized);
+        let reparsed = rapid::parse(&second).expect("normalized rapid output parses");
+        assert_same_events(family, &normalized, &reparsed);
+        assert_eq!(second, rapid::write(&reparsed), "{family}: not a fixpoint");
+    }
+}

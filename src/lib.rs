@@ -1,0 +1,21 @@
+//! # csst — workspace facade for the CSSTs reproduction
+//!
+//! A convenience re-export of the three library crates in this
+//! workspace, so downstream users can depend on a single crate:
+//!
+//! * [`core`] (`csst-core`) — the CSST data structures and the
+//!   baseline partial-order indexes;
+//! * [`trace`] (`csst-trace`) — the trace substrate, interchange
+//!   formats, and seeded workload generators;
+//! * [`analyses`] (`csst-analyses`) — the paper's seven dynamic
+//!   analyses, generic over any partial-order index.
+//!
+//! This root package also owns the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use csst_analyses as analyses;
+pub use csst_core as core;
+pub use csst_trace as trace;

@@ -271,3 +271,140 @@ fn linearization_order_respects_spec() {
         assert_eq!(result, op.result, "op {opid:?} result mismatch in replay");
     }
 }
+
+/// Satellite smoke test: every one of the seven analyses runs
+/// end-to-end on a *small* seeded trace, twice, and must produce the
+/// same verdict both times (the generators and analyses are fully
+/// deterministic in their seeds), with the expected qualitative
+/// outcome on each workload.
+#[test]
+fn seven_analyses_smoke_deterministic() {
+    // 1. Race prediction: unprotected sharing on a tiny trace.
+    let racy = || {
+        racy_program(&RacyProgramCfg {
+            threads: 3,
+            events_per_thread: 80,
+            vars: 3,
+            locks: 1,
+            lock_frac: 0.2,
+            shared_frac: 0.4,
+            seed: 42,
+            ..Default::default()
+        })
+    };
+    let race_cfg = race::RaceCfg::default();
+    let r1 = race::predict::<IncrementalCsst>(&racy(), &race_cfg);
+    let r2 = race::predict::<IncrementalCsst>(&racy(), &race_cfg);
+    assert_eq!(r1.races, r2.races, "race verdict must be deterministic");
+    assert_eq!(r1.candidates, r2.candidates);
+    assert!(!r1.races.is_empty(), "mostly-unlocked sharing must race");
+
+    // 2. Deadlock prediction: inverted lock order.
+    let locks = || {
+        lock_program(&LockProgramCfg {
+            threads: 3,
+            blocks_per_thread: 40,
+            locks: 3,
+            inversion_frac: 0.4,
+            guard_frac: 0.0,
+            vars: 3,
+            seed: 42,
+        })
+    };
+    let dl_cfg = deadlock::DeadlockCfg::default();
+    let d1 = deadlock::predict::<IncrementalCsst>(&locks(), &dl_cfg);
+    let d2 = deadlock::predict::<IncrementalCsst>(&locks(), &dl_cfg);
+    assert_eq!(
+        d1.deadlocks, d2.deadlocks,
+        "deadlock verdict must be deterministic"
+    );
+    assert!(
+        !d1.deadlocks.is_empty(),
+        "inverted lock order must deadlock"
+    );
+
+    // 3 & 4. Memory-bug prediction and UAF query generation share the
+    // allocator workload.
+    let allocs = || {
+        alloc_program(&AllocProgramCfg {
+            threads: 3,
+            objects: 40,
+            derefs_per_object: 4,
+            protected_frac: 0.2,
+            confined_frac: 0.2,
+            remote_free_frac: 0.7,
+            locks: 1,
+            seed: 42,
+        })
+    };
+    let m1 = membug::predict::<IncrementalCsst>(&allocs(), &membug::MemBugCfg::default());
+    let m2 = membug::predict::<IncrementalCsst>(&allocs(), &membug::MemBugCfg::default());
+    assert_eq!(m1.bugs, m2.bugs, "membug verdict must be deterministic");
+    assert!(m1.candidates > 0);
+    let u1 = uaf::generate::<IncrementalCsst>(&allocs(), &uaf::UafCfg::default());
+    let u2 = uaf::generate::<IncrementalCsst>(&allocs(), &uaf::UafCfg::default());
+    assert_eq!(
+        u1.candidates, u2.candidates,
+        "UAF candidates must be deterministic"
+    );
+    assert_eq!(u1.total_constraints, u2.total_constraints);
+    assert!(
+        !u1.candidates.is_empty(),
+        "remote frees must survive pruning"
+    );
+
+    // 5. TSO consistency: machine-generated histories are consistent.
+    let tso_trace = || {
+        tso_history(&TsoCfg {
+            threads: 3,
+            events_per_thread: 60,
+            vars: 2,
+            seed: 42,
+            ..Default::default()
+        })
+    };
+    let t1 = tso::check::<IncrementalCsst>(&tso_trace(), &tso::TsoCheckCfg::default());
+    let t2 = tso::check::<IncrementalCsst>(&tso_trace(), &tso::TsoCheckCfg::default());
+    assert_eq!(t1.consistent, t2.consistent);
+    assert_eq!((t1.inserted, t1.rounds), (t2.inserted, t2.rounds));
+    assert!(t1.consistent, "machine output must be TSO-consistent");
+
+    // 6. C11 race detection: all-relaxed atomics leave plain accesses
+    // unsynchronized.
+    let c11_trace = || {
+        c11_program(&C11Cfg {
+            threads: 3,
+            events_per_thread: 80,
+            release_frac: 0.0,
+            seed: 42,
+            ..Default::default()
+        })
+    };
+    let c1 = c11::detect::<IncrementalCsst>(&c11_trace(), &c11::C11Cfg::default());
+    let c2 = c11::detect::<IncrementalCsst>(&c11_trace(), &c11::C11Cfg::default());
+    assert_eq!(c1.races, c2.races, "C11 verdict must be deterministic");
+    assert_eq!((c1.sw_edges, c1.fr_edges), (c2.sw_edges, c2.fr_edges));
+
+    // 7. Linearizability: a clean history linearizes, with the same
+    // witness order every run.
+    let history = || {
+        object_history(&ObjectHistoryCfg {
+            threads: 3,
+            ops_per_thread: 15,
+            key_range: 3,
+            violation: false,
+            seed: 42,
+        })
+    };
+    let l1 = linearizability::analyze::<Csst>(&history(), &linearizability::LinCfg::default());
+    let l2 = linearizability::analyze::<Csst>(&history(), &linearizability::LinCfg::default());
+    assert_eq!(
+        l1.verdict, l2.verdict,
+        "linearizability verdict must be deterministic"
+    );
+    assert!(
+        matches!(l1.verdict, linearizability::LinVerdict::Linearizable(_)),
+        "clean history must linearize: {:?}",
+        l1.verdict
+    );
+}

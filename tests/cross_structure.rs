@@ -161,7 +161,7 @@ fn memory_ordering_between_structures_on_sparse_workload() {
         }
         let i = rng.gen_range(0..cap as u32 - 1000);
         let u = NodeId::new(t1, i);
-        let v = NodeId::new(t2, i + rng.gen_range(0..1000));
+        let v = NodeId::new(t2, i + rng.gen_range(0..1000u32));
         if !csst.reachable(v, u) {
             let _ = csst.insert_edge_checked(u, v);
             let _ = st.insert_edge_checked(u, v);

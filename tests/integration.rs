@@ -17,10 +17,9 @@ fn observed_order<P: PartialOrderIndex>(trace: &Trace) -> P {
     let mut po = P::new(trace.num_threads().max(1), trace.max_chain_len().max(1));
     for (id, ev) in trace.iter_order() {
         match ev.kind {
-            EventKind::Fork { child }
-                if child != id.thread && trace.thread_len(child) > 0 => {
-                    let _ = po.insert_edge_checked(id, NodeId::new(child, 0));
-                }
+            EventKind::Fork { child } if child != id.thread && trace.thread_len(child) > 0 => {
+                let _ = po.insert_edge_checked(id, NodeId::new(child, 0));
+            }
             EventKind::Join { child } => {
                 let len = trace.thread_len(child);
                 if child != id.thread && len > 0 {
