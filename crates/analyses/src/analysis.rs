@@ -1,0 +1,109 @@
+//! The unified streaming interface of all analyses.
+//!
+//! An [`Analysis`] consumes one event at a time ([`feed`]) and produces
+//! its report when the stream ends ([`finish`]) — the shape an online
+//! system serving live event streams needs. Two kinds of analyses
+//! implement it:
+//!
+//! * **Genuinely streaming** analyses (e.g. [`crate::hb::HbDetector`])
+//!   update a growable [`csst_core::PartialOrderIndex`] per event and
+//!   keep no event buffer: memory tracks the synchronization structure,
+//!   not the trace length.
+//! * **Predictive** analyses (races, deadlocks, memory bugs, …)
+//!   fundamentally reason about *reorderings of the whole trace*, so
+//!   their streaming form accumulates events into an internal
+//!   [`Trace`] and runs the batch core at [`finish`] — the buffering is
+//!   an implementation detail behind the same interface.
+//!
+//! Every batch entry point (`predict`, `detect`, `check`, `generate`,
+//! `analyze`) is a thin wrapper that streams the given trace through
+//! [`feed`], so batch and streaming runs are the same code path by
+//! construction.
+//!
+//! [`feed`]: Analysis::feed
+//! [`finish`]: Analysis::finish
+
+use csst_core::ThreadId;
+use csst_trace::{EventKind, Trace};
+
+/// A dynamic concurrency analysis consuming an event stream.
+///
+/// ```
+/// use csst_analyses::hb::HbDetector;
+/// use csst_analyses::Analysis;
+/// use csst_core::{ThreadId, VectorClockIndex};
+/// use csst_trace::{EventKind, VarId};
+///
+/// let mut hb = HbDetector::<VectorClockIndex>::new(());
+/// hb.feed(ThreadId(0), EventKind::Write { var: VarId(0), value: 1 });
+/// hb.feed(ThreadId(1), EventKind::Read { var: VarId(0), value: 1 });
+/// let report = hb.finish();
+/// assert_eq!(report.races.len(), 1);
+/// ```
+pub trait Analysis: Sized {
+    /// Configuration consumed at construction time.
+    type Cfg;
+    /// The analysis result produced by [`finish`](Self::finish).
+    type Report;
+
+    /// Creates the analysis in its initial state.
+    fn new(cfg: Self::Cfg) -> Self;
+
+    /// Consumes the next event of the stream: the event is appended to
+    /// `thread`'s chain (positions are assigned in arrival order).
+    fn feed(&mut self, thread: ThreadId, event: EventKind);
+
+    /// Ends the stream and produces the report.
+    fn finish(self) -> Self::Report;
+
+    /// Streams a recorded trace through [`feed`](Self::feed) in its
+    /// observed total order — what the batch entry points do.
+    fn run(trace: &Trace, cfg: Self::Cfg) -> Self::Report {
+        let mut analysis = Self::new(cfg);
+        for (id, ev) in trace.iter_order() {
+            analysis.feed(id.thread, ev.kind);
+        }
+        analysis.finish()
+    }
+}
+
+/// Defines the streaming form of a *predictive* analysis: events are
+/// buffered into an internal [`Trace`] and the batch core runs at
+/// `finish` (prediction reasons about reorderings of the whole trace,
+/// so no online algorithm exists).
+macro_rules! buffered_analysis {
+    (
+        $(#[$meta:meta])*
+        $name:ident { cfg: $cfg:ty, report: $report:ty, batch: $batch:path $(,)? }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug)]
+        pub struct $name<P> {
+            cfg: $cfg,
+            trace: csst_trace::Trace,
+            _index: std::marker::PhantomData<fn() -> P>,
+        }
+
+        impl<P: csst_core::PartialOrderIndex> $crate::Analysis for $name<P> {
+            type Cfg = $cfg;
+            type Report = $report;
+
+            fn new(cfg: Self::Cfg) -> Self {
+                $name {
+                    cfg,
+                    trace: csst_trace::Trace::new(0),
+                    _index: std::marker::PhantomData,
+                }
+            }
+
+            fn feed(&mut self, thread: csst_core::ThreadId, event: csst_trace::EventKind) {
+                self.trace.push(thread, event);
+            }
+
+            fn finish(self) -> Self::Report {
+                $batch(&self.trace, &self.cfg)
+            }
+        }
+    };
+}
+pub(crate) use buffered_analysis;

@@ -1,12 +1,16 @@
-//! `csst-analyze` — run any of the seven analyses on a trace file.
+//! `csst-analyze` — run any registered analysis on a trace file.
 //!
 //! ```text
 //! csst-analyze <analysis> <trace-file> [--index csst|st|vc|graph] [--format text|rapid]
-//!
-//! analyses: race hb deadlock membug tso uaf c11 linearizability
-//! trace formats: the native format of csst_trace::text (default) or
-//! the RAPID/STD format of csst_trace::rapid
+//! csst-analyze --list
 //! ```
+//!
+//! Analyses are resolved through
+//! [`csst_analyses::registry`] — `--list` prints every registered
+//! name — so adding an analysis to the registry makes it available
+//! here with no CLI changes. Trace formats: the native format of
+//! `csst_trace::text` (default) or the RAPID/STD format of
+//! `csst_trace::rapid`.
 //!
 //! Example:
 //!
@@ -19,192 +23,49 @@
 //! 1 race(s) predicted from 1 candidate(s)
 //! ```
 
-use csst_analyses::{c11, deadlock, hb, linearizability, membug, race, tso, uaf};
-use csst_core::{Csst, GraphIndex, IncrementalCsst, SegTreeIndex, VectorClockIndex};
-use csst_trace::{text, Trace};
+use csst_analyses::registry::{self, IndexKind};
+use csst_trace::text;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
+    let names: Vec<&str> = registry::entries().iter().map(|e| e.name).collect();
     eprintln!(
         "usage: csst-analyze <analysis> <trace-file> [--index csst|st|vc|graph] [--format text|rapid]\n\
-         analyses: race hb deadlock membug tso uaf c11 linearizability"
+         \x20      csst-analyze --list\n\
+         analyses: {}",
+        names.join(" ")
     );
     ExitCode::from(2)
 }
 
-/// Dispatches an analysis generic over the incremental index choice.
-macro_rules! with_index {
-    ($index:expr, $f:ident, $trace:expr) => {
-        match $index {
-            "csst" => $f::<IncrementalCsst>($trace),
-            "st" => $f::<SegTreeIndex>($trace),
-            "vc" => $f::<VectorClockIndex>($trace),
-            "graph" => $f::<GraphIndex>($trace),
-            other => {
-                eprintln!("unknown index `{other}`");
-                return ExitCode::from(2);
-            }
-        }
-    };
-}
-
-fn run_race<P: csst_core::PartialOrderIndex>(trace: &Trace) -> ExitCode {
-    let r = race::predict::<P>(trace, &race::RaceCfg::default());
-    for (a, b) in &r.races {
-        println!("race between {a} and {b}");
+fn list() -> ExitCode {
+    for entry in registry::entries() {
+        println!("{:<16} {}", entry.name, entry.description);
     }
-    println!(
-        "{} race(s) predicted from {} candidate(s)",
-        r.races.len(),
-        r.candidates
-    );
-    ExitCode::from((!r.races.is_empty()) as u8)
-}
-
-fn run_hb<P: csst_core::PartialOrderIndex>(trace: &Trace) -> ExitCode {
-    let r = hb::detect::<P>(trace);
-    for (a, b) in r.races.iter().take(20) {
-        println!("hb-race between {a} and {b}");
-    }
-    println!(
-        "{} hb-race(s); {} synchronization edge(s)",
-        r.races.len(),
-        r.sync_edges
-    );
-    ExitCode::from((!r.races.is_empty()) as u8)
-}
-
-fn run_deadlock<P: csst_core::PartialOrderIndex>(trace: &Trace) -> ExitCode {
-    let r = deadlock::predict::<P>(trace, &deadlock::DeadlockCfg::default());
-    for d in &r.deadlocks {
-        println!(
-            "deadlock: {} acquires {} holding {}, {} acquires {} holding {}",
-            d.first.inner_acq,
-            d.first.inner,
-            d.first.outer,
-            d.second.inner_acq,
-            d.second.inner,
-            d.second.outer
-        );
-    }
-    println!(
-        "{} deadlock(s) predicted from {} pattern(s)",
-        r.deadlocks.len(),
-        r.patterns
-    );
-    ExitCode::from((!r.deadlocks.is_empty()) as u8)
-}
-
-fn run_membug<P: csst_core::PartialOrderIndex>(trace: &Trace) -> ExitCode {
-    let r = membug::predict::<P>(trace, &membug::MemBugCfg::default());
-    for bug in &r.bugs {
-        match bug {
-            membug::MemBug::UseAfterFree {
-                obj,
-                use_event,
-                free_event,
-            } => println!("use-after-free of {obj}: use {use_event} vs free {free_event}"),
-            membug::MemBug::DoubleFree { obj, first, second } => {
-                println!("double free of {obj}: {first} and {second}")
-            }
-        }
-    }
-    println!("{} bug(s) predicted", r.bugs.len());
-    ExitCode::from((!r.bugs.is_empty()) as u8)
-}
-
-fn run_tso<P: csst_core::PartialOrderIndex>(trace: &Trace) -> ExitCode {
-    let r = tso::check::<P>(trace, &tso::TsoCheckCfg::default());
-    println!(
-        "history is {} under x86-TSO ({} ordering(s) inferred, {} round(s))",
-        if r.consistent {
-            "CONSISTENT"
-        } else {
-            "INCONSISTENT"
-        },
-        r.inserted,
-        r.rounds
-    );
-    ExitCode::from((!r.consistent) as u8)
-}
-
-fn run_uaf<P: csst_core::PartialOrderIndex>(trace: &Trace) -> ExitCode {
-    let r = uaf::generate::<P>(trace, &uaf::UafCfg::default());
-    for c in r.candidates.iter().take(20) {
-        println!(
-            "candidate: {} use {} vs free {} ({} constraints)",
-            c.obj, c.use_event, c.free_event, c.constraints
-        );
-    }
-    println!(
-        "{} candidate(s) ({} pruned), {} total constraints for the solver",
-        r.candidates.len(),
-        r.pruned,
-        r.total_constraints
-    );
     ExitCode::SUCCESS
-}
-
-fn run_c11<P: csst_core::PartialOrderIndex>(trace: &Trace) -> ExitCode {
-    let r = c11::detect::<P>(trace, &c11::C11Cfg::default());
-    for (a, b) in r.races.iter().take(20) {
-        println!("race between {a} and {b}");
-    }
-    println!(
-        "{} race(s); {} synchronizes-with edge(s), {} from-read edge(s)",
-        r.races.len(),
-        r.sw_edges,
-        r.fr_edges
-    );
-    ExitCode::from((!r.races.is_empty()) as u8)
-}
-
-fn run_linearizability(trace: &Trace, index: &str) -> ExitCode {
-    let cfg = linearizability::LinCfg::default();
-    let verdict = match index {
-        "csst" => linearizability::analyze::<Csst>(trace, &cfg).verdict,
-        "graph" => linearizability::analyze::<GraphIndex>(trace, &cfg).verdict,
-        other => {
-            eprintln!("linearizability needs a fully dynamic index (csst|graph), got `{other}`");
-            return ExitCode::from(2);
-        }
-    };
-    match verdict {
-        linearizability::LinVerdict::Linearizable(order) => {
-            println!(
-                "linearizable; one witness order of {} ops found",
-                order.len()
-            );
-            ExitCode::SUCCESS
-        }
-        linearizability::LinVerdict::Violation(rc) => {
-            println!(
-                "NOT linearizable; longest legal prefix has {} ops; blocked frontier: {:?}",
-                rc.executed, rc.blocked
-            );
-            ExitCode::from(1)
-        }
-        linearizability::LinVerdict::Unknown => {
-            println!("search budget exhausted");
-            ExitCode::from(3)
-        }
-    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--list") {
+        return list();
+    }
     if args.len() < 2 {
         return usage();
     }
     let analysis = args[0].as_str();
     let path = args[1].as_str();
-    let mut index = "csst";
+    let mut index = IndexKind::Csst;
     let mut format = "text";
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
             "--index" if i + 1 < args.len() => {
-                index = args[i + 1].as_str();
+                let Some(kind) = IndexKind::parse(&args[i + 1]) else {
+                    eprintln!("unknown index `{}`", args[i + 1]);
+                    return ExitCode::from(2);
+                };
+                index = kind;
                 i += 2;
             }
             "--format" if i + 1 < args.len() => {
@@ -214,6 +75,10 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    let Some(entry) = registry::find(analysis) else {
+        eprintln!("unknown analysis `{analysis}`");
+        return usage();
+    };
     let input = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -241,15 +106,17 @@ fn main() -> ExitCode {
         trace.total_events(),
         trace.num_threads()
     );
-    match analysis {
-        "race" => with_index!(index, run_race, &trace),
-        "hb" => with_index!(index, run_hb, &trace),
-        "deadlock" => with_index!(index, run_deadlock, &trace),
-        "membug" => with_index!(index, run_membug, &trace),
-        "tso" => with_index!(index, run_tso, &trace),
-        "uaf" => with_index!(index, run_uaf, &trace),
-        "c11" => with_index!(index, run_c11, &trace),
-        "linearizability" => run_linearizability(&trace, index),
-        _ => usage(),
+    match entry.run(&trace, index) {
+        Ok(out) => {
+            for line in &out.lines {
+                println!("{line}");
+            }
+            println!("{}", out.summary);
+            ExitCode::from(out.exit_code)
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -91,9 +91,22 @@ fn handle_atomic_read<P: PartialOrderIndex>(
     (sw, fr)
 }
 
+crate::analysis::buffered_analysis! {
+    /// Streaming form of [`detect`]: buffers the event stream and runs
+    /// the C11Tester-style detection at `finish` (from-read edges need
+    /// the full modification order, so the pass is offline).
+    C11Detector { cfg: C11Cfg, report: C11Report<P>, batch: detect_buffered }
+}
+
 /// Processes the trace in order, maintaining hb and checking plain
-/// accesses for races, mirroring the C11Tester op mix.
+/// accesses for races, mirroring the C11Tester op mix: a thin wrapper
+/// streaming the trace through [`C11Detector`].
 pub fn detect<P: PartialOrderIndex>(trace: &Trace, cfg: &C11Cfg) -> C11Report<P> {
+    use crate::Analysis;
+    C11Detector::<P>::run(trace, cfg.clone())
+}
+
+fn detect_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &C11Cfg) -> C11Report<P> {
     let mut hb: P = index_for_trace(trace);
     let k = trace.num_threads();
     let mut sw_edges = 0usize;

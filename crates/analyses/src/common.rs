@@ -5,10 +5,11 @@ use csst_core::{NodeId, PartialOrderIndex, PoError, Pos, ThreadId};
 use csst_trace::{EventKind, Trace};
 use std::cell::Cell;
 
-/// Creates an index sized for `trace`: one chain per thread, capacity
-/// equal to the longest thread chain (at least 1).
+/// Creates an index pre-sized for `trace`: one chain per thread,
+/// capacity hint equal to the longest thread chain (at least 1).
+/// Purely an allocation hint — the index still grows on demand.
 pub fn index_for_trace<P: PartialOrderIndex>(trace: &Trace) -> P {
-    P::new(trace.num_threads().max(1), trace.max_chain_len().max(1))
+    P::with_capacity(trace.num_threads().max(1), trace.max_chain_len().max(1))
 }
 
 /// Inserts the fork/join structure of `trace` into `po`: a `fork(c)`
@@ -101,7 +102,7 @@ impl OpCounters {
 /// use csst_analyses::CountingIndex;
 /// use csst_core::{Csst, NodeId, PartialOrderIndex};
 ///
-/// let mut po: CountingIndex<Csst> = CountingIndex::new(2, 10);
+/// let mut po: CountingIndex<Csst> = CountingIndex::new();
 /// po.insert_edge(NodeId::new(0, 1), NodeId::new(1, 2)).unwrap();
 /// po.reachable(NodeId::new(0, 0), NodeId::new(1, 5));
 /// assert_eq!(po.counters().inserts.get(), 1);
@@ -131,9 +132,16 @@ impl<P: PartialOrderIndex> CountingIndex<P> {
 }
 
 impl<P: PartialOrderIndex> PartialOrderIndex for CountingIndex<P> {
-    fn new(chains: usize, chain_capacity: usize) -> Self {
+    fn new() -> Self {
         CountingIndex {
-            inner: P::new(chains, chain_capacity),
+            inner: P::new(),
+            counters: OpCounters::default(),
+        }
+    }
+
+    fn with_capacity(chains: usize, chain_capacity: usize) -> Self {
+        CountingIndex {
+            inner: P::with_capacity(chains, chain_capacity),
             counters: OpCounters::default(),
         }
     }
@@ -146,18 +154,26 @@ impl<P: PartialOrderIndex> PartialOrderIndex for CountingIndex<P> {
         self.inner.chains()
     }
 
-    fn chain_capacity(&self) -> usize {
-        self.inner.chain_capacity()
+    fn chain_len(&self, chain: ThreadId) -> usize {
+        self.inner.chain_len(chain)
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+    fn ensure_chain(&mut self, chain: ThreadId) {
+        self.inner.ensure_chain(chain);
+    }
+
+    fn ensure_len(&mut self, chain: ThreadId, len: usize) {
+        self.inner.ensure_len(chain, len);
+    }
+
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
         self.counters.inserts.set(self.counters.inserts.get() + 1);
-        self.inner.insert_edge(from, to)
+        self.inner.insert_edge_raw(from, to)
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+    fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
         self.counters.deletes.set(self.counters.deletes.get() + 1);
-        self.inner.delete_edge(from, to)
+        self.inner.delete_edge_raw(from, to)
     }
 
     fn reachable(&self, from: NodeId, to: NodeId) -> bool {
@@ -198,7 +214,7 @@ mod tests {
 
     #[test]
     fn require_order_classification() {
-        let mut po = Csst::new(2, 10);
+        let mut po = Csst::new();
         let u = NodeId::new(0, 1);
         let v = NodeId::new(1, 2);
         assert_eq!(require_order(&mut po, u, v), OrderOutcome::Inserted);
@@ -238,7 +254,7 @@ mod tests {
 
     #[test]
     fn counting_index_counts() {
-        let mut po: CountingIndex<Csst> = CountingIndex::new(3, 10);
+        let mut po: CountingIndex<Csst> = CountingIndex::with_capacity(3, 10);
         po.insert_edge(NodeId::new(0, 0), NodeId::new(1, 1))
             .unwrap();
         po.insert_edge(NodeId::new(1, 2), NodeId::new(2, 3))

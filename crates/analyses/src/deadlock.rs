@@ -90,8 +90,20 @@ pub fn nestings(trace: &Trace) -> Vec<Nesting> {
     result
 }
 
-/// Runs deadlock prediction over `trace` using representation `P`.
+crate::analysis::buffered_analysis! {
+    /// Streaming form of [`predict`]: buffers the event stream and runs
+    /// the SeqCheck-style prediction at `finish`.
+    DeadlockPredictor { cfg: DeadlockCfg, report: DeadlockReport<P>, batch: predict_buffered }
+}
+
+/// Runs deadlock prediction over `trace` using representation `P`: a
+/// thin wrapper streaming the trace through [`DeadlockPredictor`].
 pub fn predict<P: PartialOrderIndex>(trace: &Trace, cfg: &DeadlockCfg) -> DeadlockReport<P> {
+    use crate::Analysis;
+    DeadlockPredictor::<P>::run(trace, cfg.clone())
+}
+
+fn predict_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &DeadlockCfg) -> DeadlockReport<P> {
     let ctx = ClosureCtx::new(trace, None);
     let mut base: P = index_for_trace(trace);
     insert_observation(&mut base, trace, &ctx.rf);

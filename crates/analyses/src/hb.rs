@@ -7,13 +7,20 @@
 //! release-to-acquire edges per lock, fork/join edges — so insertions
 //! never propagate and `O(1)` VC queries shine.
 //!
+//! [`HbDetector`] is *genuinely* streaming: it holds no event buffer.
+//! Each [`feed`](crate::Analysis::feed) appends the event to a growable
+//! [`PartialOrderIndex`] (via [`PartialOrderIndex::append`]), inserts
+//! the synchronization edges it induces, and checks conflicting
+//! accesses immediately — memory tracks the synchronization structure,
+//! not the trace length, so it can serve an unbounded live stream.
+//!
 //! Running this module over the same traces as [`crate::race`] shows
 //! the two regimes side by side: sound-but-incomplete streaming HB
 //! detection (only races adjacent in the synchronization order) versus
 //! predictive reordering with per-candidate closures.
 
-use crate::common::index_for_trace;
-use csst_core::{NodeId, PartialOrderIndex};
+use crate::Analysis;
+use csst_core::{NodeId, PartialOrderIndex, ThreadId};
 use csst_trace::{EventKind, LockId, Trace, VarId};
 use std::collections::HashMap;
 
@@ -30,87 +37,144 @@ pub struct HbReport<P> {
     pub sync_edges: usize,
 }
 
-/// Processes the trace in order, building hb from lock and fork/join
-/// synchronization and flagging unordered conflicting accesses.
-pub fn detect<P: PartialOrderIndex>(trace: &Trace) -> HbReport<P> {
-    let mut hb: P = index_for_trace(trace);
-    let k = trace.num_threads();
-    let mut sync_edges = 0usize;
+#[derive(Debug)]
+struct VarState {
+    last_write: Option<NodeId>,
+    /// Last read per thread, indexed by thread id (grown on demand).
+    last_read: Vec<Option<NodeId>>,
+}
 
-    let mut last_release: HashMap<LockId, NodeId> = HashMap::new();
-    struct VarState {
-        last_write: Option<NodeId>,
-        last_read: Vec<Option<NodeId>>,
+/// Online happens-before detector over a growable partial-order index.
+///
+/// See the [module docs](self) for the streaming/batch contrast; batch
+/// [`detect`] is a thin wrapper feeding a recorded trace through this
+/// type.
+#[derive(Debug)]
+pub struct HbDetector<P> {
+    hb: P,
+    last_release: HashMap<LockId, NodeId>,
+    /// Fork events whose child has not produced an event yet: the
+    /// fork→first-event edge is inserted when (and if) the child
+    /// starts, mirroring the batch rule "fork edges only into
+    /// non-empty chains".
+    pending_forks: HashMap<ThreadId, Vec<NodeId>>,
+    vars: HashMap<VarId, VarState>,
+    races: Vec<(NodeId, NodeId)>,
+    sync_edges: usize,
+}
+
+impl<P: PartialOrderIndex> HbDetector<P> {
+    fn read_slot(st: &mut VarState, t: ThreadId) -> &mut Option<NodeId> {
+        if t.index() >= st.last_read.len() {
+            st.last_read.resize(t.index() + 1, None);
+        }
+        &mut st.last_read[t.index()]
     }
-    let mut vars: HashMap<VarId, VarState> = HashMap::new();
-    let mut races = Vec::new();
+}
 
-    for (id, ev) in trace.iter_order() {
-        match ev.kind {
+impl<P: PartialOrderIndex> Analysis for HbDetector<P> {
+    type Cfg = ();
+    type Report = HbReport<P>;
+
+    fn new(_cfg: ()) -> Self {
+        HbDetector {
+            hb: P::new(),
+            last_release: HashMap::new(),
+            pending_forks: HashMap::new(),
+            vars: HashMap::new(),
+            races: Vec::new(),
+            sync_edges: 0,
+        }
+    }
+
+    fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        let id = self.hb.append(thread);
+        // A freshly started chain resolves the forks waiting for it.
+        if id.pos == 0 {
+            for fork in self.pending_forks.remove(&thread).unwrap_or_default() {
+                if self.hb.insert_edge_checked(fork, id).is_ok() {
+                    self.sync_edges += 1;
+                }
+            }
+        }
+        match event {
             EventKind::Acquire { lock } => {
-                if let Some(rel) = last_release.get(&lock) {
-                    if rel.thread != id.thread && hb.insert_edge_checked(*rel, id).is_ok() {
-                        sync_edges += 1;
+                if let Some(rel) = self.last_release.get(&lock) {
+                    if rel.thread != thread && self.hb.insert_edge_checked(*rel, id).is_ok() {
+                        self.sync_edges += 1;
                     }
                 }
             }
             EventKind::Release { lock } => {
-                last_release.insert(lock, id);
+                self.last_release.insert(lock, id);
             }
-            EventKind::Fork { child } if child != id.thread && trace.thread_len(child) > 0 => {
-                let first = NodeId::new(child, 0);
-                if hb.insert_edge_checked(id, first).is_ok() {
-                    sync_edges += 1;
+            EventKind::Fork { child } if child != thread => {
+                if self.hb.chain_len(child) > 0 {
+                    let first = NodeId::new(child, 0);
+                    if self.hb.insert_edge_checked(id, first).is_ok() {
+                        self.sync_edges += 1;
+                    }
+                } else {
+                    self.pending_forks.entry(child).or_default().push(id);
                 }
             }
             EventKind::Join { child } => {
-                let len = trace.thread_len(child);
-                if child != id.thread && len > 0 {
+                let len = self.hb.chain_len(child);
+                if child != thread && len > 0 {
                     let last = NodeId::new(child, (len - 1) as u32);
-                    if hb.insert_edge_checked(last, id).is_ok() {
-                        sync_edges += 1;
+                    if self.hb.insert_edge_checked(last, id).is_ok() {
+                        self.sync_edges += 1;
                     }
                 }
             }
             EventKind::Read { var, .. } => {
-                let st = vars.entry(var).or_insert_with(|| VarState {
+                let st = self.vars.entry(var).or_insert_with(|| VarState {
                     last_write: None,
-                    last_read: vec![None; k],
+                    last_read: Vec::new(),
                 });
                 if let Some(w) = st.last_write {
-                    if w.thread != id.thread && !hb.reachable(w, id) {
-                        races.push((w, id));
+                    if w.thread != thread && !self.hb.reachable(w, id) {
+                        self.races.push((w, id));
                     }
                 }
-                st.last_read[id.thread.index()] = Some(id);
+                *Self::read_slot(st, thread) = Some(id);
             }
             EventKind::Write { var, .. } => {
-                let st = vars.entry(var).or_insert_with(|| VarState {
+                let st = self.vars.entry(var).or_insert_with(|| VarState {
                     last_write: None,
-                    last_read: vec![None; k],
+                    last_read: Vec::new(),
                 });
                 if let Some(w) = st.last_write {
-                    if w.thread != id.thread && !hb.reachable(w, id) {
-                        races.push((w, id));
+                    if w.thread != thread && !self.hb.reachable(w, id) {
+                        self.races.push((w, id));
                     }
                 }
                 for r in st.last_read.iter().flatten() {
-                    if r.thread != id.thread && !hb.reachable(*r, id) {
-                        races.push((*r, id));
+                    if r.thread != thread && !self.hb.reachable(*r, id) {
+                        self.races.push((*r, id));
                     }
                 }
                 st.last_write = Some(id);
-                st.last_read = vec![None; k];
+                st.last_read.clear();
             }
             _ => {}
         }
     }
 
-    HbReport {
-        hb,
-        races,
-        sync_edges,
+    fn finish(self) -> HbReport<P> {
+        HbReport {
+            hb: self.hb,
+            races: self.races,
+            sync_edges: self.sync_edges,
+        }
     }
+}
+
+/// Processes the trace in order, building hb from lock and fork/join
+/// synchronization and flagging unordered conflicting accesses: a thin
+/// wrapper streaming the trace through [`HbDetector`].
+pub fn detect<P: PartialOrderIndex>(trace: &Trace) -> HbReport<P> {
+    HbDetector::<P>::run(trace, ())
 }
 
 #[cfg(test)]
@@ -161,6 +225,26 @@ mod tests {
         let r = detect::<VectorClockIndex>(&trace);
         assert!(r.races.is_empty(), "{:?}", r.races);
         assert_eq!(r.sync_edges, 2);
+    }
+
+    #[test]
+    fn detector_consumes_a_live_stream_without_a_trace() {
+        // No Trace is ever built: events are fed as they "happen".
+        use csst_trace::EventKind as K;
+        let (x, m) = (VarId(0), LockId(0));
+        let mut hb = HbDetector::<VectorClockIndex>::new(());
+        hb.feed(ThreadId(0), K::Acquire { lock: m });
+        hb.feed(ThreadId(0), K::Write { var: x, value: 1 });
+        hb.feed(ThreadId(0), K::Release { lock: m });
+        hb.feed(ThreadId(1), K::Acquire { lock: m });
+        hb.feed(ThreadId(1), K::Write { var: x, value: 2 });
+        // Unprotected third thread races with the protected writes.
+        hb.feed(ThreadId(2), K::Write { var: x, value: 3 });
+        hb.feed(ThreadId(1), K::Release { lock: m });
+        let r = hb.finish();
+        assert_eq!(r.sync_edges, 1);
+        assert_eq!(r.races, vec![(NodeId::new(1, 1), NodeId::new(2, 0))]);
+        assert_eq!(r.hb.chains(), 3, "the index grew with the stream");
     }
 
     #[test]

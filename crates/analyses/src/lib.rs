@@ -23,6 +23,12 @@
 //! [`hb`] adds the paper's streaming *counterpoint* (FastTrack-style
 //! happens-before detection), where vector clocks are the right tool.
 //!
+//! Every analysis implements the unified streaming [`Analysis`] trait
+//! (`feed` one event at a time, `finish` for the report); the batch
+//! entry points are thin wrappers over it. The [`registry`] maps
+//! analysis names to runnable entries so front ends select analyses by
+//! string instead of hard-coded match arms.
+//!
 //! The shared [`saturation`] engine implements the ordering-inference
 //! rules (reads-from maximality and lock mutual exclusion) used by the
 //! predictive analyses — the "saturation" process of the paper's §1.1
@@ -43,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod c11;
 pub mod common;
 pub mod deadlock;
@@ -50,8 +57,10 @@ pub mod hb;
 pub mod linearizability;
 pub mod membug;
 pub mod race;
+pub mod registry;
 pub mod saturation;
 pub mod tso;
 pub mod uaf;
 
+pub use analysis::Analysis;
 pub use common::{CountingIndex, OpCounters, OrderOutcome};

@@ -126,13 +126,26 @@ pub fn operations(trace: &Trace) -> Vec<Operation> {
     ops
 }
 
+crate::analysis::buffered_analysis! {
+    /// Streaming form of [`analyze`]: buffers the history and runs the
+    /// backtracking search at `finish` (the search explores
+    /// linearizations of the complete history).
+    LinAnalyzer { cfg: LinCfg, report: LinReport<P>, batch: analyze_buffered }
+}
+
 /// Runs the root-cause analysis over a history trace using the fully
-/// dynamic representation `P` (must support deletion).
+/// dynamic representation `P` (must support deletion): a thin wrapper
+/// streaming the trace through [`LinAnalyzer`].
 ///
 /// # Panics
 ///
 /// Panics if `P` does not support deletion.
 pub fn analyze<P: PartialOrderIndex>(trace: &Trace, cfg: &LinCfg) -> LinReport<P> {
+    use crate::Analysis;
+    LinAnalyzer::<P>::run(trace, cfg.clone())
+}
+
+fn analyze_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &LinCfg) -> LinReport<P> {
     let ops = operations(trace);
     let k = trace.num_threads().max(1);
     let mut per_thread: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -140,7 +153,7 @@ pub fn analyze<P: PartialOrderIndex>(trace: &Trace, cfg: &LinCfg) -> LinReport<P
         per_thread[op.node.thread.index()].push(i);
     }
     let cap = per_thread.iter().map(Vec::len).max().unwrap_or(0).max(1);
-    let mut po = P::new(k, cap);
+    let mut po = P::with_capacity(k, cap);
     assert!(
         po.supports_deletion(),
         "linearizability root-causing needs a fully dynamic index"

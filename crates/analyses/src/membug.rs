@@ -69,8 +69,20 @@ pub struct MemBugReport<P> {
     pub bugs: Vec<MemBug>,
 }
 
-/// Runs memory-bug prediction over `trace` using representation `P`.
+crate::analysis::buffered_analysis! {
+    /// Streaming form of [`predict`]: buffers the event stream and runs
+    /// the ConVulPOE-style prediction at `finish`.
+    MemBugPredictor { cfg: MemBugCfg, report: MemBugReport<P>, batch: predict_buffered }
+}
+
+/// Runs memory-bug prediction over `trace` using representation `P`: a
+/// thin wrapper streaming the trace through [`MemBugPredictor`].
 pub fn predict<P: PartialOrderIndex>(trace: &Trace, cfg: &MemBugCfg) -> MemBugReport<P> {
+    use crate::Analysis;
+    MemBugPredictor::<P>::run(trace, cfg.clone())
+}
+
+fn predict_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &MemBugCfg) -> MemBugReport<P> {
     let ctx = ClosureCtx::new(trace, None);
     let mut base: P = index_for_trace(trace);
     insert_observation(&mut base, trace, &ctx.rf);

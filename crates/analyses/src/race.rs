@@ -61,9 +61,21 @@ pub struct RaceReport<P> {
     pub base_inserted: usize,
 }
 
+crate::analysis::buffered_analysis! {
+    /// Streaming form of [`predict`]: buffers the event stream and runs
+    /// the M2-style prediction at `finish` (witness checks reorder the
+    /// whole trace, so prediction is inherently offline).
+    RacePredictor { cfg: RaceCfg, report: RaceReport<P>, batch: predict_buffered }
+}
+
 /// Runs race prediction over `trace` using partial-order representation
-/// `P`.
+/// `P`: a thin wrapper streaming the trace through [`RacePredictor`].
 pub fn predict<P: PartialOrderIndex>(trace: &Trace, cfg: &RaceCfg) -> RaceReport<P> {
+    use crate::Analysis;
+    RacePredictor::<P>::run(trace, cfg.clone())
+}
+
+fn predict_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &RaceCfg) -> RaceReport<P> {
     let ctx = ClosureCtx::new(trace, None);
     let mut base: P = index_for_trace(trace);
     let base_inserted = insert_observation(&mut base, trace, &ctx.rf);

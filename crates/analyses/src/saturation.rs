@@ -574,7 +574,7 @@ pub fn witness_co_enabled<P: PartialOrderIndex>(
         return false;
     };
     let trace = ctx.trace;
-    let mut po = P::new(trace.num_threads().max(1), trace.max_chain_len().max(1));
+    let mut po = P::with_capacity(trace.num_threads().max(1), trace.max_chain_len().max(1));
     // Fork/join edges restricted to the prefix.
     for &(id, kind) in &ctx.fork_join {
         if id.pos >= upto[id.thread.index()] {

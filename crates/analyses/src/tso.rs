@@ -69,13 +69,26 @@ fn commit(t: ThreadId, idx: u32) -> NodeId {
     NodeId::new(ThreadId(t.0 * 2 + 1), idx)
 }
 
+crate::analysis::buffered_analysis! {
+    /// Streaming form of [`check`]: buffers the history and runs the
+    /// saturation fixpoint at `finish` (coherence rules relate stores
+    /// across the entire history).
+    TsoChecker { cfg: TsoCheckCfg, report: TsoReport<P>, batch: check_buffered }
+}
+
 /// Runs the TSO consistency check over a history of plain reads and
 /// writes with unique written values (as produced by
 /// [`csst_trace::gen::tso_history`]). Non-access events are ignored.
+/// A thin wrapper streaming the trace through [`TsoChecker`].
 pub fn check<P: PartialOrderIndex>(trace: &Trace, cfg: &TsoCheckCfg) -> TsoReport<P> {
+    use crate::Analysis;
+    TsoChecker::<P>::run(trace, cfg.clone())
+}
+
+fn check_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &TsoCheckCfg) -> TsoReport<P> {
     let k = trace.num_threads().max(1);
     let cap = trace.max_chain_len().max(1);
-    let mut po = P::new(2 * k, cap);
+    let mut po = P::with_capacity(2 * k, cap);
     let mut inserted = 0usize;
 
     // Store bookkeeping: value → (store event, its commit node),

@@ -55,8 +55,20 @@ pub struct UafReport<P> {
     pub total_constraints: usize,
 }
 
-/// Runs the UFO-style query generation over `trace`.
+crate::analysis::buffered_analysis! {
+    /// Streaming form of [`generate`]: buffers the event stream and
+    /// runs the UFO-style query generation at `finish`.
+    UafGenerator { cfg: UafCfg, report: UafReport<P>, batch: generate_buffered }
+}
+
+/// Runs the UFO-style query generation over `trace`: a thin wrapper
+/// streaming the trace through [`UafGenerator`].
 pub fn generate<P: PartialOrderIndex>(trace: &Trace, cfg: &UafCfg) -> UafReport<P> {
+    use crate::Analysis;
+    UafGenerator::<P>::run(trace, cfg.clone())
+}
+
+fn generate_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &UafCfg) -> UafReport<P> {
     let mut base: P = index_for_trace(trace);
     let out = saturate_observed(&mut base, trace, &cfg.saturation);
     debug_assert!(out.consistent);

@@ -1,94 +1,27 @@
-//! End-to-end analysis runs with CSSTs — small fixed workloads per
-//! analysis, for tracking regressions of the whole pipeline.
+//! End-to-end analysis runs — one benchmark per entry of the analysis
+//! registry, each on its own demo workload, for tracking regressions
+//! of the whole pipeline.
+//!
+//! Analyses are discovered through `csst_analyses::registry`, so a new
+//! analysis registered there is benchmarked here with no changes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use csst_analyses::{c11, deadlock, linearizability, membug, race, tso, uaf};
-use csst_core::{Csst, IncrementalCsst};
-use csst_trace::gen::{
-    alloc_program, c11_program, lock_program, object_history, racy_program, tso_history,
-    AllocProgramCfg, C11Cfg, LockProgramCfg, ObjectHistoryCfg, RacyProgramCfg, TsoCfg,
-};
+use csst_analyses::registry::{self, IndexKind};
 
 fn bench_analyses(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis_e2e");
     group.sample_size(10);
 
-    let racy = racy_program(&RacyProgramCfg {
-        threads: 8,
-        events_per_thread: 2_000,
-        shared_frac: 0.1,
-        ..Default::default()
-    });
-    group.bench_function("race_prediction", |b| {
-        let cfg = race::RaceCfg {
-            max_candidates: 8,
-            ..Default::default()
-        };
-        b.iter(|| race::predict::<IncrementalCsst>(&racy, &cfg));
-    });
-
-    let locks = lock_program(&LockProgramCfg {
-        threads: 6,
-        blocks_per_thread: 400,
-        inversion_frac: 0.1,
-        ..Default::default()
-    });
-    group.bench_function("deadlock_prediction", |b| {
-        let cfg = deadlock::DeadlockCfg {
-            max_patterns: 8,
-            ..Default::default()
-        };
-        b.iter(|| deadlock::predict::<IncrementalCsst>(&locks, &cfg));
-    });
-
-    let allocs = alloc_program(&AllocProgramCfg {
-        threads: 6,
-        objects: 600,
-        ..Default::default()
-    });
-    group.bench_function("membug_prediction", |b| {
-        let cfg = membug::MemBugCfg {
-            max_candidates: 8,
-            ..Default::default()
-        };
-        b.iter(|| membug::predict::<IncrementalCsst>(&allocs, &cfg));
-    });
-    group.bench_function("uaf_generation", |b| {
-        let cfg = uaf::UafCfg::default();
-        b.iter(|| uaf::generate::<IncrementalCsst>(&allocs, &cfg));
-    });
-
-    let tso_trace = tso_history(&TsoCfg {
-        threads: 6,
-        events_per_thread: 800,
-        ..Default::default()
-    });
-    group.bench_function("tso_check", |b| {
-        let cfg = tso::TsoCheckCfg::default();
-        b.iter(|| tso::check::<IncrementalCsst>(&tso_trace, &cfg));
-    });
-
-    let c11_trace = c11_program(&C11Cfg {
-        threads: 8,
-        events_per_thread: 3_000,
-        middle_sync_frac: 0.1,
-        ..Default::default()
-    });
-    group.bench_function("c11_detection", |b| {
-        let cfg = c11::C11Cfg::default();
-        b.iter(|| c11::detect::<IncrementalCsst>(&c11_trace, &cfg));
-    });
-
-    let history = object_history(&ObjectHistoryCfg {
-        threads: 3,
-        ops_per_thread: 150,
-        violation: true,
-        ..Default::default()
-    });
-    group.bench_function("linearizability_root_cause", |b| {
-        let cfg = linearizability::LinCfg::default();
-        b.iter(|| linearizability::analyze::<Csst>(&history, &cfg));
-    });
+    for entry in registry::entries() {
+        let trace = entry.demo_trace();
+        group.bench_function(entry.name, |b| {
+            b.iter(|| {
+                entry
+                    .run(&trace, IndexKind::Csst)
+                    .expect("demo workload runs on CSSTs")
+            });
+        });
+    }
 
     group.finish();
 }

@@ -28,7 +28,7 @@ fn random_edge(rng: &mut SmallRng) -> (NodeId, NodeId) {
 
 fn prefill<P: PartialOrderIndex>(edges: usize, seed: u64) -> (P, SmallRng) {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut po = P::new(K as usize, ELL as usize);
+    let mut po = P::with_capacity(K as usize, ELL as usize);
     let mut n = 0;
     while n < edges {
         let (u, v) = random_edge(&mut rng);

@@ -24,7 +24,7 @@ fn random_edge(rng: &mut SmallRng, k: u32) -> (NodeId, NodeId) {
 
 fn prefill<P: PartialOrderIndex>(k: u32, edges: usize, seed: u64) -> (P, SmallRng) {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut po = P::new(k as usize, ELL as usize);
+    let mut po = P::with_capacity(k as usize, ELL as usize);
     let mut n = 0;
     while n < edges {
         let (u, v) = random_edge(&mut rng, k);

@@ -1,0 +1,78 @@
+//! Cost of capacity-free growth: building a partial order by
+//! streaming `append` + inserts into an empty index versus the same
+//! workload on a `with_capacity`-presized index.
+//!
+//! This tracks the amortized-doubling overhead of the growable domain:
+//! sparse structures (CSSTs) should show near-zero gap, dense segment
+//! trees pay their `O(log n)` rebuilds, and vector clocks only the
+//! strided-clock widening.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csst_core::{Csst, IncrementalCsst, NodeId, PartialOrderIndex, SegTreeIndex, VectorClockIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const K: u32 = 8;
+const EVENTS_PER_CHAIN: u32 = 20_000;
+/// One cross edge every `EDGE_EVERY` appended events, window-local.
+const EDGE_EVERY: u32 = 64;
+const WINDOW: u32 = 2_000;
+
+/// Streams `K` chains of `per_chain` events into `po`, inserting a
+/// window-local cross edge every few appends — the online pattern the
+/// capacity-free API serves.
+fn drive<P: PartialOrderIndex>(po: &mut P, per_chain: u32, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..per_chain {
+        for t in 0..K {
+            let node = po.append(t);
+            if i > 0 && node.pos % EDGE_EVERY == t {
+                let mut t2 = rng.gen_range(0..K);
+                while t2 == t {
+                    t2 = rng.gen_range(0..K);
+                }
+                // Strictly later position on another chain: every edge
+                // increases the position, so the relation stays acyclic
+                // (required — insert-only indexes do no cycle check).
+                let to = NodeId::new(t2, node.pos + 1 + rng.gen_range(0..WINDOW));
+                let _ = po.insert_edge(node, to);
+            }
+        }
+    }
+}
+
+fn bench_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("growth/append_vs_presized");
+    group.sample_size(10);
+
+    fn pair<P: PartialOrderIndex>(
+        group: &mut criterion::BenchmarkGroup<'_>,
+        name: &str,
+        per_chain: u32,
+    ) {
+        group.bench_function(BenchmarkId::new(name, "grown"), |b| {
+            b.iter(|| {
+                let mut po = P::new();
+                drive(&mut po, per_chain, 7);
+                po.memory_bytes()
+            });
+        });
+        group.bench_function(BenchmarkId::new(name, "presized"), |b| {
+            b.iter(|| {
+                let mut po = P::with_capacity(K as usize, (per_chain + WINDOW + 2) as usize);
+                drive(&mut po, per_chain, 7);
+                po.memory_bytes()
+            });
+        });
+    }
+
+    pair::<IncrementalCsst>(&mut group, "incremental_csst", EVENTS_PER_CHAIN);
+    pair::<Csst>(&mut group, "dynamic_csst", EVENTS_PER_CHAIN);
+    pair::<SegTreeIndex>(&mut group, "segtree", EVENTS_PER_CHAIN / 4);
+    pair::<VectorClockIndex>(&mut group, "vector_clock", EVENTS_PER_CHAIN / 4);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_growth);
+criterion_main!(benches);

@@ -66,7 +66,7 @@ impl Default for ScalCfg {
 
 fn run_structure<P: PartialOrderIndex>(k: usize, ell: usize, cfg: &ScalCfg) -> (f64, f64, usize) {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut po = P::new(k, ell);
+    let mut po = P::with_capacity(k, ell);
     let attempts = cfg.edge_factor * ell;
     let mut inserted = 0usize;
     let start = Instant::now();

@@ -12,10 +12,15 @@
 //! fixpoint of Algorithm 2 (Lemma 4) — a Bellman–Ford-style loop over
 //! chains rather than over the `n` events, which is what makes the
 //! query cost independent of the trace length.
+//!
+//! The domain is capacity-free: chains and positions are witnessed on
+//! demand (see [`PartialOrderIndex`]), and the sparse arrays grow for
+//! free.
 
 use crate::error::PoError;
 use crate::heap::MinMultiset;
 use crate::index::{NodeId, Pos, ThreadId, INF};
+use crate::matrix::PairMatrix;
 use crate::reach::PartialOrderIndex;
 use crate::sst::SparseSegmentTree;
 use crate::stats::DensityStats;
@@ -27,14 +32,11 @@ use std::collections::HashMap;
 /// structure.
 #[derive(Debug, Clone)]
 pub struct DynamicPo<S> {
-    k: usize,
-    cap: usize,
-    /// `k*k` suffix-minima arrays; entry `t1*k + t2` is `A_{t1}^{t2}`
-    /// (diagonal entries are unused zero-length placeholders).
-    arrays: Vec<S>,
-    /// Edge heaps: per chain pair, a sparse map from `j1` to the
-    /// multiset of direct successors in the target chain.
-    heaps: Vec<HashMap<Pos, MinMultiset>>,
+    arrays: PairMatrix<S>,
+    /// Edge heaps: per chain pair and source position, the multiset of
+    /// direct successors in the target chain (sparse: only touched
+    /// pairs allocate).
+    heaps: HashMap<(u32, u32), HashMap<Pos, MinMultiset>>,
     edges: usize,
 }
 
@@ -44,8 +46,8 @@ pub type Csst = DynamicPo<SparseSegmentTree>;
 
 impl<S: SuffixMinima> DynamicPo<S> {
     #[inline]
-    fn idx(&self, t1: usize, t2: usize) -> usize {
-        t1 * self.k + t2
+    fn k(&self) -> usize {
+        self.arrays.k()
     }
 
     /// Number of currently stored edges (counting parallel edges).
@@ -55,25 +57,18 @@ impl<S: SuffixMinima> DynamicPo<S> {
 
     /// Per-array density statistics (the `q` column of the tables).
     pub fn density_stats(&self) -> DensityStats {
-        let k = self.k;
-        DensityStats::from_arrays((0..k * k).filter_map(|i| {
-            if i / k == i % k {
-                None
-            } else {
-                Some((self.arrays[i].peak_density(), self.cap))
-            }
-        }))
+        self.arrays.density_stats()
     }
 
     /// Earliest node of chain `t2` reachable from `⟨t1, j1⟩` via at
     /// least one cross-chain edge ([`INF`] if none): the crossing-path
     /// fixpoint of Algorithm 2.
     fn successor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Pos {
-        let k = self.k;
+        let k = self.k();
         let mut closure = vec![INF; k];
         for (t, slot) in closure.iter_mut().enumerate() {
             if t != t1 {
-                *slot = self.arrays[t1 * k + t].suffix_min(j1 as usize);
+                *slot = self.arrays.get(t1, t).suffix_min(j1 as usize);
             }
         }
         // Lemma 4: after the i-th iteration, closure[t] is the earliest
@@ -89,7 +84,7 @@ impl<S: SuffixMinima> DynamicPo<S> {
                     if tp2 == t1 || tp2 == tp1 || closure[tp2] == INF {
                         continue;
                     }
-                    let v = self.arrays[tp2 * k + tp1].suffix_min(closure[tp2] as usize);
+                    let v = self.arrays.get(tp2, tp1).suffix_min(closure[tp2] as usize);
                     if v < closure[tp1] {
                         closure[tp1] = v;
                         changed = true;
@@ -107,11 +102,11 @@ impl<S: SuffixMinima> DynamicPo<S> {
     /// one cross-chain edge (`None` if there is none): the symmetric
     /// backward fixpoint using `argleq`.
     fn predecessor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Option<Pos> {
-        let k = self.k;
+        let k = self.k();
         let mut closure: Vec<Option<Pos>> = vec![None; k];
         for (t, slot) in closure.iter_mut().enumerate() {
             if t != t1 {
-                *slot = self.arrays[t * k + t1].argleq(j1).map(|p| p as Pos);
+                *slot = self.arrays.get(t, t1).argleq(j1).map(|p| p as Pos);
             }
         }
         loop {
@@ -125,7 +120,7 @@ impl<S: SuffixMinima> DynamicPo<S> {
                         continue;
                     }
                     let Some(c) = closure[tp2] else { continue };
-                    let v = self.arrays[tp1 * k + tp2].argleq(c).map(|p| p as Pos);
+                    let v = self.arrays.get(tp1, tp2).argleq(c).map(|p| p as Pos);
                     if v > closure[tp1] {
                         closure[tp1] = v;
                         changed = true;
@@ -141,19 +136,18 @@ impl<S: SuffixMinima> DynamicPo<S> {
 }
 
 impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
-    fn new(chains: usize, chain_capacity: usize) -> Self {
-        assert!(chains >= 1, "need at least one chain");
-        let mut arrays = Vec::with_capacity(chains * chains);
-        for t1 in 0..chains {
-            for t2 in 0..chains {
-                arrays.push(S::with_len(if t1 == t2 { 0 } else { chain_capacity }));
-            }
-        }
+    fn new() -> Self {
         DynamicPo {
-            k: chains,
-            cap: chain_capacity,
-            arrays,
-            heaps: (0..chains * chains).map(|_| HashMap::new()).collect(),
+            arrays: PairMatrix::new(),
+            heaps: HashMap::new(),
+            edges: 0,
+        }
+    }
+
+    fn with_capacity(chains: usize, chain_capacity: usize) -> Self {
+        DynamicPo {
+            arrays: PairMatrix::with_capacity(chains, chain_capacity),
+            heaps: HashMap::new(),
             edges: 0,
         }
     }
@@ -163,34 +157,47 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
     }
 
     fn chains(&self) -> usize {
-        self.k
+        self.arrays.k()
     }
 
-    fn chain_capacity(&self) -> usize {
-        self.cap
+    fn chain_len(&self, chain: ThreadId) -> usize {
+        self.arrays.chain_len(chain)
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
-        let (t1, j1) = (from.thread.index(), from.pos);
-        let (t2, j2) = (to.thread.index(), to.pos);
-        let idx = self.idx(t1, t2);
-        let heap = self.heaps[idx].entry(j1).or_default();
+    fn ensure_chain(&mut self, chain: ThreadId) {
+        self.arrays.ensure_chain(chain);
+    }
+
+    fn ensure_len(&mut self, chain: ThreadId, len: usize) {
+        self.arrays.ensure_len(chain, len);
+    }
+
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
+        let (t1, j1) = (from.thread.0, from.pos);
+        let (t2, j2) = (to.thread.0, to.pos);
+        let heap = self
+            .heaps
+            .entry((t1, t2))
+            .or_default()
+            .entry(j1)
+            .or_default();
         let improves = heap.min().is_none_or(|m| j2 < m);
         heap.insert(j2);
         if improves {
-            self.arrays[idx].update(j1 as usize, j2);
+            self.arrays
+                .get_mut(t1 as usize, t2 as usize)
+                .update(j1 as usize, j2);
         }
         self.edges += 1;
-        Ok(())
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
-        let (t1, j1) = (from.thread.index(), from.pos);
-        let (t2, j2) = (to.thread.index(), to.pos);
-        let idx = self.idx(t1, t2);
-        let Some(heap) = self.heaps[idx].get_mut(&j1) else {
+    fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        let (t1, j1) = (from.thread.0, from.pos);
+        let (t2, j2) = (to.thread.0, to.pos);
+        let Some(pair) = self.heaps.get_mut(&(t1, t2)) else {
+            return Err(PoError::EdgeNotFound { from, to });
+        };
+        let Some(heap) = pair.get_mut(&j1) else {
             return Err(PoError::EdgeNotFound { from, to });
         };
         let old_min = heap.min();
@@ -199,21 +206,25 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
         }
         let new_min = heap.min();
         if heap.is_empty() {
-            self.heaps[idx].remove(&j1);
+            pair.remove(&j1);
         }
         if old_min == Some(j2) && new_min != Some(j2) {
-            self.arrays[idx].update(j1 as usize, new_min.unwrap_or(INF));
+            self.arrays
+                .get_mut(t1 as usize, t2 as usize)
+                .update(j1 as usize, new_min.unwrap_or(INF));
         }
         self.edges -= 1;
         Ok(())
     }
 
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         let t1 = from.thread.index();
         let t2 = chain.index();
         if t1 == t2 {
             return Some(from.pos);
+        }
+        if t1 >= self.k() || t2 >= self.k() {
+            return None; // unwitnessed chains carry no edges
         }
         match self.successor_raw(t1, from.pos, t2) {
             INF => None,
@@ -222,11 +233,13 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
     }
 
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         let t1 = from.thread.index();
         let t2 = chain.index();
         if t1 == t2 {
             return Some(from.pos);
+        }
+        if t1 >= self.k() || t2 >= self.k() {
+            return None;
         }
         self.predecessor_raw(t1, from.pos, t2)
     }
@@ -236,17 +249,16 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
     }
 
     fn memory_bytes(&self) -> usize {
-        let arrays: usize = self.arrays.iter().map(|a| a.memory_bytes()).sum();
         let heaps: usize = self
             .heaps
-            .iter()
+            .values()
             .map(|m| {
                 m.values().map(|h| h.memory_bytes()).sum::<usize>()
                     + m.capacity()
                         * (std::mem::size_of::<Pos>() + std::mem::size_of::<MinMultiset>())
             })
             .sum();
-        std::mem::size_of::<Self>() + arrays + heaps
+        std::mem::size_of::<Self>() + self.arrays.memory_bytes() + heaps
     }
 }
 
@@ -260,7 +272,7 @@ mod tests {
 
     #[test]
     fn reflexive_and_program_order() {
-        let po = Csst::new(3, 10);
+        let po = Csst::with_capacity(3, 10);
         assert!(po.reachable(n(0, 3), n(0, 3)));
         assert!(po.reachable(n(0, 2), n(0, 9)));
         assert!(!po.reachable(n(0, 9), n(0, 2)));
@@ -272,8 +284,63 @@ mod tests {
     }
 
     #[test]
+    fn empty_index_answers_like_program_order() {
+        let po = Csst::new();
+        assert_eq!(po.chains(), 0);
+        assert!(
+            po.reachable(n(4, 1), n(4, 8)),
+            "program order needs no setup"
+        );
+        assert!(!po.reachable(n(0, 0), n(1, 0)));
+        assert_eq!(po.successor(n(0, 0), ThreadId(1)), None);
+        assert_eq!(po.predecessor(n(2, 5), ThreadId(0)), None);
+    }
+
+    #[test]
+    fn append_and_ensure_chain_grow_the_domain() {
+        let mut po = Csst::new();
+        let a = po.append(0);
+        let b = po.append(1);
+        let b2 = po.append(1);
+        assert_eq!((a, b, b2), (n(0, 0), n(1, 0), n(1, 1)));
+        assert_eq!(po.chains(), 2);
+        assert_eq!(po.chain_len(ThreadId(1)), 2);
+        po.ensure_chain(ThreadId(4));
+        assert_eq!(po.chains(), 5);
+        assert_eq!(po.chain_len(ThreadId(4)), 0);
+        po.insert_edge(a, b2).unwrap();
+        assert!(po.reachable(a, n(1, 1)));
+    }
+
+    #[test]
+    fn insert_grows_past_any_hint() {
+        let mut po = Csst::with_capacity(2, 4);
+        // Both the chain count and the positions exceed the hint.
+        po.insert_edge(n(0, 1_000_000), n(5, 2_000_000)).unwrap();
+        assert_eq!(po.chains(), 6);
+        assert_eq!(po.chain_len(ThreadId(0)), 1_000_001);
+        assert!(po.reachable(n(0, 0), n(5, 2_000_000)));
+        assert!(!po.reachable(n(0, 1_000_001), n(5, 2_000_000)));
+        assert_eq!(po.successor(n(0, 3), ThreadId(5)), Some(2_000_000));
+    }
+
+    #[test]
+    fn sparse_growth_stays_cheap_in_memory() {
+        let mut po = Csst::new();
+        for t in 0..8u32 {
+            po.ensure_len(ThreadId(t), 1 << 20);
+        }
+        po.insert_edge(n(0, 500_000), n(1, 700_000)).unwrap();
+        assert!(
+            po.memory_bytes() < 256 * 1024,
+            "sparse arrays must not pay for untouched capacity: {}B",
+            po.memory_bytes()
+        );
+    }
+
+    #[test]
     fn direct_edge_with_suffix_semantics() {
-        let mut po = Csst::new(2, 10);
+        let mut po = Csst::with_capacity(2, 10);
         po.insert_edge(n(0, 5), n(1, 5)).unwrap();
         // Earlier events of chain 0 inherit the edge via program order.
         assert!(po.reachable(n(0, 0), n(1, 5)));
@@ -289,7 +356,7 @@ mod tests {
     fn example_6_transitive_query() {
         // Figure 8: successor(⟨0,0⟩, 3) = ⟨3,1⟩ discovered through a
         // crossing path of length 4.
-        let mut po = Csst::new(4, 3);
+        let mut po = Csst::with_capacity(4, 3);
         po.insert_edge(n(0, 0), n(1, 0)).unwrap(); // edge 1
         po.insert_edge(n(0, 1), n(3, 2)).unwrap(); // edge 2
         po.insert_edge(n(1, 1), n(2, 1)).unwrap(); // edge 3
@@ -304,7 +371,7 @@ mod tests {
 
     #[test]
     fn delete_restores_previous_state() {
-        let mut po = Csst::new(3, 100);
+        let mut po = Csst::with_capacity(3, 100);
         po.insert_edge(n(0, 10), n(1, 20)).unwrap();
         po.insert_edge(n(1, 30), n(2, 40)).unwrap();
         assert!(po.reachable(n(0, 5), n(2, 99)));
@@ -318,7 +385,7 @@ mod tests {
 
     #[test]
     fn parallel_edges_and_heap_restoration() {
-        let mut po = Csst::new(2, 50);
+        let mut po = Csst::with_capacity(2, 50);
         po.insert_edge(n(0, 3), n(1, 20)).unwrap();
         po.insert_edge(n(0, 3), n(1, 10)).unwrap();
         po.insert_edge(n(0, 3), n(1, 10)).unwrap(); // duplicate edge
@@ -334,7 +401,7 @@ mod tests {
 
     #[test]
     fn delete_errors() {
-        let mut po = Csst::new(2, 10);
+        let mut po = Csst::with_capacity(2, 10);
         assert_eq!(
             po.delete_edge(n(0, 1), n(1, 2)),
             Err(PoError::EdgeNotFound {
@@ -350,28 +417,40 @@ mod tests {
                 to: n(1, 3)
             })
         );
+        // Deleting on never-witnessed chains is not-found, not a panic.
+        assert_eq!(
+            po.delete_edge(n(7, 0), n(8, 0)),
+            Err(PoError::EdgeNotFound {
+                from: n(7, 0),
+                to: n(8, 0)
+            })
+        );
     }
 
     #[test]
     fn validation_errors() {
-        let mut po = Csst::new(2, 10);
+        use crate::index::{MAX_CHAINS, MAX_POS};
+        let mut po = Csst::new();
         assert!(matches!(
             po.insert_edge(n(0, 1), n(0, 2)),
             Err(PoError::SameChain { .. })
         ));
+        // Genuinely invalid inputs: beyond the addressable universe.
         assert!(matches!(
-            po.insert_edge(n(0, 1), n(5, 2)),
+            po.insert_edge(n(0, 1), n(MAX_CHAINS as u32, 2)),
             Err(PoError::OutOfRange { .. })
         ));
         assert!(matches!(
-            po.insert_edge(n(0, 10), n(1, 2)),
+            po.insert_edge(n(0, MAX_POS + 1), n(1, 2)),
             Err(PoError::OutOfRange { .. })
         ));
+        // In-universe nodes never error: the domain grows instead.
+        assert!(po.insert_edge(n(0, 10), n(1, 2)).is_ok());
     }
 
     #[test]
     fn checked_insert_rejects_cycles() {
-        let mut po = Csst::new(2, 10);
+        let mut po = Csst::with_capacity(2, 10);
         po.insert_edge_checked(n(0, 5), n(1, 5)).unwrap();
         assert_eq!(
             po.insert_edge_checked(n(1, 5), n(0, 5)),
@@ -386,19 +465,19 @@ mod tests {
 
     #[test]
     fn density_stats_reflect_direct_edges() {
-        let mut po = Csst::new(3, 100);
+        let mut po = Csst::with_capacity(3, 100);
         for j in 0..10 {
             po.insert_edge(n(0, j), n(1, j)).unwrap();
         }
         let stats = po.density_stats();
-        assert_eq!(stats.arrays, 6);
+        assert_eq!(stats.arrays, 6, "3 witnessed chains → 6 ordered pairs");
         assert_eq!(stats.max_peak, 10);
         assert!(stats.q > 0.0 && stats.q <= 1.0);
     }
 
     #[test]
     fn supports_deletion_flag() {
-        let po = Csst::new(2, 4);
+        let po = Csst::with_capacity(2, 4);
         assert!(po.supports_deletion());
         assert_eq!(po.name(), "CSSTs");
     }

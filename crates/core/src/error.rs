@@ -8,15 +8,14 @@ use std::fmt;
 /// operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PoError {
-    /// A node lies outside the `[k] × [n]` domain the structure was
-    /// created with.
+    /// A node lies outside the addressable universe of
+    /// [`MAX_CHAINS`](crate::index::MAX_CHAINS) chains ×
+    /// [`MAX_POS`](crate::index::MAX_POS)`+1` positions. Indexes grow
+    /// on demand, so this is reported only for genuinely invalid
+    /// inputs, never for nodes the structure merely has not seen yet.
     OutOfRange {
         /// The offending node.
         node: NodeId,
-        /// Number of chains of the structure.
-        chains: usize,
-        /// Per-chain capacity of the structure.
-        chain_capacity: usize,
     },
     /// An update connected two nodes of the same chain. Intra-chain
     /// orderings are implicit (program order) and must not be inserted
@@ -54,13 +53,10 @@ pub enum PoError {
 impl fmt::Display for PoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PoError::OutOfRange {
-                node,
-                chains,
-                chain_capacity,
-            } => write!(
+            PoError::OutOfRange { node } => write!(
                 f,
-                "node {node} outside domain of {chains} chains × {chain_capacity} events"
+                "node {node} outside the addressable domain of {} chains × 2^31 positions",
+                crate::index::MAX_CHAINS
             ),
             PoError::SameChain { from, to } => {
                 write!(f, "edge {from} → {to} connects nodes of the same chain")
@@ -98,11 +94,7 @@ mod tests {
         assert!(e.to_string().contains("deletion"));
         let e = PoError::WouldCycle { from: u, to: v };
         assert!(e.to_string().contains("cycle"));
-        let e = PoError::OutOfRange {
-            node: u,
-            chains: 2,
-            chain_capacity: 10,
-        };
+        let e = PoError::OutOfRange { node: u };
         assert!(e.to_string().contains("domain"));
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::error::PoError;
 use crate::index::{NodeId, Pos, ThreadId, INF};
-use crate::reach::PartialOrderIndex;
+use crate::reach::{Domain, PartialOrderIndex};
 use std::collections::BTreeMap;
 
 /// Plain graph representation of a chain-DAG partial order, supporting
@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 /// ```
 /// use csst_core::{GraphIndex, NodeId, PartialOrderIndex};
 /// # fn main() -> Result<(), csst_core::PoError> {
-/// let mut g = GraphIndex::new(2, 10);
+/// let mut g = GraphIndex::new();
 /// g.insert_edge(NodeId::new(0, 3), NodeId::new(1, 4))?;
 /// assert!(g.reachable(NodeId::new(0, 0), NodeId::new(1, 9)));
 /// g.delete_edge(NodeId::new(0, 3), NodeId::new(1, 4))?;
@@ -31,10 +31,9 @@ use std::collections::BTreeMap;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GraphIndex {
-    k: usize,
-    cap: usize,
+    dom: Domain,
     /// Per source chain: source position → edge targets (parallel edges
     /// appear with multiplicity).
     out: Vec<BTreeMap<Pos, Vec<NodeId>>>,
@@ -58,6 +57,11 @@ fn remove_one(map: &mut BTreeMap<Pos, Vec<NodeId>>, key: Pos, value: NodeId) -> 
 }
 
 impl GraphIndex {
+    #[inline]
+    fn k(&self) -> usize {
+        self.dom.chains()
+    }
+
     /// Number of currently stored edges (counting parallel edges).
     pub fn edge_count(&self) -> usize {
         self.edges
@@ -65,8 +69,8 @@ impl GraphIndex {
 
     /// Forward closure: earliest reachable position per chain.
     fn forward_closure(&self, t1: usize, j1: Pos) -> Vec<Pos> {
-        let mut earliest = vec![INF; self.k];
-        let mut scanned_lo = vec![INF; self.k];
+        let mut earliest = vec![INF; self.k()];
+        let mut scanned_lo = vec![INF; self.k()];
         earliest[t1] = j1;
         let mut work = vec![t1];
         while let Some(t) = work.pop() {
@@ -94,8 +98,8 @@ impl GraphIndex {
     /// Backward closure: latest position per chain that reaches the
     /// query node (`-1` encodes "none").
     fn backward_closure(&self, t1: usize, j1: Pos) -> Vec<i64> {
-        let mut latest = vec![-1i64; self.k];
-        let mut scanned_hi = vec![-1i64; self.k];
+        let mut latest = vec![-1i64; self.k()];
+        let mut scanned_hi = vec![-1i64; self.k()];
         latest[t1] = j1 as i64;
         let mut work = vec![t1];
         while let Some(t) = work.pop() {
@@ -122,15 +126,8 @@ impl GraphIndex {
 }
 
 impl PartialOrderIndex for GraphIndex {
-    fn new(chains: usize, chain_capacity: usize) -> Self {
-        assert!(chains >= 1, "need at least one chain");
-        GraphIndex {
-            k: chains,
-            cap: chain_capacity,
-            out: vec![BTreeMap::new(); chains],
-            inc: vec![BTreeMap::new(); chains],
-            edges: 0,
-        }
+    fn new() -> Self {
+        GraphIndex::default()
     }
 
     fn name(&self) -> &'static str {
@@ -138,15 +135,29 @@ impl PartialOrderIndex for GraphIndex {
     }
 
     fn chains(&self) -> usize {
-        self.k
+        self.dom.chains()
     }
 
-    fn chain_capacity(&self) -> usize {
-        self.cap
+    fn chain_len(&self, chain: ThreadId) -> usize {
+        self.dom.chain_len(chain)
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn ensure_chain(&mut self, chain: ThreadId) {
+        if self.dom.ensure_chain(chain) {
+            let k = self.dom.chains();
+            self.out.resize(k, BTreeMap::new());
+            self.inc.resize(k, BTreeMap::new());
+        }
+    }
+
+    fn ensure_len(&mut self, chain: ThreadId, len: usize) {
+        // Adjacency is keyed by position: only the witnessed length
+        // advances, no storage is touched.
+        self.ensure_chain(chain);
+        self.dom.ensure_len(chain, len);
+    }
+
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
         self.out[from.thread.index()]
             .entry(from.pos)
             .or_default()
@@ -156,11 +167,12 @@ impl PartialOrderIndex for GraphIndex {
             .or_default()
             .push(from);
         self.edges += 1;
-        Ok(())
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        if from.thread.index() >= self.k() || to.thread.index() >= self.k() {
+            return Err(PoError::EdgeNotFound { from, to });
+        }
         if !remove_one(&mut self.out[from.thread.index()], from.pos, to) {
             return Err(PoError::EdgeNotFound { from, to });
         }
@@ -174,13 +186,18 @@ impl PartialOrderIndex for GraphIndex {
         if from.thread == to.thread {
             return from.pos <= to.pos;
         }
+        if from.thread.index() >= self.k() || to.thread.index() >= self.k() {
+            return false;
+        }
         self.forward_closure(from.thread.index(), from.pos)[to.thread.index()] <= to.pos
     }
 
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         if from.thread == chain {
             return Some(from.pos);
+        }
+        if from.thread.index() >= self.k() || chain.index() >= self.k() {
+            return None;
         }
         match self.forward_closure(from.thread.index(), from.pos)[chain.index()] {
             INF => None,
@@ -189,9 +206,11 @@ impl PartialOrderIndex for GraphIndex {
     }
 
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         if from.thread == chain {
             return Some(from.pos);
+        }
+        if from.thread.index() >= self.k() || chain.index() >= self.k() {
+            return None;
         }
         match self.backward_closure(from.thread.index(), from.pos)[chain.index()] {
             -1 => None,
@@ -218,7 +237,7 @@ impl PartialOrderIndex for GraphIndex {
                     .sum::<usize>()
             })
             .sum();
-        std::mem::size_of::<Self>() + sides
+        std::mem::size_of::<Self>() + self.dom.memory_bytes() + sides
     }
 }
 
@@ -232,7 +251,7 @@ mod tests {
 
     #[test]
     fn insert_query_delete_roundtrip() {
-        let mut g = GraphIndex::new(3, 100);
+        let mut g = GraphIndex::new();
         g.insert_edge(n(0, 10), n(1, 20)).unwrap();
         g.insert_edge(n(1, 30), n(2, 40)).unwrap();
         assert!(g.reachable(n(0, 0), n(2, 50)));
@@ -247,7 +266,7 @@ mod tests {
 
     #[test]
     fn parallel_edges() {
-        let mut g = GraphIndex::new(2, 10);
+        let mut g = GraphIndex::new();
         g.insert_edge(n(0, 1), n(1, 5)).unwrap();
         g.insert_edge(n(0, 1), n(1, 5)).unwrap();
         g.delete_edge(n(0, 1), n(1, 5)).unwrap();
@@ -263,7 +282,7 @@ mod tests {
     #[test]
     fn long_crossing_path() {
         let k = 6;
-        let mut g = GraphIndex::new(k, 10);
+        let mut g = GraphIndex::with_capacity(k, 10);
         for t in 0..(k - 1) as u32 {
             g.insert_edge(n(t, 5), n(t + 1, 5)).unwrap();
         }
@@ -275,7 +294,7 @@ mod tests {
 
     #[test]
     fn back_and_forth_between_chains() {
-        let mut g = GraphIndex::new(2, 100);
+        let mut g = GraphIndex::new();
         // Zig-zag: 0@10 → 1@10, 1@20 → 0@30, 0@40 → 1@50.
         g.insert_edge(n(0, 10), n(1, 10)).unwrap();
         g.insert_edge(n(1, 20), n(0, 30)).unwrap();
@@ -288,16 +307,24 @@ mod tests {
 
     #[test]
     fn validation() {
-        let mut g = GraphIndex::new(2, 10);
+        let mut g = GraphIndex::new();
         assert!(matches!(
             g.insert_edge(n(0, 0), n(0, 5)),
             Err(PoError::SameChain { .. })
         ));
-        assert!(matches!(
-            g.insert_edge(n(0, 0), n(3, 5)),
-            Err(PoError::OutOfRange { .. })
-        ));
+        // Unseen chains are witnessed on demand, not rejected.
+        g.insert_edge(n(0, 0), n(3, 5)).unwrap();
+        assert_eq!(g.chains(), 4);
         assert!(g.supports_deletion());
         assert_eq!(g.name(), "Graphs");
+    }
+
+    #[test]
+    fn deleting_on_unwitnessed_chains_is_not_found() {
+        let mut g = GraphIndex::new();
+        assert!(matches!(
+            g.delete_edge(n(4, 0), n(5, 1)),
+            Err(PoError::EdgeNotFound { .. })
+        ));
     }
 }

@@ -12,9 +12,13 @@
 //! bounded by the cross-chain density `d` of the underlying graph
 //! (Lemma 7): new entries are only ever written at positions that
 //! already carry a direct cross-chain edge.
+//!
+//! Like every index in this crate, the domain is capacity-free: chains
+//! and positions are witnessed on demand.
 
 use crate::error::PoError;
 use crate::index::{NodeId, Pos, ThreadId, INF};
+use crate::matrix::PairMatrix;
 use crate::reach::PartialOrderIndex;
 use crate::segtree::SegmentTree;
 use crate::sst::SparseSegmentTree;
@@ -26,11 +30,9 @@ use crate::suffix::SuffixMinima;
 /// structure and [`SegTreeIndex`] for the `STs` baseline of M2.
 #[derive(Debug, Clone)]
 pub struct IncrementalPo<S> {
-    k: usize,
-    cap: usize,
-    /// `k*k` transitively closed suffix-minima arrays (`t1*k + t2` is
-    /// `A_{t1}^{t2}`; diagonal placeholders are zero-length).
-    arrays: Vec<S>,
+    /// Transitively closed suffix-minima arrays (`(t1, t2)` is
+    /// `A_{t1}^{t2}`).
+    arrays: PairMatrix<S>,
     edges: usize,
 }
 
@@ -44,8 +46,8 @@ pub type SegTreeIndex = IncrementalPo<SegmentTree>;
 
 impl<S: SuffixMinima> IncrementalPo<S> {
     #[inline]
-    fn idx(&self, t1: usize, t2: usize) -> usize {
-        t1 * self.k + t2
+    fn k(&self) -> usize {
+        self.arrays.k()
     }
 
     /// Number of `insert_edge` calls performed so far.
@@ -55,14 +57,7 @@ impl<S: SuffixMinima> IncrementalPo<S> {
 
     /// Per-array density statistics (the `q` column of the tables).
     pub fn density_stats(&self) -> DensityStats {
-        let k = self.k;
-        DensityStats::from_arrays((0..k * k).filter_map(|i| {
-            if i / k == i % k {
-                None
-            } else {
-                Some((self.arrays[i].peak_density(), self.cap))
-            }
-        }))
+        self.arrays.density_stats()
     }
 
     /// Earliest node of chain `t2` reachable from `⟨t1, j1⟩`
@@ -70,30 +65,28 @@ impl<S: SuffixMinima> IncrementalPo<S> {
     /// thanks to transitive closure.
     #[inline]
     fn successor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Pos {
-        self.arrays[self.idx(t1, t2)].suffix_min(j1 as usize)
+        self.arrays.get(t1, t2).suffix_min(j1 as usize)
     }
 
     /// Latest node of chain `t2` reaching `⟨t1, j1⟩` (cross-chain;
     /// `None` if none).
     #[inline]
     fn predecessor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Option<Pos> {
-        self.arrays[self.idx(t2, t1)].argleq(j1).map(|p| p as Pos)
+        self.arrays.get(t2, t1).argleq(j1).map(|p| p as Pos)
     }
 }
 
 impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
-    fn new(chains: usize, chain_capacity: usize) -> Self {
-        assert!(chains >= 1, "need at least one chain");
-        let mut arrays = Vec::with_capacity(chains * chains);
-        for t1 in 0..chains {
-            for t2 in 0..chains {
-                arrays.push(S::with_len(if t1 == t2 { 0 } else { chain_capacity }));
-            }
-        }
+    fn new() -> Self {
         IncrementalPo {
-            k: chains,
-            cap: chain_capacity,
-            arrays,
+            arrays: PairMatrix::new(),
+            edges: 0,
+        }
+    }
+
+    fn with_capacity(chains: usize, chain_capacity: usize) -> Self {
+        IncrementalPo {
+            arrays: PairMatrix::with_capacity(chains, chain_capacity),
             edges: 0,
         }
     }
@@ -108,11 +101,19 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
     }
 
     fn chains(&self) -> usize {
-        self.k
+        self.arrays.k()
     }
 
-    fn chain_capacity(&self) -> usize {
-        self.cap
+    fn chain_len(&self, chain: ThreadId) -> usize {
+        self.arrays.chain_len(chain)
+    }
+
+    fn ensure_chain(&mut self, chain: ThreadId) {
+        self.arrays.ensure_chain(chain);
+    }
+
+    fn ensure_len(&mut self, chain: ThreadId, len: usize) {
+        self.arrays.ensure_len(chain, len);
     }
 
     /// Inserts `from → to` and closes the arrays transitively
@@ -123,14 +124,8 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
     /// The caller must keep the relation acyclic (use
     /// [`PartialOrderIndex::insert_edge_checked`] when unsure); an
     /// undetected cycle leaves the structure in an unspecified state.
-    ///
-    /// # Errors
-    ///
-    /// [`PoError::OutOfRange`] / [`PoError::SameChain`] as validation
-    /// errors.
-    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
-        let k = self.k;
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
+        let k = self.k();
         let (t1, j1) = (from.thread.index(), from.pos);
         let (t2, j2) = (to.thread.index(), to.pos);
         // Pre-compute, from the pre-insert state, the frontier of
@@ -161,27 +156,27 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
                     continue;
                 }
                 if self.successor_raw(tp1, jp1, tp2) > jp2 {
-                    self.arrays[tp1 * k + tp2].update(jp1 as usize, jp2);
+                    self.arrays.get_mut(tp1, tp2).update(jp1 as usize, jp2);
                 }
             }
         }
         self.edges += 1;
-        Ok(())
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn delete_edge_raw(&mut self, _from: NodeId, _to: NodeId) -> Result<(), PoError> {
         Err(PoError::DeletionUnsupported {
             structure: "incremental CSSTs / segment trees",
         })
     }
 
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         let t1 = from.thread.index();
         let t2 = chain.index();
         if t1 == t2 {
             return Some(from.pos);
+        }
+        if t1 >= self.k() || t2 >= self.k() {
+            return None; // unwitnessed chains carry no edges
         }
         match self.successor_raw(t1, from.pos, t2) {
             INF => None,
@@ -190,17 +185,19 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
     }
 
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         let t1 = from.thread.index();
         let t2 = chain.index();
         if t1 == t2 {
             return Some(from.pos);
         }
+        if t1 >= self.k() || t2 >= self.k() {
+            return None;
+        }
         self.predecessor_raw(t1, from.pos, t2)
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.arrays.iter().map(|a| a.memory_bytes()).sum::<usize>()
+        std::mem::size_of::<Self>() + self.arrays.memory_bytes()
     }
 }
 
@@ -215,7 +212,7 @@ mod tests {
     #[test]
     fn example_7_transitive_insert() {
         // Figure 9: inserting ⟨1,1⟩ → ⟨2,0⟩ must infer ⟨0,1⟩ →* ⟨3,2⟩.
-        let mut po = IncrementalCsst::new(4, 3);
+        let mut po = IncrementalCsst::with_capacity(4, 3);
         po.insert_edge(n(0, 1), n(1, 1)).unwrap(); // A_0^1[1] = 1
         po.insert_edge(n(2, 0), n(3, 2)).unwrap(); // A_2^3[0] = 2
         po.insert_edge(n(1, 1), n(2, 0)).unwrap();
@@ -227,10 +224,24 @@ mod tests {
     }
 
     #[test]
+    fn growth_interleaved_with_closure() {
+        // Chains appear one at a time while transitive inserts land;
+        // the closure must keep covering the enlarged domain.
+        let mut po = IncrementalCsst::new();
+        po.insert_edge(n(0, 1), n(1, 1)).unwrap();
+        po.insert_edge(n(1, 1), n(2, 0)).unwrap(); // chain 2 appears here
+        po.insert_edge(n(2, 0), n(3, 2)).unwrap(); // chain 3 appears here
+        assert!(po.reachable(n(0, 1), n(3, 2)));
+        assert_eq!(po.successor(n(0, 0), ThreadId(3)), Some(2));
+        assert_eq!(po.predecessor(n(3, 2), ThreadId(0)), Some(1));
+        assert_eq!(po.chains(), 4);
+    }
+
+    #[test]
     fn matches_dynamic_on_chains() {
         use crate::dynamic::Csst;
-        let mut inc = IncrementalCsst::new(3, 20);
-        let mut dy = Csst::new(3, 20);
+        let mut inc = IncrementalCsst::with_capacity(3, 20);
+        let mut dy = Csst::with_capacity(3, 20);
         let edges = [
             (n(0, 2), n(1, 4)),
             (n(1, 6), n(2, 3)),
@@ -262,7 +273,7 @@ mod tests {
 
     #[test]
     fn deletion_unsupported() {
-        let mut po = IncrementalCsst::new(2, 4);
+        let mut po = IncrementalCsst::with_capacity(2, 4);
         po.insert_edge(n(0, 0), n(1, 0)).unwrap();
         assert!(matches!(
             po.delete_edge(n(0, 0), n(1, 0)),
@@ -273,16 +284,16 @@ mod tests {
 
     #[test]
     fn names_distinguish_instantiations() {
-        let a = IncrementalCsst::new(2, 4);
-        let b = SegTreeIndex::new(2, 4);
+        let a = IncrementalCsst::with_capacity(2, 4);
+        let b = SegTreeIndex::with_capacity(2, 4);
         assert_eq!(a.name(), "CSSTs");
         assert_eq!(b.name(), "STs");
     }
 
     #[test]
     fn segtree_index_agrees_with_csst_index() {
-        let mut a = IncrementalCsst::new(4, 30);
-        let mut b = SegTreeIndex::new(4, 30);
+        let mut a = IncrementalCsst::with_capacity(4, 30);
+        let mut b = SegTreeIndex::new(); // grown entirely on demand
         let edges = [
             (n(0, 5), n(1, 7)),
             (n(1, 8), n(2, 2)),
@@ -310,7 +321,7 @@ mod tests {
 
     #[test]
     fn redundant_edges_do_not_grow_density() {
-        let mut po = IncrementalCsst::new(2, 100);
+        let mut po = IncrementalCsst::with_capacity(2, 100);
         po.insert_edge(n(0, 10), n(1, 10)).unwrap();
         let before = po.density_stats().max_peak;
         // An implied ordering: already reachable, no array growth.
@@ -324,7 +335,7 @@ mod tests {
         // All cross-chain edges leave positions {10, 20} of each chain,
         // so the cross-chain density is 2 and every array must stay at
         // density ≤ 2 even after transitive closure.
-        let mut po = IncrementalCsst::new(4, 100);
+        let mut po = IncrementalCsst::with_capacity(4, 100);
         let mut sources = vec![];
         for t in 0..4u32 {
             for &j in &[10u32, 20] {

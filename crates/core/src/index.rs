@@ -16,6 +16,19 @@ pub type Pos = u32;
 /// with this value is *empty* and does not participate in queries.
 pub const INF: Pos = Pos::MAX;
 
+/// Largest addressable chain position. Positions live in
+/// `[0, MAX_POS]` so that chain lengths stay within the `2^31`-entry
+/// limit of the sparse segment trees; larger positions are *genuinely
+/// invalid* and rejected with
+/// [`PoError::OutOfRange`](crate::PoError::OutOfRange).
+pub const MAX_POS: Pos = (1 << 31) - 1;
+
+/// Largest addressable number of chains. Chain ids at or beyond this
+/// are *genuinely invalid* and rejected with
+/// [`PoError::OutOfRange`](crate::PoError::OutOfRange); within it, the
+/// witnessed domain grows on demand.
+pub const MAX_CHAINS: usize = 1 << 16;
+
 /// Identifier of a chain of the DAG.
 ///
 /// In most analyses a chain is a thread; in weak-memory settings a
@@ -36,6 +49,17 @@ impl ThreadId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a `ThreadId` from a `usize` table index (the inverse of
+    /// [`index`](Self::index)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ThreadId(u32::try_from(i).expect("chain index fits in u32"))
+    }
 }
 
 impl fmt::Display for ThreadId {
@@ -50,21 +74,24 @@ impl From<u32> for ThreadId {
     }
 }
 
-impl From<usize> for ThreadId {
-    fn from(v: usize) -> Self {
-        ThreadId(v as u32)
-    }
-}
+impl TryFrom<i32> for ThreadId {
+    type Error = std::num::TryFromIntError;
 
-impl From<i32> for ThreadId {
-    /// Convenience for integer literals.
+    /// Fallible conversion from signed integers (negative ids are
+    /// rejected instead of panicking).
     ///
-    /// # Panics
+    /// Bare integer literals keep working everywhere an
+    /// `impl Into<ThreadId>` is accepted — `From<u32>` is the unique
+    /// integer impl, so `NodeId::new(0, 42)` infers `0: u32`:
     ///
-    /// Panics if `v` is negative.
-    fn from(v: i32) -> Self {
-        assert!(v >= 0, "thread id must be non-negative");
-        ThreadId(v as u32)
+    /// ```
+    /// use csst_core::{NodeId, ThreadId};
+    /// assert_eq!(NodeId::new(0, 42).thread, ThreadId(0));
+    /// assert!(ThreadId::try_from(-1i32).is_err());
+    /// assert_eq!(ThreadId::try_from(7i32), Ok(ThreadId(7)));
+    /// ```
+    fn try_from(v: i32) -> Result<Self, Self::Error> {
+        u32::try_from(v).map(ThreadId)
     }
 }
 
@@ -136,6 +163,19 @@ mod tests {
         let t: ThreadId = 7u32.into();
         assert_eq!(t.index(), 7);
         assert_eq!(t.to_string(), "t7");
+        assert_eq!(ThreadId::from_index(7), t);
+    }
+
+    #[test]
+    fn thread_id_try_from_signed() {
+        assert_eq!(ThreadId::try_from(5i32), Ok(ThreadId(5)));
+        assert!(ThreadId::try_from(-3i32).is_err());
+    }
+
+    #[test]
+    fn addressable_limits() {
+        const { assert!(MAX_POS < INF) };
+        const { assert!(MAX_CHAINS <= u32::MAX as usize) };
     }
 
     #[test]

@@ -37,26 +37,41 @@
 //!
 //! ## Quickstart
 //!
+//! Indexes are *capacity-free*: start empty and let the domain grow as
+//! events and orderings arrive — exactly what an online analysis over a
+//! live event stream needs.
+//!
 //! ```
 //! use csst_core::{Csst, NodeId, PartialOrderIndex, ThreadId};
 //!
 //! # fn main() -> Result<(), csst_core::PoError> {
-//! // A partial order over 3 chains with up to 100 events each.
-//! let mut po = Csst::new(3, 100);
-//! let a = NodeId::new(0, 10);
-//! let b = NodeId::new(1, 20);
-//! let c = NodeId::new(2, 5);
+//! let mut po = Csst::new(); // no chain count, no capacity
 //!
-//! po.insert_edge(a, b)?;
-//! po.insert_edge(b, c)?;
-//! assert!(po.reachable(a, c)); // transitive, across three chains
-//! assert_eq!(po.successor(a, ThreadId(2)), Some(5));
+//! // Stream events in: `append` hands out the next node of a chain.
+//! let a = po.append(0);
+//! let b = po.append(1);
+//! assert_eq!((a, b), (NodeId::new(0, 0), NodeId::new(1, 0)));
 //!
-//! po.delete_edge(b, c)?; // fully dynamic: deletions are supported
-//! assert!(!po.reachable(a, c));
+//! // Or address nodes directly — the domain grows to cover them.
+//! po.insert_edge(NodeId::new(0, 10), NodeId::new(1, 20))?;
+//! po.insert_edge(NodeId::new(1, 20), NodeId::new(2, 5))?;
+//! assert_eq!(po.chains(), 3);
+//! assert!(po.reachable(NodeId::new(0, 10), NodeId::new(2, 5)));
+//! assert_eq!(po.successor(NodeId::new(0, 10), ThreadId(2)), Some(5));
+//!
+//! po.delete_edge(NodeId::new(1, 20), NodeId::new(2, 5))?; // fully dynamic
+//! assert!(!po.reachable(NodeId::new(0, 10), NodeId::new(2, 5)));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! When the workload shape is known in advance,
+//! [`PartialOrderIndex::with_capacity`] pre-sizes internal storage —
+//! a hint, not a bound. **Migration from the fixed-domain API:** the
+//! old `P::new(k, n)` constructor is now `P::with_capacity(k, n)`, and
+//! `PoError::OutOfRange` is reserved for genuinely invalid inputs
+//! (beyond [`MAX_CHAINS`]/[`MAX_POS`]) instead of every node past the
+//! construction-time domain.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,14 +90,15 @@ pub mod vc;
 
 mod dynamic;
 mod incremental;
+mod matrix;
 
 pub use dynamic::{Csst, DynamicPo};
 pub use error::PoError;
 pub use graph::GraphIndex;
 pub use incremental::{IncrementalCsst, IncrementalPo, SegTreeIndex};
-pub use index::{NodeId, Pos, ThreadId, INF};
+pub use index::{NodeId, Pos, ThreadId, INF, MAX_CHAINS, MAX_POS};
 pub use naive::NaiveIndex;
-pub use reach::PartialOrderIndex;
+pub use reach::{Domain, PartialOrderIndex};
 pub use segtree::SegmentTree;
 pub use sst::SparseSegmentTree;
 pub use stats::DensityStats;

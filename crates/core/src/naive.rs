@@ -8,15 +8,14 @@
 
 use crate::error::PoError;
 use crate::index::{NodeId, Pos, ThreadId};
-use crate::reach::PartialOrderIndex;
+use crate::reach::{Domain, PartialOrderIndex};
 use std::collections::HashSet;
 
 /// Edge-list oracle for chain-DAG reachability; supports insertion and
 /// deletion.
 #[derive(Debug, Clone, Default)]
 pub struct NaiveIndex {
-    k: usize,
-    cap: usize,
+    dom: Domain,
     edges: Vec<(NodeId, NodeId)>,
 }
 
@@ -28,12 +27,8 @@ impl NaiveIndex {
 }
 
 impl PartialOrderIndex for NaiveIndex {
-    fn new(chains: usize, chain_capacity: usize) -> Self {
-        NaiveIndex {
-            k: chains,
-            cap: chain_capacity,
-            edges: Vec::new(),
-        }
+    fn new() -> Self {
+        NaiveIndex::default()
     }
 
     fn name(&self) -> &'static str {
@@ -41,21 +36,26 @@ impl PartialOrderIndex for NaiveIndex {
     }
 
     fn chains(&self) -> usize {
-        self.k
+        self.dom.chains()
     }
 
-    fn chain_capacity(&self) -> usize {
-        self.cap
+    fn chain_len(&self, chain: ThreadId) -> usize {
+        self.dom.chain_len(chain)
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn ensure_chain(&mut self, chain: ThreadId) {
+        self.dom.ensure_chain(chain);
+    }
+
+    fn ensure_len(&mut self, chain: ThreadId, len: usize) {
+        self.dom.ensure_len(chain, len);
+    }
+
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
         self.edges.push((from, to));
-        Ok(())
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
         match self.edges.iter().position(|&e| e == (from, to)) {
             Some(i) => {
                 self.edges.swap_remove(i);
@@ -114,6 +114,7 @@ impl PartialOrderIndex for NaiveIndex {
 
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+            + self.dom.memory_bytes()
             + self.edges.capacity() * std::mem::size_of::<(NodeId, NodeId)>()
     }
 }
@@ -128,7 +129,7 @@ mod tests {
 
     #[test]
     fn basic_semantics() {
-        let mut o = NaiveIndex::new(3, 10);
+        let mut o = NaiveIndex::new();
         o.insert_edge(n(0, 2), n(1, 3)).unwrap();
         o.insert_edge(n(1, 5), n(2, 1)).unwrap();
         assert!(o.reachable(n(0, 0), n(2, 9)));
@@ -141,7 +142,7 @@ mod tests {
 
     #[test]
     fn successor_uses_program_order_of_intermediate_chains() {
-        let mut o = NaiveIndex::new(3, 10);
+        let mut o = NaiveIndex::new();
         o.insert_edge(n(0, 1), n(1, 2)).unwrap();
         o.insert_edge(n(1, 7), n(2, 4)).unwrap(); // reached via 1@2 →po 1@7
         assert_eq!(o.successor(n(0, 1), ThreadId(2)), Some(4));

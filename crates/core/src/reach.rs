@@ -1,23 +1,49 @@
 //! The dynamic-reachability interface shared by every partial-order
 //! representation (§2.2).
 //!
-//! A chain DAG over `k` chains of up to `n` events each is maintained
-//! under the five operations of the paper: `insertEdge`, `deleteEdge`,
+//! A chain DAG over a *growable* set of chains is maintained under the
+//! five operations of the paper: `insertEdge`, `deleteEdge`,
 //! `reachable`, `successor` and `predecessor`. Analyses in
 //! `csst-analyses` are generic over this trait, which is how the
 //! paper's per-analysis comparisons (Tables 1–7) plug different data
 //! structures into the same analysis.
+//!
+//! ## Capacity-free domains
+//!
+//! The domain is not fixed at construction time: [`PartialOrderIndex::new`]
+//! creates an empty index and chains/positions materialize on demand —
+//! explicitly through [`ensure_chain`]/[`append`], or implicitly when an
+//! edge touches a node the index has not seen yet.
+//! [`PartialOrderIndex::with_capacity`] pre-sizes internal storage for a
+//! known workload, but the hint is *not* a bound: growing past it is
+//! always legal. [`PoError::OutOfRange`] is reserved for genuinely
+//! invalid inputs — nodes beyond the addressable universe of
+//! [`MAX_CHAINS`] chains × [`MAX_POS`]+1 positions.
+//!
+//! ## Validation in one place
+//!
+//! All input validation happens in the provided methods of this trait
+//! ([`insert_edge`], [`delete_edge`], [`insert_edge_checked`]), which
+//! then delegate to the unvalidated `*_raw` hooks each structure
+//! implements. Implementations must not re-validate.
+//!
+//! [`ensure_chain`]: PartialOrderIndex::ensure_chain
+//! [`append`]: PartialOrderIndex::append
+//! [`insert_edge`]: PartialOrderIndex::insert_edge
+//! [`delete_edge`]: PartialOrderIndex::delete_edge
+//! [`insert_edge_checked`]: PartialOrderIndex::insert_edge_checked
 
 use crate::error::PoError;
-use crate::index::{NodeId, Pos, ThreadId};
+use crate::index::{NodeId, Pos, ThreadId, MAX_CHAINS, MAX_POS};
 
-/// A dynamic-reachability index over a chain DAG.
+/// A dynamic-reachability index over a growable chain DAG.
 ///
 /// # Conventions
 ///
-/// * Nodes `⟨t, i⟩` live in `[k] × [n]`; consecutive nodes of a chain
-///   are implicitly ordered (program order), so `reachable` is
-///   reflexive and `⟨t, i⟩ → ⟨t, j⟩` holds whenever `i ≤ j`.
+/// * Nodes `⟨t, i⟩` live in a conceptually unbounded domain; each chain
+///   is totally ordered, so `reachable` is reflexive and
+///   `⟨t, i⟩ → ⟨t, j⟩` holds whenever `i ≤ j`. The *witnessed* part of
+///   the domain ([`chains`]/[`chain_len`]) grows as nodes are touched.
 /// * Updates connect nodes of **different** chains only
 ///   ([`PoError::SameChain`] otherwise).
 /// * The maintained relation must stay acyclic. Plain `insert_edge`
@@ -35,7 +61,7 @@ use crate::index::{NodeId, Pos, ThreadId};
 /// };
 ///
 /// fn earliest_downstream<P: PartialOrderIndex>() -> Option<u32> {
-///     let mut po = P::new(3, 100);
+///     let mut po = P::new(); // no capacity needed: the domain grows on demand
 ///     po.insert_edge(NodeId::new(0, 5), NodeId::new(1, 7)).ok()?;
 ///     po.insert_edge(NodeId::new(1, 9), NodeId::new(2, 2)).ok()?;
 ///     po.successor(NodeId::new(0, 0), ThreadId(2))
@@ -46,32 +72,111 @@ use crate::index::{NodeId, Pos, ThreadId};
 /// assert_eq!(earliest_downstream::<GraphIndex>(), Some(2));
 /// ```
 ///
+/// [`chains`]: PartialOrderIndex::chains
+/// [`chain_len`]: PartialOrderIndex::chain_len
 /// [`insert_edge_checked`]: PartialOrderIndex::insert_edge_checked
 pub trait PartialOrderIndex {
-    /// Creates an index over `chains` chains with capacity
-    /// `chain_capacity` events per chain, initially containing only the
-    /// implicit intra-chain orderings.
-    fn new(chains: usize, chain_capacity: usize) -> Self
+    /// Creates an empty index with no chains. Chains and positions
+    /// materialize on demand.
+    fn new() -> Self
     where
         Self: Sized;
+
+    /// Creates an index pre-sized for `chains` chains of about
+    /// `chain_capacity` events each.
+    ///
+    /// The hint is **not** a bound: the index starts with `chains`
+    /// (empty) chains and grows freely past both numbers. Migrating
+    /// from the old fixed-domain API: `P::new(k, n)` becomes
+    /// `P::with_capacity(k, n)`.
+    ///
+    /// The default implementation pre-creates the chains and ignores
+    /// the capacity hint; structures whose storage is sized by
+    /// positions override it.
+    fn with_capacity(chains: usize, chain_capacity: usize) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = chain_capacity;
+        let mut po = Self::new();
+        if chains > 0 {
+            po.ensure_chain(ThreadId::from_index(chains - 1));
+        }
+        po
+    }
 
     /// Short human-readable name of the representation (used in the
     /// benchmark tables: `"CSSTs"`, `"STs"`, `"VCs"`, `"Graphs"`).
     fn name(&self) -> &'static str;
 
-    /// Number of chains `k`.
+    /// Number of chains witnessed so far (the current `k`).
     fn chains(&self) -> usize;
 
-    /// Per-chain capacity `n`.
-    fn chain_capacity(&self) -> usize;
+    /// Number of events witnessed on `chain` so far: the next
+    /// [`append`](Self::append) on this chain returns this position.
+    fn chain_len(&self, chain: ThreadId) -> usize;
 
-    /// Inserts the cross-chain edge `from → to`.
+    /// Grows the domain so that `chain` exists (possibly still with
+    /// zero events). No-op if it already does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` lies beyond [`MAX_CHAINS`] — growth is
+    /// infallible inside the addressable universe; validate untrusted
+    /// input with [`check_node`](Self::check_node) first.
+    fn ensure_chain(&mut self, chain: ThreadId);
+
+    /// Grows `chain` so that it holds at least `len` events (implies
+    /// [`ensure_chain`](Self::ensure_chain)). No-op if it already does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` or `len` lies beyond the addressable universe
+    /// ([`MAX_CHAINS`] chains of at most [`MAX_POS`]` + 1` events).
+    fn ensure_len(&mut self, chain: ThreadId, len: usize);
+
+    /// Appends one event to `chain` (creating the chain if needed) and
+    /// returns its node — the streaming entry point of the API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the append would leave the addressable universe (see
+    /// [`ensure_len`](Self::ensure_len)).
+    ///
+    /// ```
+    /// use csst_core::{Csst, NodeId, PartialOrderIndex};
+    /// let mut po = Csst::new();
+    /// assert_eq!(po.append(0), NodeId::new(0, 0));
+    /// assert_eq!(po.append(0), NodeId::new(0, 1));
+    /// assert_eq!(po.append(3), NodeId::new(3, 0));
+    /// assert_eq!(po.chains(), 4);
+    /// ```
+    fn append(&mut self, chain: impl Into<ThreadId>) -> NodeId
+    where
+        Self: Sized,
+    {
+        let chain = chain.into();
+        self.ensure_chain(chain);
+        let pos = self.chain_len(chain);
+        self.ensure_len(chain, pos + 1);
+        NodeId::new(chain, pos as Pos)
+    }
+
+    /// Inserts the cross-chain edge `from → to`, growing the domain to
+    /// cover both endpoints.
     ///
     /// # Errors
     ///
-    /// [`PoError::OutOfRange`] if an endpoint is outside the domain,
-    /// [`PoError::SameChain`] if both endpoints share a chain.
-    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError>;
+    /// [`PoError::OutOfRange`] if an endpoint is outside the
+    /// addressable universe, [`PoError::SameChain`] if both endpoints
+    /// share a chain.
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        self.ensure_len(from.thread, from.pos as usize + 1);
+        self.ensure_len(to.thread, to.pos as usize + 1);
+        self.insert_edge_raw(from, to);
+        Ok(())
+    }
 
     /// Deletes a previously inserted edge `from → to`.
     ///
@@ -80,7 +185,45 @@ pub trait PartialOrderIndex {
     /// [`PoError::DeletionUnsupported`] for insert-only structures,
     /// [`PoError::EdgeNotFound`] if the edge is not present, plus the
     /// same validation errors as [`insert_edge`](Self::insert_edge).
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError>;
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        self.delete_edge_raw(from, to)
+    }
+
+    /// Inserts `from → to` unless `to` already reaches `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoError::WouldCycle`] when the insertion would close a cycle,
+    /// plus any error of [`insert_edge`](Self::insert_edge).
+    fn insert_edge_checked(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.check_edge(from, to)?;
+        if self.reachable(to, from) {
+            return Err(PoError::WouldCycle { from, to });
+        }
+        self.ensure_len(from.thread, from.pos as usize + 1);
+        self.ensure_len(to.thread, to.pos as usize + 1);
+        self.insert_edge_raw(from, to);
+        Ok(())
+    }
+
+    /// Records the pre-validated cross-chain edge `from → to`.
+    ///
+    /// Called by the provided [`insert_edge`](Self::insert_edge) /
+    /// [`insert_edge_checked`](Self::insert_edge_checked) after
+    /// validation and domain growth; implementations must not
+    /// re-validate. Calling this directly with same-chain or
+    /// out-of-universe endpoints leaves the structure in an
+    /// unspecified state.
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId);
+
+    /// Removes the pre-validated edge `from → to`.
+    ///
+    /// Called by the provided [`delete_edge`](Self::delete_edge) after
+    /// validation; implementations must not re-validate, and report
+    /// only [`PoError::EdgeNotFound`] or
+    /// [`PoError::DeletionUnsupported`].
+    fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError>;
 
     /// `true` iff `from` reaches `to` through program order and inserted
     /// edges (reflexively: every node reaches itself).
@@ -93,12 +236,15 @@ pub trait PartialOrderIndex {
 
     /// Position of the earliest node of `chain` reachable from `from`,
     /// or `None` if `from` reaches no node of that chain. On `from`'s
-    /// own chain this is `from.pos` (reflexivity).
+    /// own chain this is `from.pos` (reflexivity). Querying nodes or
+    /// chains beyond the witnessed domain is legal and treats them as
+    /// unconnected.
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos>;
 
     /// Position of the latest node of `chain` that reaches `from`, or
     /// `None` if no node of that chain does. On `from`'s own chain this
-    /// is `from.pos` (reflexivity).
+    /// is `from.pos` (reflexivity). Querying nodes or chains beyond the
+    /// witnessed domain is legal and treats them as unconnected.
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos>;
 
     /// Whether [`delete_edge`](Self::delete_edge) is supported.
@@ -107,43 +253,25 @@ pub trait PartialOrderIndex {
     }
 
     /// Approximate heap footprint in bytes, for the paper's memory
-    /// comparisons (Figure 10).
+    /// comparisons (Figure 10). Sparse structures must not charge for
+    /// untouched capacity.
     fn memory_bytes(&self) -> usize;
 
-    /// Inserts `from → to` unless `to` already reaches `from`.
-    ///
-    /// # Errors
-    ///
-    /// [`PoError::WouldCycle`] when the insertion would close a cycle,
-    /// plus any error of [`insert_edge`](Self::insert_edge).
-    fn insert_edge_checked(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        if from.thread == to.thread {
-            return Err(PoError::SameChain { from, to });
-        }
-        if self.reachable(to, from) {
-            return Err(PoError::WouldCycle { from, to });
-        }
-        self.insert_edge(from, to)
-    }
-
-    /// Validates that `node` lies inside the `[k] × [n]` domain.
+    /// Validates that `node` lies inside the addressable universe of
+    /// [`MAX_CHAINS`] chains × [`MAX_POS`]`+1` positions.
     ///
     /// # Errors
     ///
     /// [`PoError::OutOfRange`] otherwise.
     fn check_node(&self, node: NodeId) -> Result<(), PoError> {
-        if node.thread.index() >= self.chains() || node.pos as usize >= self.chain_capacity() {
-            return Err(PoError::OutOfRange {
-                node,
-                chains: self.chains(),
-                chain_capacity: self.chain_capacity(),
-            });
+        if node.thread.index() >= MAX_CHAINS || node.pos > MAX_POS {
+            return Err(PoError::OutOfRange { node });
         }
         Ok(())
     }
 
-    /// Validates an edge: both endpoints in range and on distinct
-    /// chains.
+    /// Validates an edge: both endpoints addressable and on distinct
+    /// chains. This is the **single** validation path of the trait.
     ///
     /// # Errors
     ///
@@ -155,5 +283,142 @@ pub trait PartialOrderIndex {
             return Err(PoError::SameChain { from, to });
         }
         Ok(())
+    }
+}
+
+/// Witnessed-domain bookkeeping shared by the index implementations:
+/// the set of known chains and the number of events seen per chain.
+///
+/// Implementations embed a `Domain` and layer their own storage growth
+/// on top of its `ensure_*` primitives.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Domain {
+    lens: Vec<Pos>,
+}
+
+impl Domain {
+    /// An empty domain (no chains).
+    pub fn new() -> Self {
+        Domain::default()
+    }
+
+    /// A domain with `chains` chains of zero events each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` exceeds [`MAX_CHAINS`].
+    pub fn with_chains(chains: usize) -> Self {
+        assert!(
+            chains <= MAX_CHAINS,
+            "{chains} chains beyond the addressable universe of {MAX_CHAINS}"
+        );
+        Domain {
+            lens: vec![0; chains],
+        }
+    }
+
+    /// Number of witnessed chains.
+    #[inline]
+    pub fn chains(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Number of witnessed events on `chain` (0 for unknown chains).
+    #[inline]
+    pub fn chain_len(&self, chain: ThreadId) -> usize {
+        self.lens.get(chain.index()).map_or(0, |&l| l as usize)
+    }
+
+    /// Ensures `chain` exists; returns `true` if new chains were added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` lies beyond [`MAX_CHAINS`] — growth is
+    /// infallible inside the addressable universe, and out-of-universe
+    /// inputs are programming errors (use
+    /// [`PartialOrderIndex::check_node`] to validate untrusted input).
+    pub fn ensure_chain(&mut self, chain: ThreadId) -> bool {
+        assert!(
+            chain.index() < MAX_CHAINS,
+            "chain {chain} beyond the addressable universe of {MAX_CHAINS} chains"
+        );
+        if chain.index() < self.lens.len() {
+            return false;
+        }
+        self.lens.resize(chain.index() + 1, 0);
+        true
+    }
+
+    /// Ensures `chain` holds at least `len` events; returns `true` if
+    /// the chain grew (in chains or in length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` or `len` lies beyond the addressable universe
+    /// (see [`Domain::ensure_chain`]; `len` is capped at
+    /// [`MAX_POS`]` + 1` events).
+    pub fn ensure_len(&mut self, chain: ThreadId, len: usize) -> bool {
+        assert!(
+            len <= MAX_POS as usize + 1,
+            "chain length {len} beyond the addressable universe of {} positions",
+            MAX_POS as usize + 1
+        );
+        let grew_chains = self.ensure_chain(chain);
+        let slot = &mut self.lens[chain.index()];
+        if (*slot as usize) < len {
+            *slot = len as Pos;
+            true
+        } else {
+            grew_chains
+        }
+    }
+
+    /// Heap footprint of the bookkeeping itself.
+    pub fn memory_bytes(&self) -> usize {
+        self.lens.capacity() * std::mem::size_of::<Pos>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_growth() {
+        let mut d = Domain::new();
+        assert_eq!(d.chains(), 0);
+        assert_eq!(d.chain_len(ThreadId(3)), 0);
+        assert!(d.ensure_chain(ThreadId(2)));
+        assert_eq!(d.chains(), 3);
+        assert!(!d.ensure_chain(ThreadId(1)));
+        assert!(d.ensure_len(ThreadId(1), 5));
+        assert_eq!(d.chain_len(ThreadId(1)), 5);
+        assert!(!d.ensure_len(ThreadId(1), 4), "shrinking is a no-op");
+        assert_eq!(d.chain_len(ThreadId(1)), 5);
+        assert!(d.ensure_len(ThreadId(7), 1), "new chain via ensure_len");
+        assert_eq!(d.chains(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "addressable universe")]
+    fn ensure_chain_rejects_out_of_universe_chains() {
+        let mut d = Domain::new();
+        d.ensure_chain(ThreadId(MAX_CHAINS as u32));
+    }
+
+    #[test]
+    #[should_panic(expected = "addressable universe")]
+    fn ensure_len_rejects_out_of_universe_lengths() {
+        let mut d = Domain::new();
+        d.ensure_len(ThreadId(0), MAX_POS as usize + 2);
+    }
+
+    #[test]
+    fn with_chains_pre_creates_empty_chains() {
+        let d = Domain::with_chains(4);
+        assert_eq!(d.chains(), 4);
+        for t in 0..4u32 {
+            assert_eq!(d.chain_len(ThreadId(t)), 0);
+        }
     }
 }

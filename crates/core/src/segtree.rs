@@ -48,6 +48,27 @@ impl SuffixMinima for SegmentTree {
         self.len
     }
 
+    fn ensure_len(&mut self, len: usize) {
+        if len <= self.len {
+            return;
+        }
+        if len <= self.cap {
+            self.len = len;
+            return;
+        }
+        // Dense rebuild at the next power of two: callers grow by
+        // doubling, so the O(cap) copy stays amortized O(1) per entry.
+        let cap = len.next_power_of_two();
+        let mut tree = vec![INF; 2 * cap];
+        tree[cap..cap + self.cap].copy_from_slice(&self.tree[self.cap..2 * self.cap]);
+        for node in (1..cap).rev() {
+            tree[node] = tree[2 * node].min(tree[2 * node + 1]);
+        }
+        self.tree = tree;
+        self.cap = cap;
+        self.len = len;
+    }
+
     fn update(&mut self, i: usize, v: Pos) {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let mut node = self.cap + i;
@@ -174,6 +195,53 @@ mod tests {
         assert_eq!(st.suffix_min(4), 1);
         assert_eq!(st.suffix_min(5), INF);
         assert_eq!(st.argleq(1), Some(4));
+    }
+
+    #[test]
+    fn ensure_len_preserves_contents() {
+        let mut st = SegmentTree::with_len(3);
+        st.update(0, 9);
+        st.update(2, 4);
+        st.ensure_len(3); // no-op
+        st.ensure_len(4); // within capacity
+        assert_eq!(st.suffix_min(3), INF);
+        st.ensure_len(11); // dense rebuild
+        assert_eq!(st.len(), 11);
+        assert_eq!(st.suffix_min(0), 4);
+        assert_eq!(st.suffix_min(1), 4);
+        assert_eq!(st.suffix_min(3), INF);
+        assert_eq!(st.argleq(9), Some(2));
+        assert_eq!(st.density(), 2);
+        st.update(10, 1);
+        assert_eq!(st.suffix_min(5), 1);
+        assert_eq!(st.argleq(1), Some(10));
+    }
+
+    #[test]
+    fn randomized_growth_against_oracle() {
+        let mut st = SegmentTree::with_len(1);
+        let mut oracle = NaiveSuffixArray::with_len(1);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut len = 1usize;
+        for step in 0..600 {
+            if step % 20 == 0 {
+                len += rng.gen_range(1..40usize);
+                st.ensure_len(len);
+                oracle.ensure_len(len);
+            }
+            let i = rng.gen_range(0..len);
+            let v = if rng.gen_bool(0.25) {
+                INF
+            } else {
+                rng.gen_range(0..40)
+            };
+            st.update(i, v);
+            oracle.update(i, v);
+            let q = rng.gen_range(0..=len);
+            assert_eq!(st.suffix_min(q), oracle.suffix_min(q));
+            let a = rng.gen_range(0..45);
+            assert_eq!(st.argleq(a), oracle.argleq(a));
+        }
     }
 
     #[test]

@@ -703,6 +703,13 @@ impl SuffixMinima for SparseSegmentTree {
         self.len
     }
 
+    fn ensure_len(&mut self, len: usize) {
+        // Sparsity makes growth free: only the logical bound moves, no
+        // node is touched and no memory is allocated.
+        assert!(len <= 1 << 31, "SST supports arrays up to 2^31 entries");
+        self.len = self.len.max(len);
+    }
+
     fn update(&mut self, i: usize, v: Pos) {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let pos = i as Pos;
@@ -994,6 +1001,25 @@ mod tests {
                 assert_equiv(&sst, &oracle);
             }
         }
+    }
+
+    #[test]
+    fn ensure_len_is_free_and_preserves_entries() {
+        let mut sst = SparseSegmentTree::with_len(4);
+        sst.update(3, 9);
+        let before = sst.memory_bytes();
+        sst.ensure_len(1 << 20);
+        assert_eq!(sst.len(), 1 << 20);
+        assert_eq!(
+            sst.memory_bytes(),
+            before,
+            "sparse growth allocates nothing"
+        );
+        assert_eq!(sst.suffix_min(0), 9);
+        assert_eq!(sst.suffix_min(4), INF);
+        sst.update(500_000, 2);
+        assert_eq!(sst.suffix_min(4), 2);
+        assert_eq!(sst.argleq(2), Some(500_000));
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub trait SuffixMinima {
     /// Logical length of the represented array.
     fn len(&self) -> usize;
 
+    /// Grows the represented array to at least `len` entries (new
+    /// entries are empty, `∞`). No-op if the array is already long
+    /// enough. Callers that grow incrementally should double, so dense
+    /// implementations stay amortized `O(1)` per added entry; sparse
+    /// implementations grow for free.
+    fn ensure_len(&mut self, len: usize);
+
     /// `true` if the represented array has length zero.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -112,6 +119,12 @@ impl SuffixMinima for NaiveSuffixArray {
 
     fn len(&self) -> usize {
         self.values.len()
+    }
+
+    fn ensure_len(&mut self, len: usize) {
+        if len > self.values.len() {
+            self.values.resize(len, INF);
+        }
     }
 
     fn update(&mut self, i: usize, v: Pos) {
@@ -194,6 +207,21 @@ mod tests {
         assert_eq!(a.density(), 1);
         a.update(0, INF); // erasing empty entry is a no-op
         assert_eq!(a.density(), 1);
+    }
+
+    #[test]
+    fn ensure_len_grows_with_empty_entries() {
+        let mut a = NaiveSuffixArray::with_len(2);
+        a.update(1, 3);
+        a.ensure_len(5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.suffix_min(0), 3);
+        assert_eq!(a.suffix_min(2), INF);
+        assert_eq!(a.density(), 1);
+        a.ensure_len(3); // shrinking is a no-op
+        assert_eq!(a.len(), 5);
+        a.update(4, 1);
+        assert_eq!(a.suffix_min(2), 1);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! event*, which is the linear cost visible throughout the paper's
 //! tables.
 //!
+//! Both variants are capacity-free: clocks are allocated at a strided
+//! width that doubles as chains are witnessed, so adding a chain
+//! re-lays out existing clocks only `O(log k)` times overall.
+//!
 //! [`AnchoredVectorClockIndex`] goes beyond the paper: clocks live only
 //! at *anchors* (endpoints of cross-chain edges) and propagation jumps
 //! from anchor to anchor. This makes updates behave like `O(d·k)`
@@ -34,7 +38,7 @@
 
 use crate::error::PoError;
 use crate::index::{NodeId, Pos, ThreadId};
-use crate::reach::PartialOrderIndex;
+use crate::reach::{Domain, PartialOrderIndex};
 use std::collections::{BTreeMap, VecDeque};
 
 type Clock = Box<[Pos]>;
@@ -52,7 +56,7 @@ type Clock = Box<[Pos]>;
 /// ```
 /// use csst_core::{NodeId, PartialOrderIndex, VectorClockIndex};
 /// # fn main() -> Result<(), csst_core::PoError> {
-/// let mut po = VectorClockIndex::new(2, 100);
+/// let mut po = VectorClockIndex::new();
 /// po.insert_edge(NodeId::new(0, 10), NodeId::new(1, 20))?;
 /// assert!(po.reachable(NodeId::new(0, 3), NodeId::new(1, 20)));
 /// assert!(po.delete_edge(NodeId::new(0, 10), NodeId::new(1, 20)).is_err());
@@ -61,9 +65,11 @@ type Clock = Box<[Pos]>;
 /// ```
 #[derive(Debug, Clone)]
 pub struct VectorClockIndex {
-    k: usize,
-    cap: usize,
-    /// Per chain: flattened materialized clock rows (`mat_len × k`).
+    dom: Domain,
+    /// Allocated clock width (`≥ chains()`), doubled on growth.
+    stride: usize,
+    /// Per chain: flattened materialized clock rows
+    /// (`mat_len × stride`).
     rows: Vec<Vec<Pos>>,
     /// Per chain: outgoing cross edges by source position.
     out: Vec<BTreeMap<Pos, Vec<NodeId>>>,
@@ -73,8 +79,13 @@ pub struct VectorClockIndex {
 
 impl VectorClockIndex {
     #[inline]
+    fn k(&self) -> usize {
+        self.dom.chains()
+    }
+
+    #[inline]
     fn mat_len(&self, t: usize) -> usize {
-        self.rows[t].len() / self.k
+        self.rows[t].len().checked_div(self.stride).unwrap_or(0)
     }
 
     /// Clock entry of event `⟨t, j⟩` in dimension `dim`.
@@ -84,7 +95,7 @@ impl VectorClockIndex {
             0
         } else {
             let row = (j as usize).min(m - 1);
-            self.rows[t][row * self.k + dim]
+            self.rows[t][row * self.stride + dim]
         };
         if dim == t {
             base.max(j + 1)
@@ -95,11 +106,11 @@ impl VectorClockIndex {
 
     /// Full clock of event `⟨t, j⟩` as an owned vector.
     fn full_clock(&self, t: usize, j: Pos) -> Clock {
-        let mut clock: Clock = vec![0; self.k].into_boxed_slice();
+        let mut clock: Clock = vec![0; self.stride].into_boxed_slice();
         let m = self.mat_len(t);
         if m > 0 {
             let row = (j as usize).min(m - 1);
-            clock.copy_from_slice(&self.rows[t][row * self.k..(row + 1) * self.k]);
+            clock.copy_from_slice(&self.rows[t][row * self.stride..(row + 1) * self.stride]);
         }
         clock[t] = clock[t].max(j + 1);
         clock
@@ -109,13 +120,13 @@ impl VectorClockIndex {
     /// (inclusive) — §5.1 optimization 2 creates clocks only up to the
     /// last event with an incoming direct ordering.
     fn materialize(&mut self, t: usize, upto: Pos) {
-        let k = self.k;
+        let s = self.stride;
         let mut m = self.mat_len(t);
         while m <= upto as usize {
             let mut row = if m == 0 {
-                vec![0; k]
+                vec![0; s]
             } else {
-                self.rows[t][(m - 1) * k..m * k].to_vec()
+                self.rows[t][(m - 1) * s..m * s].to_vec()
             };
             row[t] = m as Pos + 1;
             self.rows[t].extend_from_slice(&row);
@@ -126,13 +137,13 @@ impl VectorClockIndex {
     /// Joins `src` into row `j` of chain `t`; returns whether anything
     /// changed.
     fn join_row(&mut self, t: usize, j: usize, src: &[Pos]) -> bool {
-        let k = self.k;
-        let row = &mut self.rows[t][j * k..(j + 1) * k];
+        let s = self.stride;
+        let row = &mut self.rows[t][j * s..(j + 1) * s];
         let mut changed = false;
-        for (d, &s) in row.iter_mut().zip(src) {
+        for (d, &v) in row.iter_mut().zip(src) {
             self.join_work += 1;
-            if s > *d {
-                *d = s;
+            if v > *d {
+                *d = v;
                 changed = true;
             }
         }
@@ -178,6 +189,25 @@ impl VectorClockIndex {
         }
     }
 
+    /// Widens every materialized clock to `new_stride` entries (new
+    /// dimensions start at 0: nothing is known about fresh chains).
+    fn grow_stride(&mut self, new_stride: usize) {
+        let old = self.stride;
+        for row_buf in &mut self.rows {
+            if row_buf.is_empty() {
+                continue;
+            }
+            let m = row_buf.len() / old;
+            let mut widened = Vec::with_capacity(m * new_stride);
+            for r in 0..m {
+                widened.extend_from_slice(&row_buf[r * old..(r + 1) * old]);
+                widened.resize((r + 1) * new_stride, 0);
+            }
+            *row_buf = widened;
+        }
+        self.stride = new_stride;
+    }
+
     /// Total number of per-entry clock joins performed — the
     /// propagation work the paper's analysis of VCs predicts to be
     /// `O(nk)` per insertion.
@@ -187,18 +217,17 @@ impl VectorClockIndex {
 
     /// Number of materialized clock rows across all chains.
     pub fn materialized_rows(&self) -> usize {
-        (0..self.k).map(|t| self.mat_len(t)).sum()
+        (0..self.k()).map(|t| self.mat_len(t)).sum()
     }
 }
 
 impl PartialOrderIndex for VectorClockIndex {
-    fn new(chains: usize, chain_capacity: usize) -> Self {
-        assert!(chains >= 1, "need at least one chain");
+    fn new() -> Self {
         VectorClockIndex {
-            k: chains,
-            cap: chain_capacity,
-            rows: vec![Vec::new(); chains],
-            out: vec![BTreeMap::new(); chains],
+            dom: Domain::new(),
+            stride: 0,
+            rows: Vec::new(),
+            out: Vec::new(),
             edges: 0,
             join_work: 0,
         }
@@ -209,15 +238,33 @@ impl PartialOrderIndex for VectorClockIndex {
     }
 
     fn chains(&self) -> usize {
-        self.k
+        self.dom.chains()
     }
 
-    fn chain_capacity(&self) -> usize {
-        self.cap
+    fn chain_len(&self, chain: ThreadId) -> usize {
+        self.dom.chain_len(chain)
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn ensure_chain(&mut self, chain: ThreadId) {
+        if !self.dom.ensure_chain(chain) {
+            return;
+        }
+        let k = self.dom.chains();
+        if k > self.stride {
+            self.grow_stride(k.next_power_of_two());
+        }
+        self.rows.resize(k, Vec::new());
+        self.out.resize(k, BTreeMap::new());
+    }
+
+    fn ensure_len(&mut self, chain: ThreadId, len: usize) {
+        // Positions need no physical storage: clocks materialize
+        // lazily, so only the witnessed length advances.
+        self.ensure_chain(chain);
+        self.dom.ensure_len(chain, len);
+    }
+
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
         self.out[from.thread.index()]
             .entry(from.pos)
             .or_default()
@@ -225,11 +272,9 @@ impl PartialOrderIndex for VectorClockIndex {
         self.materialize(to.thread.index(), to.pos);
         self.propagate(from, to);
         self.edges += 1;
-        Ok(())
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn delete_edge_raw(&mut self, _from: NodeId, _to: NodeId) -> Result<(), PoError> {
         Err(PoError::DeletionUnsupported {
             structure: "vector clocks",
         })
@@ -239,25 +284,30 @@ impl PartialOrderIndex for VectorClockIndex {
         if from.thread == to.thread {
             return from.pos <= to.pos;
         }
+        if from.thread.index() >= self.k() || to.thread.index() >= self.k() {
+            return false;
+        }
         self.entry(to.thread.index(), to.pos, from.thread.index()) > from.pos
     }
 
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         let t1 = from.thread.index();
         let t2 = chain.index();
         if t1 == t2 {
             return Some(from.pos);
         }
+        if t1 >= self.k() || t2 >= self.k() {
+            return None;
+        }
         // Rows are monotone along the chain: binary search for the
         // first event whose clock covers `from`.
-        let k = self.k;
+        let s = self.stride;
         let m = self.mat_len(t2);
         let mut lo = 0usize;
         let mut hi = m;
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if self.rows[t2][mid * k + t1] > from.pos {
+            if self.rows[t2][mid * s + t1] > from.pos {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -271,11 +321,13 @@ impl PartialOrderIndex for VectorClockIndex {
     }
 
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         let t1 = from.thread.index();
         let t2 = chain.index();
         if t1 == t2 {
             return Some(from.pos);
+        }
+        if t1 >= self.k() || t2 >= self.k() {
+            return None;
         }
         match self.entry(t1, from.pos, t2) {
             0 => None,
@@ -302,7 +354,7 @@ impl PartialOrderIndex for VectorClockIndex {
                     .sum::<usize>()
             })
             .sum();
-        std::mem::size_of::<Self>() + rows + out
+        std::mem::size_of::<Self>() + self.dom.memory_bytes() + rows + out
     }
 }
 
@@ -327,14 +379,20 @@ struct Anchor {
 /// search inside chains).
 #[derive(Debug, Clone)]
 pub struct AnchoredVectorClockIndex {
-    k: usize,
-    cap: usize,
+    dom: Domain,
+    /// Allocated clock width (`≥ chains()`), doubled on growth.
+    stride: usize,
     chains: Vec<Vec<Anchor>>,
     edges: usize,
     join_work: u64,
 }
 
 impl AnchoredVectorClockIndex {
+    #[inline]
+    fn k(&self) -> usize {
+        self.dom.chains()
+    }
+
     fn anchor_at(&self, t: usize, idx: Pos) -> Result<usize, usize> {
         self.chains[t].binary_search_by_key(&idx, |a| a.idx)
     }
@@ -356,7 +414,7 @@ impl AnchoredVectorClockIndex {
     fn full_clock(&self, t: usize, j: Pos) -> Clock {
         let mut clock: Clock = match self.anchor_at(t, j) {
             Ok(i) => self.chains[t][i].clock.clone(),
-            Err(0) => vec![0; self.k].into_boxed_slice(),
+            Err(0) => vec![0; self.stride].into_boxed_slice(),
             Err(i) => self.chains[t][i - 1].clock.clone(),
         };
         clock[t] = clock[t].max(j + 1);
@@ -383,10 +441,10 @@ impl AnchoredVectorClockIndex {
 
     fn join(dst: &mut Clock, src: &[Pos], work: &mut u64) -> bool {
         let mut changed = false;
-        for (d, &s) in dst.iter_mut().zip(src) {
+        for (d, &v) in dst.iter_mut().zip(src) {
             *work += 1;
-            if s > *d {
-                *d = s;
+            if v > *d {
+                *d = v;
                 changed = true;
             }
         }
@@ -426,6 +484,18 @@ impl AnchoredVectorClockIndex {
         }
     }
 
+    /// Widens every anchor clock to `new_stride` entries.
+    fn grow_stride(&mut self, new_stride: usize) {
+        for chain in &mut self.chains {
+            for anchor in chain.iter_mut() {
+                let mut widened = vec![0; new_stride];
+                widened[..anchor.clock.len()].copy_from_slice(&anchor.clock);
+                anchor.clock = widened.into_boxed_slice();
+            }
+        }
+        self.stride = new_stride;
+    }
+
     /// Total per-entry clock joins (propagation work).
     pub fn join_work(&self) -> u64 {
         self.join_work
@@ -438,12 +508,11 @@ impl AnchoredVectorClockIndex {
 }
 
 impl PartialOrderIndex for AnchoredVectorClockIndex {
-    fn new(chains: usize, chain_capacity: usize) -> Self {
-        assert!(chains >= 1, "need at least one chain");
+    fn new() -> Self {
         AnchoredVectorClockIndex {
-            k: chains,
-            cap: chain_capacity,
-            chains: vec![Vec::new(); chains],
+            dom: Domain::new(),
+            stride: 0,
+            chains: Vec::new(),
             edges: 0,
             join_work: 0,
         }
@@ -454,15 +523,30 @@ impl PartialOrderIndex for AnchoredVectorClockIndex {
     }
 
     fn chains(&self) -> usize {
-        self.k
+        self.dom.chains()
     }
 
-    fn chain_capacity(&self) -> usize {
-        self.cap
+    fn chain_len(&self, chain: ThreadId) -> usize {
+        self.dom.chain_len(chain)
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn ensure_chain(&mut self, chain: ThreadId) {
+        if !self.dom.ensure_chain(chain) {
+            return;
+        }
+        let k = self.dom.chains();
+        if k > self.stride {
+            self.grow_stride(k.next_power_of_two());
+        }
+        self.chains.resize_with(k, Vec::new);
+    }
+
+    fn ensure_len(&mut self, chain: ThreadId, len: usize) {
+        self.ensure_chain(chain);
+        self.dom.ensure_len(chain, len);
+    }
+
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
         let (t1, j1) = (from.thread.index(), from.pos);
         let (t2, j2) = (to.thread.index(), to.pos);
         self.ensure_anchor(t1, j1);
@@ -471,11 +555,9 @@ impl PartialOrderIndex for AnchoredVectorClockIndex {
         self.chains[t1][i].out.push(to);
         self.propagate(t1, j1, t2, j2);
         self.edges += 1;
-        Ok(())
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        self.check_edge(from, to)?;
+    fn delete_edge_raw(&mut self, _from: NodeId, _to: NodeId) -> Result<(), PoError> {
         Err(PoError::DeletionUnsupported {
             structure: "anchored vector clocks",
         })
@@ -485,15 +567,20 @@ impl PartialOrderIndex for AnchoredVectorClockIndex {
         if from.thread == to.thread {
             return from.pos <= to.pos;
         }
+        if from.thread.index() >= self.k() || to.thread.index() >= self.k() {
+            return false;
+        }
         self.clock_entry(to.thread.index(), to.pos, from.thread.index()) > from.pos
     }
 
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         let t1 = from.thread.index();
         let t2 = chain.index();
         if t1 == t2 {
             return Some(from.pos);
+        }
+        if t1 >= self.k() || t2 >= self.k() {
+            return None;
         }
         let anchors = &self.chains[t2];
         let i = anchors.partition_point(|a| a.clock[t1] <= from.pos);
@@ -501,11 +588,13 @@ impl PartialOrderIndex for AnchoredVectorClockIndex {
     }
 
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
-        debug_assert!(self.check_node(from).is_ok());
         let t1 = from.thread.index();
         let t2 = chain.index();
         if t1 == t2 {
             return Some(from.pos);
+        }
+        if t1 >= self.k() || t2 >= self.k() {
+            return None;
         }
         match self.clock_entry(t1, from.pos, t2) {
             0 => None,
@@ -527,7 +616,7 @@ impl PartialOrderIndex for AnchoredVectorClockIndex {
                     .sum::<usize>()
             })
             .sum();
-        std::mem::size_of::<Self>() + anchors
+        std::mem::size_of::<Self>() + self.dom.memory_bytes() + anchors
     }
 }
 
@@ -541,13 +630,13 @@ mod tests {
 
     /// Shared behavioural tests for both VC variants.
     fn basic_suite<P: PartialOrderIndex>() {
-        let po = P::new(2, 10);
+        let po = P::with_capacity(2, 10);
         assert!(po.reachable(n(0, 0), n(0, 5)));
         assert!(po.reachable(n(1, 3), n(1, 3)));
         assert!(!po.reachable(n(0, 5), n(0, 0)));
         assert!(!po.reachable(n(0, 0), n(1, 0)));
 
-        let mut po = P::new(2, 100);
+        let mut po = P::new();
         po.insert_edge(n(0, 10), n(1, 20)).unwrap();
         assert!(po.reachable(n(0, 10), n(1, 20)));
         assert!(po.reachable(n(0, 0), n(1, 99)));
@@ -559,8 +648,9 @@ mod tests {
         assert!(po.delete_edge(n(0, 10), n(1, 20)).is_err());
         assert!(!po.supports_deletion());
 
-        // Transitive propagation through existing middle edges.
-        let mut po = P::new(3, 100);
+        // Transitive propagation through existing middle edges, with
+        // chains witnessed on demand.
+        let mut po = P::new();
         po.insert_edge(n(1, 50), n(2, 60)).unwrap();
         po.insert_edge(n(0, 10), n(1, 20)).unwrap();
         assert!(po.reachable(n(0, 10), n(2, 60)));
@@ -570,7 +660,7 @@ mod tests {
         assert_eq!(po.predecessor(n(2, 60), ThreadId(0)), Some(10));
 
         // Diamond joins.
-        let mut po = P::new(4, 50);
+        let mut po = P::with_capacity(4, 50);
         po.insert_edge(n(0, 1), n(1, 2)).unwrap();
         po.insert_edge(n(0, 2), n(2, 3)).unwrap();
         po.insert_edge(n(1, 5), n(3, 8)).unwrap();
@@ -594,13 +684,37 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(VectorClockIndex::new(2, 2).name(), "VCs");
-        assert_eq!(AnchoredVectorClockIndex::new(2, 2).name(), "aVCs");
+        assert_eq!(VectorClockIndex::new().name(), "VCs");
+        assert_eq!(AnchoredVectorClockIndex::new().name(), "aVCs");
+    }
+
+    /// Insert edges on 2 chains, then pull in chain 5: old clocks
+    /// must widen and answers stay consistent across the growth.
+    fn growth_suite<P: PartialOrderIndex>() {
+        let mut po = P::new();
+        po.insert_edge(n(0, 4), n(1, 9)).unwrap();
+        assert_eq!(po.chains(), 2);
+        po.insert_edge(n(1, 12), n(5, 3)).unwrap();
+        assert_eq!(po.chains(), 6);
+        assert!(po.reachable(n(0, 4), n(5, 3)));
+        assert!(po.reachable(n(0, 0), n(5, 40)));
+        assert!(!po.reachable(n(0, 5), n(5, 40)));
+        assert_eq!(po.successor(n(0, 4), ThreadId(5)), Some(3));
+        assert_eq!(po.predecessor(n(5, 3), ThreadId(0)), Some(4));
+        // Unwitnessed chains stay unconnected.
+        assert!(!po.reachable(n(0, 0), n(9, 0)));
+        assert_eq!(po.successor(n(0, 0), ThreadId(9)), None);
+    }
+
+    #[test]
+    fn chain_growth_widens_existing_clocks() {
+        growth_suite::<VectorClockIndex>();
+        growth_suite::<AnchoredVectorClockIndex>();
     }
 
     #[test]
     fn dense_vc_materializes_whole_prefix() {
-        let mut po = VectorClockIndex::new(2, 100_000);
+        let mut po = VectorClockIndex::new();
         po.insert_edge(n(0, 10), n(1, 50_000)).unwrap();
         // The paper's optimization 2 avoids the *suffix* only: the
         // target chain pays one clock row per event up to the edge.
@@ -610,7 +724,7 @@ mod tests {
 
     #[test]
     fn anchored_vc_stays_sparse() {
-        let mut po = AnchoredVectorClockIndex::new(2, 100_000);
+        let mut po = AnchoredVectorClockIndex::new();
         po.insert_edge(n(0, 10), n(1, 50_000)).unwrap();
         assert_eq!(po.anchor_count(), 2);
         assert!(po.reachable(n(0, 3), n(1, 99_999)));
@@ -623,8 +737,8 @@ mod tests {
         // dense VC must walk every later materialized event, while the
         // anchored one touches only anchors.
         let n_events = 5_000u32;
-        let mut dense = VectorClockIndex::new(3, n_events as usize);
-        let mut anchored = AnchoredVectorClockIndex::new(3, n_events as usize);
+        let mut dense = VectorClockIndex::with_capacity(3, n_events as usize);
+        let mut anchored = AnchoredVectorClockIndex::with_capacity(3, n_events as usize);
         // Materialize the chain by a late incoming edge first.
         dense.insert_edge(n(0, 1), n(1, n_events - 1)).unwrap();
         anchored.insert_edge(n(0, 1), n(1, n_events - 1)).unwrap();
@@ -655,7 +769,7 @@ mod tests {
 
     #[test]
     fn early_stop_limits_join_work() {
-        let mut po = VectorClockIndex::new(2, 1000);
+        let mut po = VectorClockIndex::with_capacity(2, 1000);
         // A ladder of edges inserted back to front: each insertion's
         // propagation stops quickly because later events already
         // dominate.

@@ -171,8 +171,8 @@ fn po_ops(k: u32, cap: u32, deletions: bool) -> impl Strategy<Value = Vec<PoOp>>
 /// Applies ops to the structure under test and the oracle, checking all
 /// queries after every step on a subsampled grid.
 fn run_po_against_oracle<P: PartialOrderIndex>(k: u32, cap: u32, ops: &[PoOp]) {
-    let mut sut = P::new(k as usize, cap as usize);
-    let mut oracle = NaiveIndex::new(k as usize, cap as usize);
+    let mut sut = P::with_capacity(k as usize, cap as usize);
+    let mut oracle = NaiveIndex::with_capacity(k as usize, cap as usize);
     let mut live: Vec<(NodeId, NodeId)> = Vec::new();
     for &op in ops {
         match op {
@@ -244,9 +244,9 @@ fn run_po_against_oracle<P: PartialOrderIndex>(k: u32, cap: u32, ops: &[PoOp]) {
 /// leave them agreeing with the fully dynamic structures.
 fn run_cross_structure_script(k: u32, cap: u32, ops: &[PoOp]) {
     let (ku, capu) = (k as usize, cap as usize);
-    let mut csst = Csst::new(ku, capu);
-    let mut graph = GraphIndex::new(ku, capu);
-    let mut oracle = NaiveIndex::new(ku, capu);
+    let mut csst = Csst::with_capacity(ku, capu);
+    let mut graph = GraphIndex::with_capacity(ku, capu);
+    let mut oracle = NaiveIndex::with_capacity(ku, capu);
     let mut live: Vec<(NodeId, NodeId)> = Vec::new();
     for &op in ops {
         match op {
@@ -276,9 +276,9 @@ fn run_cross_structure_script(k: u32, cap: u32, ops: &[PoOp]) {
             }
         }
         // Rebuild the insert-only structures over the surviving edges.
-        let mut inc = IncrementalCsst::new(ku, capu);
-        let mut st = SegTreeIndex::new(ku, capu);
-        let mut vc = VectorClockIndex::new(ku, capu);
+        let mut inc = IncrementalCsst::with_capacity(ku, capu);
+        let mut st = SegTreeIndex::with_capacity(ku, capu);
+        let mut vc = VectorClockIndex::with_capacity(ku, capu);
         for &(u, v) in &live {
             inc.insert_edge(u, v).unwrap();
             st.insert_edge(u, v).unwrap();
@@ -317,6 +317,167 @@ fn run_cross_structure_script(k: u32, cap: u32, ops: &[PoOp]) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Capacity-free growth: random scripts interleaving append/ensure_chain
+// with inserts, deletes, and queries.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum GrowthOp {
+    /// Append one event to chain `t` via the streaming entry point.
+    Append(u32),
+    /// Witness chain `t` (possibly far beyond the current count).
+    EnsureChain(u32),
+    /// Witness `len` events on chain `t`.
+    EnsureLen(u32, u32),
+    /// Insert edge `(t1, j1) → (t2, j2)`; positions may lie well past
+    /// anything witnessed so far (implicit growth). Skipped if cyclic.
+    Insert(u32, u32, u32, u32),
+    /// Delete the i-th currently live edge (mod count).
+    Delete(usize),
+}
+
+fn growth_ops(k: u32, deletions: bool) -> impl Strategy<Value = Vec<GrowthOp>> {
+    let op = prop_oneof![
+        2 => (0..k).prop_map(GrowthOp::Append),
+        1 => (0..k).prop_map(GrowthOp::EnsureChain),
+        1 => (0..k, 1u32..40).prop_map(|(t, l)| GrowthOp::EnsureLen(t, l)),
+        4 => (0..k, 0u32..30, 0..k, 0u32..30)
+            .prop_map(|(t1, j1, t2, j2)| GrowthOp::Insert(t1, j1, t2, j2)),
+        if deletions { 1 } else { 0 } => (0usize..64).prop_map(GrowthOp::Delete),
+    ];
+    prop::collection::vec(op, 1..50)
+}
+
+/// Answers of `po` over a query grid covering the witnessed domain and
+/// a margin beyond it.
+fn query_grid<P: PartialOrderIndex>(
+    po: &P,
+    k: u32,
+    cap: u32,
+) -> Vec<(Option<u32>, Option<u32>, bool)> {
+    let mut out = Vec::new();
+    for t1 in 0..k {
+        for j1 in (0..cap).step_by(4) {
+            let u = NodeId::new(t1, j1);
+            for t2 in 0..k {
+                let c = ThreadId(t2);
+                out.push((
+                    po.successor(u, c),
+                    po.predecessor(u, c),
+                    po.reachable(u, NodeId::new(t2, (j1 * 7 + t2) % cap)),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Runs one growth script on `P`, cross-validated against the naive and
+/// graph oracles after every step, and asserts that *pure growth* of
+/// the domain never changes any query answer.
+fn run_growth_script<P: PartialOrderIndex>(ops: &[GrowthOp]) {
+    let (k, cap) = (6u32, 36u32);
+    let mut sut = P::new();
+    let mut naive = NaiveIndex::new();
+    let mut graph = GraphIndex::new();
+    let mut live: Vec<(NodeId, NodeId)> = Vec::new();
+    for &op in ops {
+        match op {
+            GrowthOp::Append(t) => {
+                let a = sut.append(t);
+                assert_eq!(a, naive.append(t), "{}: append", sut.name());
+                assert_eq!(a, graph.append(t));
+                assert_eq!(sut.chain_len(ThreadId(t)), naive.chain_len(ThreadId(t)));
+            }
+            GrowthOp::EnsureChain(t) => {
+                sut.ensure_chain(ThreadId(t));
+                naive.ensure_chain(ThreadId(t));
+                graph.ensure_chain(ThreadId(t));
+                assert!(sut.chains() > t as usize);
+            }
+            GrowthOp::EnsureLen(t, len) => {
+                sut.ensure_len(ThreadId(t), len as usize);
+                naive.ensure_len(ThreadId(t), len as usize);
+                graph.ensure_len(ThreadId(t), len as usize);
+                assert!(sut.chain_len(ThreadId(t)) >= len as usize);
+            }
+            GrowthOp::Insert(t1, j1, t2, j2) => {
+                if t1 == t2 {
+                    continue;
+                }
+                let u = NodeId::new(t1, j1);
+                let v = NodeId::new(t2, j2);
+                if naive.reachable(v, u) {
+                    continue; // keep the relation acyclic
+                }
+                sut.insert_edge(u, v).unwrap();
+                naive.insert_edge(u, v).unwrap();
+                graph.insert_edge(u, v).unwrap();
+                live.push((u, v));
+            }
+            GrowthOp::Delete(i) => {
+                if live.is_empty() || !sut.supports_deletion() {
+                    continue;
+                }
+                let (u, v) = live.swap_remove(i % live.len());
+                sut.delete_edge(u, v).unwrap();
+                naive.delete_edge(u, v).unwrap();
+                graph.delete_edge(u, v).unwrap();
+            }
+        }
+        // Cross-validate every query against both oracles, including
+        // nodes and chains beyond anything witnessed.
+        for t1 in 0..k {
+            for j1 in (0..cap).step_by(5) {
+                let u = NodeId::new(t1, j1);
+                for t2 in 0..=k {
+                    let c = ThreadId(t2);
+                    let expect = naive.successor(u, c);
+                    assert_eq!(
+                        sut.successor(u, c),
+                        expect,
+                        "{}: successor({u}, {c})",
+                        sut.name()
+                    );
+                    assert_eq!(graph.successor(u, c), expect, "graph: successor({u}, {c})");
+                    let expect = naive.predecessor(u, c);
+                    assert_eq!(
+                        sut.predecessor(u, c),
+                        expect,
+                        "{}: predecessor({u}, {c})",
+                        sut.name()
+                    );
+                    assert_eq!(graph.predecessor(u, c), expect);
+                    let v = NodeId::new(t2, (j1 * 3 + t2) % cap);
+                    let expect = naive.reachable(u, v);
+                    assert_eq!(
+                        sut.reachable(u, v),
+                        expect,
+                        "{}: reachable({u}, {v})",
+                        sut.name()
+                    );
+                    assert_eq!(graph.reachable(u, v), expect);
+                }
+            }
+        }
+    }
+    // Pure growth must never change an answer: snapshot, grow far past
+    // the witnessed domain, and compare.
+    let before = query_grid(&sut, k, cap);
+    for t in 0..k {
+        sut.ensure_len(ThreadId(t), 4 * cap as usize);
+    }
+    sut.ensure_chain(ThreadId(2 * k));
+    let after = query_grid(&sut, k, cap);
+    assert_eq!(
+        before,
+        after,
+        "{}: growth changed query answers",
+        sut.name()
+    );
 }
 
 proptest! {
@@ -369,8 +530,8 @@ proptest! {
         // answers, push extra edges, delete them in reverse, and check
         // the snapshot is restored (the Figure 1c workflow).
         let cap = 12u32;
-        let mut po = Csst::new(k as usize, cap as usize);
-        let mut oracle = NaiveIndex::new(k as usize, cap as usize);
+        let mut po = Csst::with_capacity(k as usize, cap as usize);
+        let mut oracle = NaiveIndex::with_capacity(k as usize, cap as usize);
         for &op in &base {
             if let PoOp::Insert(t1, j1, t2, j2) = op {
                 let (t1, t2) = (t1 % k, t2 % k);
@@ -414,13 +575,26 @@ proptest! {
     }
 
     #[test]
+    fn growth_scripts_match_oracles(ops in growth_ops(6, true)) {
+        run_growth_script::<Csst>(&ops);
+        run_growth_script::<GraphIndex>(&ops);
+    }
+
+    #[test]
+    fn growth_scripts_match_oracles_insert_only(ops in growth_ops(6, false)) {
+        run_growth_script::<IncrementalCsst>(&ops);
+        run_growth_script::<SegTreeIndex>(&ops);
+        run_growth_script::<VectorClockIndex>(&ops);
+    }
+
+    #[test]
     fn lemma_7_incremental_density_bound(ops in po_ops(4, 24, false)) {
         // The density of every transitive array stays bounded by the
         // cross-chain density d of the direct-edge graph.
         let k = 4usize;
         let cap = 24usize;
-        let mut po = IncrementalCsst::new(k, cap);
-        let mut oracle = NaiveIndex::new(k, cap);
+        let mut po = IncrementalCsst::with_capacity(k, cap);
+        let mut oracle = NaiveIndex::with_capacity(k, cap);
         // Direct out-edge source positions per chain.
         let mut sources: Vec<std::collections::HashSet<u32>> =
             vec![std::collections::HashSet::new(); k];

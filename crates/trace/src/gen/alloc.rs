@@ -4,6 +4,7 @@
 use super::{pick_active, rng_from_seed};
 use crate::event::{EventKind, LockId, ObjId, VarId};
 use crate::trace::Trace;
+use csst_core::ThreadId;
 use rand::Rng;
 
 /// Configuration of [`alloc_program`].
@@ -103,11 +104,11 @@ pub fn alloc_program(cfg: &AllocProgramCfg) -> Trace {
             let obj = ObjId(next_obj as u32);
             next_obj += 1;
             if let Protection::Lock(l) = protection {
-                trace.push(owner, EventKind::Acquire { lock: l });
-                trace.push(owner, EventKind::Alloc { obj });
-                trace.push(owner, EventKind::Release { lock: l });
+                trace.push(ThreadId::from_index(owner), EventKind::Acquire { lock: l });
+                trace.push(ThreadId::from_index(owner), EventKind::Alloc { obj });
+                trace.push(ThreadId::from_index(owner), EventKind::Release { lock: l });
             } else {
-                trace.push(owner, EventKind::Alloc { obj });
+                trace.push(ThreadId::from_index(owner), EventKind::Alloc { obj });
             }
             live.push(Live {
                 obj,
@@ -138,18 +139,18 @@ pub fn alloc_program(cfg: &AllocProgramCfg) -> Trace {
             budget[t] += 1;
             let write = rng.gen_bool(0.3);
             if let Protection::Lock(l) = entry.protection {
-                trace.push(t, EventKind::Acquire { lock: l });
+                trace.push(ThreadId::from_index(t), EventKind::Acquire { lock: l });
                 trace.push(
-                    t,
+                    ThreadId::from_index(t),
                     EventKind::Deref {
                         obj: entry.obj,
                         write,
                     },
                 );
-                trace.push(t, EventKind::Release { lock: l });
+                trace.push(ThreadId::from_index(t), EventKind::Release { lock: l });
             } else {
                 trace.push(
-                    t,
+                    ThreadId::from_index(t),
                     EventKind::Deref {
                         obj: entry.obj,
                         write,
@@ -167,32 +168,32 @@ pub fn alloc_program(cfg: &AllocProgramCfg) -> Trace {
             } = live.swap_remove(i);
             match protection {
                 Protection::Lock(l) => {
-                    trace.push(freer, EventKind::Acquire { lock: l });
-                    trace.push(freer, EventKind::Free { obj });
-                    trace.push(freer, EventKind::Release { lock: l });
+                    trace.push(ThreadId::from_index(freer), EventKind::Acquire { lock: l });
+                    trace.push(ThreadId::from_index(freer), EventKind::Free { obj });
+                    trace.push(ThreadId::from_index(freer), EventKind::Release { lock: l });
                 }
                 Protection::Handoff => {
                     // The flag variable of this object: the last user
                     // publishes, the freer acquires the handoff.
                     let flag = VarId(obj.0);
                     trace.push(
-                        last_deref_thread,
+                        ThreadId::from_index(last_deref_thread),
                         EventKind::Write {
                             var: flag,
                             value: next_flag_value,
                         },
                     );
                     trace.push(
-                        freer,
+                        ThreadId::from_index(freer),
                         EventKind::Read {
                             var: flag,
                             value: next_flag_value,
                         },
                     );
-                    trace.push(freer, EventKind::Free { obj });
+                    trace.push(ThreadId::from_index(freer), EventKind::Free { obj });
                 }
                 Protection::None => {
-                    trace.push(freer, EventKind::Free { obj });
+                    trace.push(ThreadId::from_index(freer), EventKind::Free { obj });
                 }
             }
         }

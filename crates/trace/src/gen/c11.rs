@@ -11,6 +11,7 @@
 use super::{pick_active, rng_from_seed};
 use crate::event::{EventKind, MemOrder, VarId};
 use crate::trace::Trace;
+use csst_core::ThreadId;
 use rand::Rng;
 
 /// Configuration of [`c11_program`].
@@ -78,7 +79,7 @@ pub fn c11_program(cfg: &C11Cfg) -> Trace {
             if rng.gen_bool(0.5) {
                 plain_now[var.index()] += 1;
                 trace.push(
-                    t,
+                    ThreadId::from_index(t),
                     EventKind::Write {
                         var,
                         value: plain_now[var.index()],
@@ -86,7 +87,7 @@ pub fn c11_program(cfg: &C11Cfg) -> Trace {
                 );
             } else {
                 trace.push(
-                    t,
+                    ThreadId::from_index(t),
                     EventKind::Read {
                         var,
                         value: plain_now[var.index()],
@@ -103,7 +104,7 @@ pub fn c11_program(cfg: &C11Cfg) -> Trace {
             // the analysis to insert an ordering from a middle-of-trace
             // store to this load.
             trace.push(
-                t,
+                ThreadId::from_index(t),
                 EventKind::AtomicLoad {
                     var,
                     order: MemOrder::Acquire,
@@ -120,7 +121,7 @@ pub fn c11_program(cfg: &C11Cfg) -> Trace {
             atomic_stale[v] = atomic_now[v];
             atomic_now[v] = write;
             trace.push(
-                t,
+                ThreadId::from_index(t),
                 EventKind::AtomicRmw {
                     var,
                     order: MemOrder::AcqRel,
@@ -138,7 +139,10 @@ pub fn c11_program(cfg: &C11Cfg) -> Trace {
             next_value += 1;
             atomic_stale[v] = atomic_now[v];
             atomic_now[v] = value;
-            trace.push(t, EventKind::AtomicStore { var, order, value });
+            trace.push(
+                ThreadId::from_index(t),
+                EventKind::AtomicStore { var, order, value },
+            );
         } else {
             let order = if rng.gen_bool(cfg.release_frac) {
                 MemOrder::Acquire
@@ -146,7 +150,7 @@ pub fn c11_program(cfg: &C11Cfg) -> Trace {
                 MemOrder::Relaxed
             };
             trace.push(
-                t,
+                ThreadId::from_index(t),
                 EventKind::AtomicLoad {
                     var,
                     order,

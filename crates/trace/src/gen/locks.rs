@@ -4,6 +4,7 @@
 use super::{pick_active, rng_from_seed};
 use crate::event::{EventKind, LockId, VarId};
 use crate::trace::Trace;
+use csst_core::ThreadId;
 use rand::Rng;
 
 /// Configuration of [`lock_program`].
@@ -80,22 +81,22 @@ pub fn lock_program(cfg: &LockProgramCfg) -> Trace {
             (LockId(lo), LockId(hi))
         };
         if guard {
-            trace.push(t, EventKind::Acquire { lock: gate });
+            trace.push(ThreadId::from_index(t), EventKind::Acquire { lock: gate });
         }
-        trace.push(t, EventKind::Acquire { lock: first });
+        trace.push(ThreadId::from_index(t), EventKind::Acquire { lock: first });
         // A write inside the outer section and a read of a (possibly
         // different) variable inside the inner one.
         let wvar = VarId(rng.gen_range(0..vars) as u32);
         next_value += 1;
         value[wvar.index()] = next_value;
         trace.push(
-            t,
+            ThreadId::from_index(t),
             EventKind::Write {
                 var: wvar,
                 value: next_value,
             },
         );
-        trace.push(t, EventKind::Acquire { lock: second });
+        trace.push(ThreadId::from_index(t), EventKind::Acquire { lock: second });
         // Mostly re-read the own write (thread-local rf); occasionally
         // read another variable, creating the cross-thread reads-from
         // structure without totally ordering the trace.
@@ -105,16 +106,16 @@ pub fn lock_program(cfg: &LockProgramCfg) -> Trace {
             wvar
         };
         trace.push(
-            t,
+            ThreadId::from_index(t),
             EventKind::Read {
                 var: rvar,
                 value: value[rvar.index()],
             },
         );
-        trace.push(t, EventKind::Release { lock: second });
-        trace.push(t, EventKind::Release { lock: first });
+        trace.push(ThreadId::from_index(t), EventKind::Release { lock: second });
+        trace.push(ThreadId::from_index(t), EventKind::Release { lock: first });
         if guard {
-            trace.push(t, EventKind::Release { lock: gate });
+            trace.push(ThreadId::from_index(t), EventKind::Release { lock: gate });
         }
     }
     trace

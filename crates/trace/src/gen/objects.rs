@@ -10,6 +10,7 @@
 use super::rng_from_seed;
 use crate::event::{EventKind, Method, OpId};
 use crate::trace::Trace;
+use csst_core::ThreadId;
 use rand::Rng;
 use std::collections::HashSet;
 
@@ -85,7 +86,10 @@ pub fn object_history(cfg: &ObjectHistoryCfg) -> Trace {
                 let op = OpId(next_op);
                 next_op += 1;
                 remaining[t] -= 1;
-                trace.push(t, EventKind::Invoke { op, method, arg });
+                trace.push(
+                    ThreadId::from_index(t),
+                    EventKind::Invoke { op, method, arg },
+                );
                 phase[t] = Phase::Pending(op, method, arg);
             }
             Phase::Pending(op, method, arg) => {
@@ -98,7 +102,7 @@ pub fn object_history(cfg: &ObjectHistoryCfg) -> Trace {
                 phase[t] = Phase::Effected(op, result);
             }
             Phase::Effected(op, result) => {
-                let id = trace.push(t, EventKind::Response { op, result });
+                let id = trace.push(ThreadId::from_index(t), EventKind::Response { op, result });
                 responses.push(id);
                 phase[t] = Phase::Idle;
             }

@@ -5,6 +5,7 @@
 use super::{pick_active, rng_from_seed};
 use crate::event::{EventKind, LockId, VarId};
 use crate::trace::Trace;
+use csst_core::ThreadId;
 use rand::Rng;
 
 /// Configuration of [`racy_program`].
@@ -69,7 +70,7 @@ pub fn racy_program(cfg: &RacyProgramCfg) -> Trace {
         let accesses = rng.gen_range(1..=3usize);
         let lock = LockId(rng.gen_range(0..cfg.locks.max(1)) as u32);
         if protected {
-            trace.push(t, EventKind::Acquire { lock });
+            trace.push(ThreadId::from_index(t), EventKind::Acquire { lock });
         }
         for _ in 0..accesses {
             let var = if rng.gen_bool(cfg.shared_frac) {
@@ -80,7 +81,7 @@ pub fn racy_program(cfg: &RacyProgramCfg) -> Trace {
             if rng.gen_bool(cfg.write_frac) {
                 value[var.index()] += 1;
                 trace.push(
-                    t,
+                    ThreadId::from_index(t),
                     EventKind::Write {
                         var,
                         value: value[var.index()],
@@ -88,7 +89,7 @@ pub fn racy_program(cfg: &RacyProgramCfg) -> Trace {
                 );
             } else {
                 trace.push(
-                    t,
+                    ThreadId::from_index(t),
                     EventKind::Read {
                         var,
                         value: value[var.index()],
@@ -97,7 +98,7 @@ pub fn racy_program(cfg: &RacyProgramCfg) -> Trace {
             }
         }
         if protected {
-            trace.push(t, EventKind::Release { lock });
+            trace.push(ThreadId::from_index(t), EventKind::Release { lock });
         }
         remaining[t] = remaining[t].saturating_sub(accesses + if protected { 2 } else { 0 });
     }

@@ -12,6 +12,7 @@
 use super::{pick_active, rng_from_seed};
 use crate::event::{EventKind, VarId};
 use crate::trace::Trace;
+use csst_core::ThreadId;
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -81,7 +82,7 @@ pub fn tso_history(cfg: &TsoCfg) -> Trace {
             next_value += 1;
             buffers[t].push_back((var, value));
             trace.push(
-                t,
+                ThreadId::from_index(t),
                 EventKind::Write {
                     var: VarId(var as u32),
                     value,
@@ -97,7 +98,7 @@ pub fn tso_history(cfg: &TsoCfg) -> Trace {
                 .map(|&(_, val)| val)
                 .unwrap_or(memory[var]);
             trace.push(
-                t,
+                ThreadId::from_index(t),
                 EventKind::Read {
                     var: VarId(var as u32),
                     value,

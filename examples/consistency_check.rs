@@ -27,7 +27,7 @@ fn main() -> Result<(), PoError> {
     let en = b.on(2).read(y, 4);
     let trace = b.build();
 
-    let mut po = Csst::new(trace.num_threads(), trace.max_chain_len());
+    let mut po = Csst::with_capacity(trace.num_threads(), trace.max_chain_len());
 
     // The partial order established so far (Figure 1a): the reads-from
     // edges the analysis has already committed to.

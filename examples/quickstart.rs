@@ -10,10 +10,12 @@
 use csst_core::{Csst, IncrementalCsst, NodeId, PartialOrderIndex, PoError, ThreadId};
 
 fn main() -> Result<(), PoError> {
-    // A partial order over 3 chains (threads) with up to 100 events
-    // each. Events of one chain are implicitly ordered (program
-    // order); only cross-chain orderings are ever inserted.
-    let mut po = Csst::new(3, 100);
+    // A capacity-free partial order: chains (threads) and positions
+    // materialize as they are touched. Events of one chain are
+    // implicitly ordered (program order); only cross-chain orderings
+    // are ever inserted. (With a known workload shape, use
+    // `Csst::with_capacity(chains, chain_capacity)` to pre-size.)
+    let mut po = Csst::new();
 
     let e1 = NodeId::new(0, 10); // event 10 of thread 0
     let e2 = NodeId::new(1, 20); // event 20 of thread 1
@@ -26,7 +28,11 @@ fn main() -> Result<(), PoError> {
     // by an analysis).
     po.insert_edge(e1, e2)?;
     po.insert_edge(e2, e3)?;
-    println!("inserted {} edges", po.edge_count());
+    println!(
+        "inserted {} edges; the domain grew to {} chains",
+        po.edge_count(),
+        po.chains()
+    );
 
     // Reachability is transitive and respects program order.
     assert!(po.reachable(e1, e3));
@@ -56,7 +62,7 @@ fn main() -> Result<(), PoError> {
 
     // The incremental variant answers queries in a single
     // suffix-minima lookup; use it when the analysis never deletes.
-    let mut inc = IncrementalCsst::new(3, 100);
+    let mut inc = IncrementalCsst::with_capacity(3, 100);
     inc.insert_edge(e1, e2)?;
     inc.insert_edge(e2, e3)?;
     assert!(inc.reachable(e1, e3));

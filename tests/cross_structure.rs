@@ -27,12 +27,12 @@ fn incremental_structures_agree_under_random_inserts() {
     for seed in 0..6u64 {
         let (k, cap) = (6u32, 30u32);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut naive = NaiveIndex::new(k as usize, cap as usize);
-        let mut csst = IncrementalCsst::new(k as usize, cap as usize);
-        let mut st = SegTreeIndex::new(k as usize, cap as usize);
-        let mut vc = VectorClockIndex::new(k as usize, cap as usize);
-        let mut avc = AnchoredVectorClockIndex::new(k as usize, cap as usize);
-        let mut dy = Csst::new(k as usize, cap as usize);
+        let mut naive = NaiveIndex::with_capacity(k as usize, cap as usize);
+        let mut csst = IncrementalCsst::with_capacity(k as usize, cap as usize);
+        let mut st = SegTreeIndex::with_capacity(k as usize, cap as usize);
+        let mut vc = VectorClockIndex::with_capacity(k as usize, cap as usize);
+        let mut avc = AnchoredVectorClockIndex::with_capacity(k as usize, cap as usize);
+        let mut dy = Csst::with_capacity(k as usize, cap as usize);
         for _ in 0..80 {
             let (u, v) = random_cross_edge(&mut rng, k, cap);
             if naive.reachable(v, u) {
@@ -75,9 +75,9 @@ fn dynamic_structures_agree_under_insert_delete_mix() {
     for seed in 10..16u64 {
         let (k, cap) = (5u32, 24u32);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut naive = NaiveIndex::new(k as usize, cap as usize);
-        let mut csst = Csst::new(k as usize, cap as usize);
-        let mut graph = GraphIndex::new(k as usize, cap as usize);
+        let mut naive = NaiveIndex::with_capacity(k as usize, cap as usize);
+        let mut csst = Csst::with_capacity(k as usize, cap as usize);
+        let mut graph = GraphIndex::with_capacity(k as usize, cap as usize);
         let mut live: Vec<(NodeId, NodeId)> = Vec::new();
         for step in 0..400 {
             if !live.is_empty() && rng.gen_bool(0.35) {
@@ -124,8 +124,8 @@ fn dynamic_structures_agree_under_insert_delete_mix() {
 
 #[test]
 fn parallel_and_duplicate_edges_delete_cleanly() {
-    let mut csst = Csst::new(3, 20);
-    let mut graph = GraphIndex::new(3, 20);
+    let mut csst = Csst::with_capacity(3, 20);
+    let mut graph = GraphIndex::with_capacity(3, 20);
     let u = NodeId::new(0, 5);
     let v = NodeId::new(1, 7);
     for _ in 0..3 {
@@ -149,9 +149,9 @@ fn memory_ordering_between_structures_on_sparse_workload() {
     // With few cross edges over long chains, CSST memory must be far
     // below the dense segment-tree baseline and below dense VCs.
     let (k, cap) = (8usize, 50_000usize);
-    let mut csst = IncrementalCsst::new(k, cap);
-    let mut st = SegTreeIndex::new(k, cap);
-    let mut vc = VectorClockIndex::new(k, cap);
+    let mut csst = IncrementalCsst::with_capacity(k, cap);
+    let mut st = SegTreeIndex::with_capacity(k, cap);
+    let mut vc = VectorClockIndex::with_capacity(k, cap);
     let mut rng = SmallRng::seed_from_u64(99);
     for _ in 0..64 {
         let t1 = rng.gen_range(0..k) as u32;

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 /// Builds the observed order of a trace in a given representation:
 /// fork/join plus reads-from edges.
 fn observed_order<P: PartialOrderIndex>(trace: &Trace) -> P {
-    let mut po = P::new(trace.num_threads().max(1), trace.max_chain_len().max(1));
+    let mut po = P::with_capacity(trace.num_threads().max(1), trace.max_chain_len().max(1));
     for (id, ev) in trace.iter_order() {
         match ev.kind {
             EventKind::Fork { child } if child != id.thread && trace.thread_len(child) > 0 => {
@@ -129,7 +129,7 @@ fn figure_1_walkthrough_with_deletions() {
     let en = b.on(2).read(y, 4);
     let trace = b.build();
 
-    let mut po = Csst::new(trace.num_threads(), trace.max_chain_len());
+    let mut po = Csst::with_capacity(trace.num_threads(), trace.max_chain_len());
     po.insert_edge(e5, e1).unwrap();
 
     // Trial 1: e3 ↦ e2 with saturation edges.
@@ -172,9 +172,9 @@ fn deep_transitive_chains_across_many_threads() {
     // discover reachability through k−1 hops.
     let k = 12usize;
     let cap = 40usize;
-    let mut csst = Csst::new(k, cap);
-    let mut inc = IncrementalCsst::new(k, cap);
-    let mut vc = VectorClockIndex::new(k, cap);
+    let mut csst = Csst::with_capacity(k, cap);
+    let mut inc = IncrementalCsst::with_capacity(k, cap);
+    let mut vc = VectorClockIndex::with_capacity(k, cap);
     for t in 0..(k - 1) as u32 {
         let u = NodeId::new(t, 2 * t + 1);
         let v = NodeId::new(t + 1, 2 * t);

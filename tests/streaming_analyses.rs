@@ -1,0 +1,174 @@
+//! Acceptance test for the unified streaming `Analysis` trait: every
+//! analysis, fed one event at a time through `Analysis::feed`, must
+//! produce a report identical to its batch entry point on every
+//! `gen::*` workload family.
+//!
+//! The batch entry points are thin wrappers over the trait, so this
+//! also pins down that the wrappers stream faithfully (ordering,
+//! thread assignment, configs) and that streaming runs are
+//! deterministic.
+
+use csst_analyses::{c11, deadlock, hb, linearizability, membug, race, tso, uaf, Analysis};
+use csst_core::{Csst, IncrementalCsst, PartialOrderIndex, VectorClockIndex};
+use csst_trace::{gen, Trace};
+
+/// Feeds `trace` event by event — the streaming side of the
+/// comparison, deliberately not using `Analysis::run`.
+fn stream<A: Analysis>(trace: &Trace, cfg: A::Cfg) -> A::Report {
+    let mut analysis = A::new(cfg);
+    for (id, ev) in trace.iter_order() {
+        analysis.feed(id.thread, ev.kind);
+    }
+    analysis.finish()
+}
+
+fn racy(seed: u64) -> Trace {
+    gen::racy_program(&gen::RacyProgramCfg {
+        threads: 5,
+        events_per_thread: 120,
+        shared_frac: 0.3,
+        lock_frac: 0.5,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn race_streaming_matches_batch() {
+    for seed in 0..3 {
+        let trace = racy(seed);
+        let cfg = race::RaceCfg {
+            max_candidates: 30,
+            ..Default::default()
+        };
+        let batch = race::predict::<IncrementalCsst>(&trace, &cfg);
+        let streamed = stream::<race::RacePredictor<IncrementalCsst>>(&trace, cfg.clone());
+        assert_eq!(batch.races, streamed.races, "seed {seed}");
+        assert_eq!(batch.candidates, streamed.candidates);
+        assert_eq!(batch.base_inserted, streamed.base_inserted);
+    }
+}
+
+#[test]
+fn hb_streaming_matches_batch() {
+    for seed in 0..3 {
+        let trace = racy(seed);
+        let batch = hb::detect::<VectorClockIndex>(&trace);
+        let streamed = stream::<hb::HbDetector<VectorClockIndex>>(&trace, ());
+        assert_eq!(batch.races, streamed.races, "seed {seed}");
+        assert_eq!(batch.sync_edges, streamed.sync_edges);
+        // The genuinely streaming detector holds no event buffer, so
+        // its index must have witnessed exactly the trace's domain.
+        assert_eq!(streamed.hb.chains(), trace.num_threads());
+        for t in 0..trace.num_threads() {
+            let t = csst_core::ThreadId(t as u32);
+            assert_eq!(streamed.hb.chain_len(t), trace.thread_len(t));
+        }
+    }
+}
+
+#[test]
+fn deadlock_streaming_matches_batch() {
+    for seed in 0..3 {
+        let trace = gen::lock_program(&gen::LockProgramCfg {
+            threads: 4,
+            blocks_per_thread: 80,
+            inversion_frac: 0.1,
+            seed,
+            ..Default::default()
+        });
+        let cfg = deadlock::DeadlockCfg {
+            max_patterns: 10,
+            ..Default::default()
+        };
+        let batch = deadlock::predict::<IncrementalCsst>(&trace, &cfg);
+        let streamed = stream::<deadlock::DeadlockPredictor<IncrementalCsst>>(&trace, cfg.clone());
+        assert_eq!(batch.patterns, streamed.patterns, "seed {seed}");
+        assert_eq!(batch.deadlocks.len(), streamed.deadlocks.len());
+    }
+}
+
+#[test]
+fn membug_and_uaf_streaming_match_batch() {
+    for seed in 0..3 {
+        let trace = gen::alloc_program(&gen::AllocProgramCfg {
+            threads: 4,
+            objects: 120,
+            remote_free_frac: 0.6,
+            seed,
+            ..Default::default()
+        });
+        let cfg = membug::MemBugCfg {
+            max_candidates: 30,
+            ..Default::default()
+        };
+        let batch = membug::predict::<IncrementalCsst>(&trace, &cfg);
+        let streamed = stream::<membug::MemBugPredictor<IncrementalCsst>>(&trace, cfg.clone());
+        assert_eq!(batch.bugs, streamed.bugs, "seed {seed}");
+
+        let cfg = uaf::UafCfg::default();
+        let batch = uaf::generate::<IncrementalCsst>(&trace, &cfg);
+        let streamed = stream::<uaf::UafGenerator<IncrementalCsst>>(&trace, cfg.clone());
+        assert_eq!(batch.candidates, streamed.candidates, "seed {seed}");
+        assert_eq!(batch.pruned, streamed.pruned);
+        assert_eq!(batch.total_constraints, streamed.total_constraints);
+    }
+}
+
+#[test]
+fn tso_streaming_matches_batch() {
+    for seed in 0..3 {
+        let trace = gen::tso_history(&gen::TsoCfg {
+            threads: 4,
+            events_per_thread: 150,
+            seed,
+            ..Default::default()
+        });
+        let cfg = tso::TsoCheckCfg::default();
+        let batch = tso::check::<IncrementalCsst>(&trace, &cfg);
+        let streamed = stream::<tso::TsoChecker<IncrementalCsst>>(&trace, cfg.clone());
+        assert_eq!(batch.consistent, streamed.consistent, "seed {seed}");
+        assert_eq!(batch.inserted, streamed.inserted);
+        assert_eq!(batch.rounds, streamed.rounds);
+    }
+}
+
+#[test]
+fn c11_streaming_matches_batch() {
+    for seed in 0..3 {
+        let trace = gen::c11_program(&gen::C11Cfg {
+            threads: 5,
+            events_per_thread: 300,
+            middle_sync_frac: 0.1,
+            seed,
+            ..Default::default()
+        });
+        let cfg = c11::C11Cfg::default();
+        let batch = c11::detect::<IncrementalCsst>(&trace, &cfg);
+        let streamed = stream::<c11::C11Detector<IncrementalCsst>>(&trace, cfg.clone());
+        assert_eq!(batch.races, streamed.races, "seed {seed}");
+        assert_eq!(batch.sw_edges, streamed.sw_edges);
+        assert_eq!(batch.fr_edges, streamed.fr_edges);
+    }
+}
+
+#[test]
+fn linearizability_streaming_matches_batch() {
+    for seed in 0..3 {
+        let trace = gen::object_history(&gen::ObjectHistoryCfg {
+            threads: 3,
+            ops_per_thread: 60,
+            violation: true,
+            seed,
+            ..Default::default()
+        });
+        let cfg = linearizability::LinCfg::default();
+        let batch = linearizability::analyze::<Csst>(&trace, &cfg);
+        let streamed = stream::<linearizability::LinAnalyzer<Csst>>(&trace, cfg.clone());
+        assert_eq!(batch.verdict, streamed.verdict, "seed {seed}");
+        assert_eq!(batch.steps, streamed.steps);
+        assert_eq!(batch.backtracks, streamed.backtracks);
+        assert_eq!(batch.inserted, streamed.inserted);
+        assert_eq!(batch.deleted, streamed.deleted);
+    }
+}

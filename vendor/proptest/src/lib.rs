@@ -3,7 +3,7 @@
 //!
 //! The build environment has no registry access, so this vendored shim
 //! implements the subset of proptest used by the workspace's property
-//! tests: the [`proptest!`] macro, [`Strategy`] with `prop_map`/`boxed`,
+//! tests: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with `prop_map`/`boxed`,
 //! range/tuple/[`Just`](strategy::Just) strategies, weighted
 //! [`prop_oneof!`], [`collection::vec`], [`option::of`],
 //! [`arbitrary::any`], and the `prop_assert*` macros.
