@@ -2,23 +2,58 @@
 //!
 //! An [`Analysis`] consumes one event at a time ([`feed`]) and produces
 //! its report when the stream ends ([`finish`]) — the shape an online
-//! system serving live event streams needs. Two kinds of analyses
+//! system serving live event streams needs. Three kinds of analyses
 //! implement it:
 //!
-//! * **Genuinely streaming** analyses (e.g. [`crate::hb::HbDetector`])
-//!   update a growable [`csst_core::PartialOrderIndex`] per event and
-//!   keep no event buffer: memory tracks the synchronization structure,
-//!   not the trace length.
+//! * **Genuinely streaming** analyses ([`crate::hb::HbDetector`],
+//!   [`crate::c11::C11Detector`]) update a growable
+//!   [`csst_core::PartialOrderIndex`] per event and keep no event
+//!   buffer: memory tracks the synchronization structure, not the
+//!   trace length.
 //! * **Predictive** analyses (races, deadlocks, memory bugs, …)
-//!   fundamentally reason about *reorderings of the whole trace*, so
-//!   their streaming form accumulates events into an internal
-//!   [`Trace`] and runs the batch core at [`finish`] — the buffering is
-//!   an implementation detail behind the same interface.
+//!   fundamentally reason about *reorderings of the trace*. Their
+//!   streaming form still builds the **base order** — fork/join,
+//!   reads-from, issue/commit or real-time edges — incrementally per
+//!   event through a [`crate::BaseOrderBuilder`]; only the candidate
+//!   generation and witness checks run over buffered events at
+//!   [`finish`] (or per window, below).
+//! * **Windowed** predictive analyses bound that buffer: with
+//!   `window: Some(n)` in their configuration, the stream is analyzed
+//!   as consecutive *tumbling* windows of `n` events, candidates are
+//!   emitted per window, and retirement removes the window's base-order
+//!   edges via [`csst_core::PartialOrderIndex::delete_edge`], so peak
+//!   buffered events never exceed `n`.
 //!
 //! Every batch entry point (`predict`, `detect`, `check`, `generate`,
 //! `analyze`) is a thin wrapper that streams the given trace through
 //! [`feed`], so batch and streaming runs are the same code path by
 //! construction.
+//!
+//! # Windowing soundness contract
+//!
+//! Windowed runs trade completeness for bounded memory under a precise
+//! contract:
+//!
+//! * **Each window is analyzed as an independent execution.** Every
+//!   report is witnessed by a correct reordering of the events of its
+//!   own window under the constraints observed *within* that window —
+//!   no false positives with respect to the windowed observation, in
+//!   exactly the sense that any predictive tool's report is relative to
+//!   the trace it was shown.
+//! * **No report spans a window boundary.** Candidate pairs, deadlock
+//!   patterns and consistency violations involving events of different
+//!   windows are never examined: reports beyond the window are
+//!   *missed*, never misreported.
+//! * **Boundary constraints are dropped conservatively for the
+//!   window.** A read observing a retired writer contributes no
+//!   reads-from constraint, a fork/join edge to a retired event is
+//!   skipped, and a lock section spanning the boundary loses its
+//!   mutual-exclusion pairing — each window sees exactly the
+//!   constraints its own events generate.
+//! * **Window-respecting traces lose nothing.** If every constraint
+//!   and candidate pair of the trace falls within single windows (in
+//!   particular, whenever the trace fits in one window), the windowed
+//!   run produces exactly the batch report.
 //!
 //! [`feed`]: Analysis::feed
 //! [`finish`]: Analysis::finish
@@ -51,9 +86,14 @@ pub trait Analysis: Sized {
 
     /// Consumes the next event of the stream: the event is appended to
     /// `thread`'s chain (positions are assigned in arrival order).
+    ///
+    /// Predictive analyses extend their base order here; windowed runs
+    /// additionally emit the window's candidates and retire it when the
+    /// window fills.
     fn feed(&mut self, thread: ThreadId, event: EventKind);
 
-    /// Ends the stream and produces the report.
+    /// Ends the stream and produces the report (analyzing the final —
+    /// possibly partial — window first).
     fn finish(self) -> Self::Report;
 
     /// Streams a recorded trace through [`feed`](Self::feed) in its
@@ -66,44 +106,3 @@ pub trait Analysis: Sized {
         analysis.finish()
     }
 }
-
-/// Defines the streaming form of a *predictive* analysis: events are
-/// buffered into an internal [`Trace`] and the batch core runs at
-/// `finish` (prediction reasons about reorderings of the whole trace,
-/// so no online algorithm exists).
-macro_rules! buffered_analysis {
-    (
-        $(#[$meta:meta])*
-        $name:ident { cfg: $cfg:ty, report: $report:ty, batch: $batch:path $(,)? }
-    ) => {
-        $(#[$meta])*
-        #[derive(Debug)]
-        pub struct $name<P> {
-            cfg: $cfg,
-            trace: csst_trace::Trace,
-            _index: std::marker::PhantomData<fn() -> P>,
-        }
-
-        impl<P: csst_core::PartialOrderIndex> $crate::Analysis for $name<P> {
-            type Cfg = $cfg;
-            type Report = $report;
-
-            fn new(cfg: Self::Cfg) -> Self {
-                $name {
-                    cfg,
-                    trace: csst_trace::Trace::new(0),
-                    _index: std::marker::PhantomData,
-                }
-            }
-
-            fn feed(&mut self, thread: csst_core::ThreadId, event: csst_trace::EventKind) {
-                self.trace.push(thread, event);
-            }
-
-            fn finish(self) -> Self::Report {
-                $batch(&self.trace, &self.cfg)
-            }
-        }
-    };
-}
-pub(crate) use buffered_analysis;

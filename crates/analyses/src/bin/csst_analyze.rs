@@ -1,7 +1,8 @@
 //! `csst-analyze` — run any registered analysis on a trace file.
 //!
 //! ```text
-//! csst-analyze <analysis> <trace-file> [--index csst|st|vc|graph] [--format text|rapid]
+//! csst-analyze <analysis> <trace-file> [--index csst|st|vc|graph]
+//!              [--format text|rapid] [--window N]
 //! csst-analyze --list
 //! ```
 //!
@@ -11,6 +12,14 @@
 //! here with no CLI changes. Trace formats: the native format of
 //! `csst_trace::text` (default) or the RAPID/STD format of
 //! `csst_trace::rapid`.
+//!
+//! `--window N` bounds the predictive analyses' memory: the trace is
+//! analyzed as consecutive `N`-event windows, each window's base-order
+//! edges are retired through `delete_edge` (fully dynamic index
+//! required: `csst` or `graph`), and peak buffered events never exceed
+//! `N`. Windowing is *sound per window* — every report is witnessed
+//! within its own window — but reports spanning window boundaries are
+//! missed.
 //!
 //! Example:
 //!
@@ -30,9 +39,14 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     let names: Vec<&str> = registry::entries().iter().map(|e| e.name).collect();
     eprintln!(
-        "usage: csst-analyze <analysis> <trace-file> [--index csst|st|vc|graph] [--format text|rapid]\n\
+        "usage: csst-analyze <analysis> <trace-file> [--index csst|st|vc|graph] [--format text|rapid] [--window N]\n\
          \x20      csst-analyze --list\n\
-         analyses: {}",
+         analyses: {}\n\
+         --window N: bounded-memory mode — the trace is analyzed as consecutive\n\
+         \x20   N-event windows (sound per window: reports never span a window\n\
+         \x20   boundary and each is witnessed within its own window; reports\n\
+         \x20   beyond the window are missed). Needs a fully dynamic index\n\
+         \x20   (csst|graph), because window retirement deletes edges.",
         names.join(" ")
     );
     ExitCode::from(2)
@@ -57,6 +71,7 @@ fn main() -> ExitCode {
     let path = args[1].as_str();
     let mut index = IndexKind::Csst;
     let mut format = "text";
+    let mut window: Option<usize> = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -72,12 +87,28 @@ fn main() -> ExitCode {
                 format = args[i + 1].as_str();
                 i += 2;
             }
+            "--window" if i + 1 < args.len() => {
+                match args[i + 1].parse::<usize>() {
+                    Ok(n) if n > 0 => window = Some(n),
+                    _ => {
+                        eprintln!(
+                            "--window needs a positive event count, got `{}`",
+                            args[i + 1]
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             _ => return usage(),
         }
     }
-    let Some(entry) = registry::find(analysis) else {
-        eprintln!("unknown analysis `{analysis}`");
-        return usage();
+    let entry = match registry::resolve(analysis) {
+        Ok(entry) => entry,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     };
     let input = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -106,7 +137,7 @@ fn main() -> ExitCode {
         trace.total_events(),
         trace.num_threads()
     );
-    match entry.run(&trace, index) {
+    match entry.run(&trace, index, window) {
         Ok(out) => {
             for line in &out.lines {
                 println!("{line}");

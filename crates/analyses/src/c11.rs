@@ -16,9 +16,33 @@
 //! which sits in the middle of the order and has many successors. The
 //! [`middle_sync_frac`](csst_trace::gen::C11Cfg::middle_sync_frac) knob
 //! of the generator controls how often that happens.
+//!
+//! **Classification:** genuinely online. *Detects* plain-access races
+//! under C11 synchronization. *Base order:* happens-before from
+//! synchronizes-with and from-read edges, built online per event — no
+//! event is ever buffered. *Buffering:* none; **windowed** runs
+//! ([`C11Cfg::window`]) only reset the synchronization state and
+//! retire the window's edges to bound the live edge set.
+//!
+//! ```
+//! use csst_analyses::c11::{self, C11Cfg};
+//! use csst_core::IncrementalCsst;
+//! use csst_trace::{MemOrder, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new();
+//! let (data, flag) = (b.var("data"), b.var("flag"));
+//! b.on(0).write(data, 1);
+//! b.on(0).atomic_store(flag, MemOrder::Release, 1);
+//! b.on(1).atomic_load(flag, MemOrder::Acquire, 1);
+//! b.on(1).read(data, 1);
+//! let report = c11::detect::<IncrementalCsst>(&b.build(), &C11Cfg::default());
+//! assert!(report.races.is_empty());
+//! assert_eq!(report.window.peak_buffered, 0); // nothing is buffered
+//! ```
 
-use crate::common::index_for_trace;
-use csst_core::{NodeId, PartialOrderIndex};
+use crate::common::{BaseOrderBuilder, WindowStats};
+use crate::Analysis;
+use csst_core::{NodeId, PartialOrderIndex, ThreadId};
 use csst_trace::{EventKind, Trace, VarId};
 use std::collections::HashMap;
 
@@ -27,6 +51,11 @@ use std::collections::HashMap;
 pub struct C11Cfg {
     /// Also treat relaxed reads-from edges as ordering (off in C11).
     pub relaxed_orders: bool,
+    /// Tumbling-window size: every `n` events the synchronization
+    /// state is reset and the window's hb edges are retired, so the
+    /// live edge set stays bounded. The detector itself buffers no
+    /// events in any mode. See the [`Analysis`] soundness contract.
+    pub window: Option<usize>,
 }
 
 /// Result of a C11 race detection run.
@@ -41,120 +70,120 @@ pub struct C11Report<P> {
     /// From-read edges inserted (non-streaming: target is a middle
     /// event with successors).
     pub fr_edges: usize,
+    /// Streaming/windowing counters of the run.
+    pub window: WindowStats,
 }
 
 /// Atomic-store bookkeeping: the writing event and whether it carries
 /// release semantics.
+#[derive(Debug)]
 struct StoreInfo {
     event: NodeId,
     release: bool,
 }
 
-/// Handles an atomic read (load or the read half of an RMW): inserts
-/// the synchronizes-with edge (streaming) and, for stale observations,
-/// the from-read edge (middle-of-trace). Returns `(sw, fr)` counts.
-fn handle_atomic_read<P: PartialOrderIndex>(
-    hb: &mut P,
-    cfg: &C11Cfg,
-    store_of_value: &HashMap<u64, StoreInfo>,
-    overwritten_by: &HashMap<u64, u64>,
-    id: NodeId,
-    value: u64,
-    acquire: bool,
-) -> (usize, usize) {
-    if value == 0 {
-        return (0, 0);
-    }
-    let mut sw = 0usize;
-    let mut fr = 0usize;
-    let Some(info) = store_of_value.get(&value) else {
-        return (0, 0);
-    };
-    let s = info.event;
-    // Synchronizes-with: release store → acquire load. The target is
-    // the current event: a streaming insertion.
-    if s.thread != id.thread
-        && (info.release && acquire || cfg.relaxed_orders)
-        && hb.insert_edge_checked(s, id).is_ok()
-    {
-        sw += 1;
-    }
-    // From-read: if the observed value is stale, the load is
-    // coherence-ordered before the overwriting store — a
-    // middle-of-trace target with successors.
-    if let Some(&next) = overwritten_by.get(&value) {
-        let s_next = store_of_value[&next].event;
-        if s_next.thread != id.thread && hb.insert_edge_checked(id, s_next).is_ok() {
-            fr += 1;
+/// Plain-access bookkeeping for the race check: per variable, the last
+/// write and the last read of each thread.
+#[derive(Debug, Clone, Default)]
+struct PlainState {
+    last_write: Option<NodeId>,
+    last_read: Vec<Option<NodeId>>,
+}
+
+/// Genuinely online C11Tester-style detector: every [`feed`] updates
+/// the happens-before index and checks conflicting plain accesses
+/// immediately — no event is ever buffered, exactly like
+/// [`crate::hb::HbDetector`]. With [`C11Cfg::window`] set, the
+/// synchronization state resets every `n` events and the window's hb
+/// edges are retired, bounding the live edge set.
+///
+/// [`feed`]: Analysis::feed
+#[derive(Debug)]
+pub struct C11Detector<P> {
+    cfg: C11Cfg,
+    builder: BaseOrderBuilder<P>,
+    store_of_value: HashMap<u64, StoreInfo>,
+    /// Coherence bookkeeping: the latest value of each atomic variable
+    /// and, per value, the value that overwrote it.
+    latest_of_var: HashMap<VarId, u64>,
+    overwritten_by: HashMap<u64, u64>,
+    plain: HashMap<VarId, PlainState>,
+    races: Vec<(NodeId, NodeId)>,
+    sw_edges: usize,
+    fr_edges: usize,
+}
+
+impl<P: PartialOrderIndex> C11Detector<P> {
+    /// Handles an atomic read (load or the read half of an RMW):
+    /// inserts the synchronizes-with edge (streaming) and, for stale
+    /// observations, the from-read edge (middle-of-trace).
+    fn handle_atomic_read(&mut self, id: NodeId, value: u64, acquire: bool) {
+        if value == 0 {
+            return;
+        }
+        let Some(info) = self.store_of_value.get(&value) else {
+            return;
+        };
+        let s = info.event;
+        // Synchronizes-with: release store → acquire load. The target
+        // is the current event: a streaming insertion.
+        if s.thread != id.thread
+            && (info.release && acquire || self.cfg.relaxed_orders)
+            && self.builder.insert_logged_checked(s, id).is_ok()
+        {
+            self.sw_edges += 1;
+        }
+        // From-read: if the observed value is stale, the load is
+        // coherence-ordered before the overwriting store — a
+        // middle-of-trace target with successors.
+        if let Some(&next) = self.overwritten_by.get(&value) {
+            let s_next = self.store_of_value[&next].event;
+            if s_next.thread != id.thread && self.builder.insert_logged_checked(id, s_next).is_ok()
+            {
+                self.fr_edges += 1;
+            }
         }
     }
-    (sw, fr)
-}
 
-crate::analysis::buffered_analysis! {
-    /// Streaming form of [`detect`]: buffers the event stream and runs
-    /// the C11Tester-style detection at `finish` (from-read edges need
-    /// the full modification order, so the pass is offline).
-    C11Detector { cfg: C11Cfg, report: C11Report<P>, batch: detect_buffered }
-}
-
-/// Processes the trace in order, maintaining hb and checking plain
-/// accesses for races, mirroring the C11Tester op mix: a thin wrapper
-/// streaming the trace through [`C11Detector`].
-pub fn detect<P: PartialOrderIndex>(trace: &Trace, cfg: &C11Cfg) -> C11Report<P> {
-    use crate::Analysis;
-    C11Detector::<P>::run(trace, cfg.clone())
-}
-
-fn detect_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &C11Cfg) -> C11Report<P> {
-    let mut hb: P = index_for_trace(trace);
-    let k = trace.num_threads();
-    let mut sw_edges = 0usize;
-    let mut fr_edges = 0usize;
-
-    let mut store_of_value: HashMap<u64, StoreInfo> = HashMap::new();
-    // Coherence bookkeeping: the latest value of each atomic variable
-    // and, per value, the value that overwrote it.
-    let mut latest_of_var: HashMap<VarId, u64> = HashMap::new();
-    let mut overwritten_by: HashMap<u64, u64> = HashMap::new();
-
-    // Plain-access bookkeeping for the race check: per variable, the
-    // last write and the last read of each thread.
-    #[derive(Clone)]
-    struct PlainState {
-        last_write: Option<NodeId>,
-        last_read: Vec<Option<NodeId>>,
-    }
-    let mut plain: HashMap<VarId, PlainState> = HashMap::new();
-    let mut races = Vec::new();
-
-    let record_store = |store_of_value: &mut HashMap<u64, StoreInfo>,
-                        latest_of_var: &mut HashMap<VarId, u64>,
-                        overwritten_by: &mut HashMap<u64, u64>,
-                        id: NodeId,
-                        var: VarId,
-                        value: u64,
-                        release: bool| {
-        store_of_value.insert(value, StoreInfo { event: id, release });
-        if let Some(prev) = latest_of_var.insert(var, value) {
-            overwritten_by.insert(prev, value);
+    fn record_store(&mut self, id: NodeId, var: VarId, value: u64, release: bool) {
+        self.store_of_value
+            .insert(value, StoreInfo { event: id, release });
+        if let Some(prev) = self.latest_of_var.insert(var, value) {
+            self.overwritten_by.insert(prev, value);
         }
-    };
+    }
 
-    for (id, ev) in trace.iter_order() {
-        match ev.kind {
+    fn read_slot(st: &mut PlainState, t: ThreadId) -> &mut Option<NodeId> {
+        if t.index() >= st.last_read.len() {
+            st.last_read.resize(t.index() + 1, None);
+        }
+        &mut st.last_read[t.index()]
+    }
+}
+
+impl<P: PartialOrderIndex> Analysis for C11Detector<P> {
+    type Cfg = C11Cfg;
+    type Report = C11Report<P>;
+
+    fn new(cfg: Self::Cfg) -> Self {
+        C11Detector {
+            builder: BaseOrderBuilder::counting(cfg.window),
+            cfg,
+            store_of_value: HashMap::new(),
+            latest_of_var: HashMap::new(),
+            overwritten_by: HashMap::new(),
+            plain: HashMap::new(),
+            races: Vec::new(),
+            sw_edges: 0,
+            fr_edges: 0,
+        }
+    }
+
+    fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        let id = self.builder.feed(thread, event);
+        match event {
             EventKind::AtomicLoad { order, value, .. } => {
-                let (sw, fr) = handle_atomic_read(
-                    &mut hb,
-                    cfg,
-                    &store_of_value,
-                    &overwritten_by,
-                    id,
-                    value,
-                    order.is_acquire(),
-                );
-                sw_edges += sw;
-                fr_edges += fr;
+                self.handle_atomic_read(id, value, order.is_acquire());
             }
             EventKind::AtomicRmw {
                 var,
@@ -162,78 +191,66 @@ fn detect_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &C11Cfg) -> C11Repo
                 read,
                 write,
             } => {
-                let (sw, fr) = handle_atomic_read(
-                    &mut hb,
-                    cfg,
-                    &store_of_value,
-                    &overwritten_by,
-                    id,
-                    read,
-                    order.is_acquire(),
-                );
-                sw_edges += sw;
-                fr_edges += fr;
-                record_store(
-                    &mut store_of_value,
-                    &mut latest_of_var,
-                    &mut overwritten_by,
-                    id,
-                    var,
-                    write,
-                    order.is_release(),
-                );
+                self.handle_atomic_read(id, read, order.is_acquire());
+                self.record_store(id, var, write, order.is_release());
             }
             EventKind::AtomicStore { var, order, value } => {
-                record_store(
-                    &mut store_of_value,
-                    &mut latest_of_var,
-                    &mut overwritten_by,
-                    id,
-                    var,
-                    value,
-                    order.is_release(),
-                );
+                self.record_store(id, var, value, order.is_release());
             }
             EventKind::Read { var, .. } => {
-                let st = plain.entry(var).or_insert_with(|| PlainState {
-                    last_write: None,
-                    last_read: vec![None; k],
-                });
+                let st = self.plain.entry(var).or_default();
                 if let Some(w) = st.last_write {
-                    if w.thread != id.thread && !hb.reachable(w, id) {
-                        races.push((w, id));
+                    if w.thread != thread && !self.builder.po().reachable(w, id) {
+                        self.races.push((w, id));
                     }
                 }
-                st.last_read[id.thread.index()] = Some(id);
+                *Self::read_slot(st, thread) = Some(id);
             }
             EventKind::Write { var, .. } => {
-                let st = plain.entry(var).or_insert_with(|| PlainState {
-                    last_write: None,
-                    last_read: vec![None; k],
-                });
+                let st = self.plain.entry(var).or_default();
                 if let Some(w) = st.last_write {
-                    if w.thread != id.thread && !hb.reachable(w, id) {
-                        races.push((w, id));
+                    if w.thread != thread && !self.builder.po().reachable(w, id) {
+                        self.races.push((w, id));
                     }
                 }
                 for r in st.last_read.iter().flatten() {
-                    if r.thread != id.thread && !hb.reachable(*r, id) {
-                        races.push((*r, id));
+                    if r.thread != thread && !self.builder.po().reachable(*r, id) {
+                        self.races.push((*r, id));
                     }
                 }
                 st.last_write = Some(id);
-                st.last_read = vec![None; k];
+                st.last_read.clear();
             }
             _ => {}
         }
+        if self.builder.window_full() {
+            // Window boundary: retire the window's hb edges and reset
+            // the synchronization state, so later events never pair
+            // with retired ones.
+            self.builder.retire_window();
+            self.store_of_value.clear();
+            self.latest_of_var.clear();
+            self.overwritten_by.clear();
+            self.plain.clear();
+        }
     }
 
-    C11Report {
-        hb,
-        races,
-        sw_edges,
-        fr_edges,
+    fn finish(self) -> C11Report<P> {
+        C11Report {
+            races: self.races,
+            sw_edges: self.sw_edges,
+            fr_edges: self.fr_edges,
+            window: self.builder.stats(),
+            hb: self.builder.into_po(),
+        }
     }
+}
+
+/// Processes the trace in order, maintaining hb and checking plain
+/// accesses for races, mirroring the C11Tester op mix: a thin wrapper
+/// streaming the trace through [`C11Detector`].
+pub fn detect<P: PartialOrderIndex>(trace: &Trace, cfg: &C11Cfg) -> C11Report<P> {
+    C11Detector::<P>::run(trace, cfg.clone())
 }
 
 #[cfg(test)]

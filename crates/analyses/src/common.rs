@@ -1,9 +1,17 @@
-//! Shared infrastructure for the analyses: index construction helpers,
+//! Shared infrastructure for the analyses: streaming base-order
+//! construction, windowed retirement, index construction helpers,
 //! operation counting, and ordering primitives.
+//!
+//! The centerpiece is [`BaseOrderBuilder`], the component every
+//! predictive analysis embeds to grow its *base order* incrementally
+//! while events are [fed](crate::Analysis::feed), and to bound its
+//! event buffer with a tumbling window whose retirement exercises the
+//! CSST deletion path ([`PartialOrderIndex::delete_edge`]).
 
 use csst_core::{NodeId, PartialOrderIndex, PoError, Pos, ThreadId};
-use csst_trace::{EventKind, Trace};
+use csst_trace::{EventKind, Trace, VarId};
 use std::cell::Cell;
+use std::collections::HashMap;
 
 /// Creates an index pre-sized for `trace`: one chain per thread,
 /// capacity hint equal to the longest thread chain (at least 1).
@@ -63,6 +71,434 @@ pub fn require_order<P: PartialOrderIndex>(po: &mut P, from: NodeId, to: NodeId)
         Ok(()) => OrderOutcome::Inserted,
         Err(PoError::WouldCycle { .. }) => OrderOutcome::Contradiction,
         Err(e) => panic!("unexpected partial-order error: {e}"),
+    }
+}
+
+/// Counters describing one streaming run of a windowed analysis.
+///
+/// Unwindowed runs keep `windows`, `retired_events` and `deleted_edges`
+/// at zero; `peak_buffered` then equals the total stream length for
+/// buffering analyses (and zero for genuinely online ones).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Completed windows retired so far.
+    pub windows: usize,
+    /// Peak number of simultaneously buffered events.
+    pub peak_buffered: usize,
+    /// Events whose buffered bodies were dropped by retirement.
+    pub retired_events: usize,
+    /// Edges removed from the base order via
+    /// [`PartialOrderIndex::delete_edge`] during retirement.
+    pub deleted_edges: usize,
+}
+
+/// Streaming builder of an analysis's *base order*: a growable
+/// partial-order index that is extended one event at a time inside
+/// [`Analysis::feed`](crate::Analysis::feed), plus the bounded-memory
+/// windowing layer shared by all seven predictive analyses.
+///
+/// # Modes
+///
+/// * [`observing`](Self::observing) — the builder buffers events and
+///   inserts the *observation* edges (fork/join structure plus
+///   reads-from, exactly the edge set of
+///   [`insert_observation`](crate::saturation::insert_observation))
+///   online as events arrive. Used by `race`, `deadlock`, `membug` and
+///   `uaf`.
+/// * [`counting`](Self::counting) — no event bodies are stored at
+///   all; the builder only assigns global [`NodeId`]s, tracks the
+///   window boundary and logs the edges the analysis inserts through
+///   [`require_logged`](Self::require_logged) /
+///   [`insert_logged`](Self::insert_logged). Used by the genuinely
+///   online `c11` and by `tso` and `linearizability`, which buffer
+///   their own derived tables (loads/commits, completed operations)
+///   instead of raw events, reporting them via
+///   [`note_buffered`](Self::note_buffered).
+///
+/// # Windowing
+///
+/// With `window = Some(n)` the stream is cut into consecutive
+/// *tumbling* windows of `n` events. When a window fills, the analysis
+/// runs its per-window core over the buffered events and then calls
+/// [`retire_window`](Self::retire_window): every edge inserted for the
+/// window is removed from the index via `delete_edge`, the buffered
+/// event bodies are dropped, and the per-thread retirement offsets
+/// advance. Peak buffered events never exceed `n`, and the index's
+/// live edge set only ever spans one window. Events keep their
+/// *global* ids — chains grow monotonically — so reports from
+/// different windows are directly comparable.
+///
+/// Constraints that would span a window boundary (a read observing a
+/// retired writer, a fork/join edge to a retired event) are dropped:
+/// each window is analyzed as an independent execution. See the
+/// [`Analysis`](crate::Analysis) docs for the resulting soundness
+/// contract.
+#[derive(Debug)]
+pub struct BaseOrderBuilder<P> {
+    po: P,
+    /// Window-local buffered events (empty in counting mode).
+    buf: Trace,
+    /// Global number of events fed per thread.
+    counts: Vec<Pos>,
+    /// Global number of retired events per thread; the global id of
+    /// buffered local event `⟨t, i⟩` is `⟨t, retired[t] + i⟩`.
+    retired: Vec<Pos>,
+    window: Option<usize>,
+    /// Events fed since the last retirement.
+    in_window: usize,
+    observation: bool,
+    store_events: bool,
+    /// Latest plain write per variable (global id), for online rf.
+    last_write: HashMap<VarId, NodeId>,
+    /// Fork events whose child has not produced an event yet.
+    pending_forks: HashMap<ThreadId, Vec<NodeId>>,
+    /// Edges inserted for the current window (global ids), to be
+    /// deleted at retirement.
+    window_edges: Vec<(NodeId, NodeId)>,
+    /// Reads-from edges actually inserted (the base-order statistic
+    /// the predictive reports expose).
+    base_inserted: usize,
+    stats: WindowStats,
+}
+
+impl<P: PartialOrderIndex> BaseOrderBuilder<P> {
+    fn with_modes(window: Option<usize>, observation: bool, store_events: bool) -> Self {
+        let po = P::new();
+        let window = window.map(|n| n.max(1));
+        assert!(
+            window.is_none() || po.supports_deletion(),
+            "windowed retirement needs a fully dynamic index, not {}",
+            po.name()
+        );
+        BaseOrderBuilder {
+            po,
+            buf: Trace::new(0),
+            counts: Vec::new(),
+            retired: Vec::new(),
+            window,
+            in_window: 0,
+            observation,
+            store_events,
+            last_write: HashMap::new(),
+            pending_forks: HashMap::new(),
+            window_edges: Vec::new(),
+            base_inserted: 0,
+            stats: WindowStats::default(),
+        }
+    }
+
+    /// Builder that buffers events and maintains the observation order
+    /// (fork/join + reads-from) online.
+    pub fn observing(window: Option<usize>) -> Self {
+        Self::with_modes(window, true, true)
+    }
+
+    /// Builder that stores no event bodies: it only assigns global ids,
+    /// tracks the window boundary and logs edges.
+    pub fn counting(window: Option<usize>) -> Self {
+        Self::with_modes(window, false, false)
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Feeds one event: assigns its global id, appends it to the
+    /// buffer (unless counting), grows the index's witnessed domain,
+    /// and — in observation mode — inserts the fork/join and
+    /// reads-from edges it induces.
+    pub fn feed(&mut self, thread: ThreadId, event: EventKind) -> NodeId {
+        if thread.index() >= self.counts.len() {
+            self.counts.resize(thread.index() + 1, 0);
+        }
+        let id = NodeId::new(thread, self.counts[thread.index()]);
+        self.counts[thread.index()] += 1;
+        if self.store_events {
+            self.buf.push(thread, event);
+        }
+        self.in_window += 1;
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.buf.total_events());
+        if self.observation {
+            self.po.ensure_len(thread, id.pos as usize + 1);
+            self.observe(id, event);
+        }
+        id
+    }
+
+    fn observe(&mut self, id: NodeId, event: EventKind) {
+        // A chain's first *live* event resolves the forks waiting for
+        // it (in the current window, a chain restarts at its retirement
+        // offset).
+        if id.pos == self.retired.get(id.thread.index()).copied().unwrap_or(0) {
+            for fork in self.pending_forks.remove(&id.thread).unwrap_or_default() {
+                if self.live(fork) {
+                    self.log_require(fork, id);
+                }
+            }
+        }
+        match event {
+            EventKind::Write { var, .. } => {
+                self.last_write.insert(var, id);
+            }
+            EventKind::Read { var, .. } => {
+                if let Some(&w) = self.last_write.get(&var) {
+                    if self.live(w) && self.log_require(w, id) == OrderOutcome::Inserted {
+                        self.base_inserted += 1;
+                    }
+                }
+            }
+            EventKind::Fork { child } if child != id.thread => {
+                // The fork precedes the child's first event *of this
+                // window* — exactly the edge per-window batch analysis
+                // derives from the window's sub-trace.
+                let live_start = self.retired.get(child.index()).copied().unwrap_or(0);
+                if self.counts.get(child.index()).copied().unwrap_or(0) > live_start {
+                    self.log_require(id, NodeId::new(child, live_start));
+                } else {
+                    self.pending_forks.entry(child).or_default().push(id);
+                }
+            }
+            EventKind::Join { child } if child != id.thread => {
+                let len = self.counts.get(child.index()).copied().unwrap_or(0);
+                if len > 0 {
+                    let last = NodeId::new(child, len - 1);
+                    if self.live(last) {
+                        self.log_require(last, id);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn log_require(&mut self, from: NodeId, to: NodeId) -> OrderOutcome {
+        let out = require_order(&mut self.po, from, to);
+        if out == OrderOutcome::Inserted {
+            self.window_edges.push((from, to));
+        }
+        out
+    }
+
+    /// Enforces `from → to` in the base order (global ids), logging the
+    /// edge for retirement if it was inserted. The entry point for
+    /// analyses that maintain their own edge structure.
+    pub fn require_logged(&mut self, from: NodeId, to: NodeId) -> OrderOutcome {
+        self.log_require(from, to)
+    }
+
+    /// Inserts `from → to` unconditionally (global ids), logging it for
+    /// retirement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartialOrderIndex::insert_edge`] validation errors.
+    pub fn insert_logged(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.po.insert_edge(from, to)?;
+        self.window_edges.push((from, to));
+        Ok(())
+    }
+
+    /// Inserts `from → to` unless it would close a cycle (global ids),
+    /// logging it for retirement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartialOrderIndex::insert_edge_checked`] errors.
+    pub fn insert_logged_checked(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        self.po.insert_edge_checked(from, to)?;
+        self.window_edges.push((from, to));
+        Ok(())
+    }
+
+    /// `true` once the current window holds `window` events — time to
+    /// run the per-window core and [`retire_window`](Self::retire_window).
+    pub fn window_full(&self) -> bool {
+        self.window.is_some_and(|n| self.in_window >= n)
+    }
+
+    /// Retires the current window: deletes every logged edge from the
+    /// index (the CSST deletion path), drops the buffered event bodies
+    /// and advances the retirement offsets.
+    pub fn retire_window(&mut self) {
+        let edges = std::mem::take(&mut self.window_edges);
+        self.stats.deleted_edges += edges.len();
+        for (from, to) in edges {
+            self.po
+                .delete_edge(from, to)
+                .expect("every logged edge is present and deletable");
+        }
+        self.stats.windows += 1;
+        self.stats.retired_events += self.in_window;
+        self.in_window = 0;
+        self.retired.clear();
+        self.retired.extend_from_slice(&self.counts);
+        if self.store_events {
+            self.buf = Trace::new(self.buf.num_threads());
+        }
+    }
+
+    /// `true` if the (global) event id has not been retired.
+    pub fn live(&self, id: NodeId) -> bool {
+        id.pos >= self.retired.get(id.thread.index()).copied().unwrap_or(0)
+    }
+
+    /// Translates a window-local id (as used by the buffered trace) to
+    /// the event's global id.
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        NodeId::new(
+            local.thread,
+            local.pos + self.retired.get(local.thread.index()).copied().unwrap_or(0),
+        )
+    }
+
+    /// The window-local buffered trace (empty in counting mode).
+    pub fn buffered(&self) -> &Trace {
+        &self.buf
+    }
+
+    /// Splits the builder into the buffered window trace and a
+    /// [`WindowIndex`] over the base order, so per-window cores can
+    /// keep working entirely in window-local coordinates.
+    pub fn split(&mut self) -> (&Trace, WindowIndex<'_, P>) {
+        (
+            &self.buf,
+            WindowIndex {
+                po: &mut self.po,
+                retired: &self.retired,
+                window_edges: &mut self.window_edges,
+            },
+        )
+    }
+
+    /// Records analysis-private buffering (e.g. pending operations)
+    /// into [`WindowStats::peak_buffered`].
+    pub fn note_buffered(&mut self, buffered: usize) {
+        self.stats.peak_buffered = self.stats.peak_buffered.max(buffered);
+    }
+
+    /// Reads-from edges inserted into the base order so far.
+    pub fn base_inserted(&self) -> usize {
+        self.base_inserted
+    }
+
+    /// The streaming counters accumulated so far.
+    pub fn stats(&self) -> WindowStats {
+        self.stats
+    }
+
+    /// The base order (global coordinates).
+    pub fn po(&self) -> &P {
+        &self.po
+    }
+
+    /// Mutable access to the base order for queries and *unlogged*
+    /// structural growth. Edges inserted through this reference are
+    /// **not** retired; analyses must use the `*_logged` methods for
+    /// anything that must be deleted when the window closes.
+    pub fn po_mut(&mut self) -> &mut P {
+        &mut self.po
+    }
+
+    /// Consumes the builder, returning the base order.
+    pub fn into_po(self) -> P {
+        self.po
+    }
+}
+
+/// A window-local view of a [`BaseOrderBuilder`]'s base order: every
+/// operation translates positions by the per-thread retirement offsets,
+/// so analysis cores written against window-local event ids (the ids of
+/// the buffered trace) can query — and, for saturation, extend — the
+/// incrementally built base order directly. Edges inserted through the
+/// view are logged for retirement like any other window edge.
+#[derive(Debug)]
+pub struct WindowIndex<'a, P> {
+    po: &'a mut P,
+    retired: &'a [Pos],
+    window_edges: &'a mut Vec<(NodeId, NodeId)>,
+}
+
+impl<P: PartialOrderIndex> WindowIndex<'_, P> {
+    fn offset(&self, chain: ThreadId) -> Pos {
+        self.retired.get(chain.index()).copied().unwrap_or(0)
+    }
+
+    /// Translates a window-local id to the event's global id.
+    pub fn to_global(&self, id: NodeId) -> NodeId {
+        NodeId::new(id.thread, id.pos + self.offset(id.thread))
+    }
+}
+
+impl<P: PartialOrderIndex> PartialOrderIndex for WindowIndex<'_, P> {
+    fn new() -> Self {
+        panic!("WindowIndex views a BaseOrderBuilder; obtain one via BaseOrderBuilder::split")
+    }
+
+    fn name(&self) -> &'static str {
+        self.po.name()
+    }
+
+    fn chains(&self) -> usize {
+        self.po.chains()
+    }
+
+    fn chain_len(&self, chain: ThreadId) -> usize {
+        self.po
+            .chain_len(chain)
+            .saturating_sub(self.offset(chain) as usize)
+    }
+
+    fn ensure_chain(&mut self, chain: ThreadId) {
+        self.po.ensure_chain(chain);
+    }
+
+    fn ensure_len(&mut self, chain: ThreadId, len: usize) {
+        self.po.ensure_len(chain, len + self.offset(chain) as usize);
+    }
+
+    fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
+        let (from, to) = (self.to_global(from), self.to_global(to));
+        self.window_edges.push((from, to));
+        self.po.insert_edge_raw(from, to);
+    }
+
+    fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
+        let (from, to) = (self.to_global(from), self.to_global(to));
+        self.po.delete_edge_raw(from, to)?;
+        if let Some(i) = self.window_edges.iter().position(|&e| e == (from, to)) {
+            self.window_edges.swap_remove(i);
+        }
+        Ok(())
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from.thread == to.thread {
+            return from.pos <= to.pos;
+        }
+        self.po.reachable(self.to_global(from), self.to_global(to))
+    }
+
+    fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        let p = self.po.successor(self.to_global(from), chain)?;
+        let off = self.offset(chain);
+        debug_assert!(p >= off, "successor escaped the live window");
+        Some(p.saturating_sub(off))
+    }
+
+    fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
+        let p = self.po.predecessor(self.to_global(from), chain)?;
+        let off = self.offset(chain);
+        debug_assert!(p >= off, "predecessor escaped the live window");
+        Some(p.saturating_sub(off))
+    }
+
+    fn supports_deletion(&self) -> bool {
+        self.po.supports_deletion()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.po.memory_bytes()
     }
 }
 

@@ -7,10 +7,36 @@
 //! witness check reasons over an incrementally maintained partial
 //! order: both inner acquisitions must be co-enabled while each thread
 //! already holds the other thread's requested lock.
+//!
+//! **Classification:** predictive. *Detects* deadlocks witnessable by
+//! reordering the observed trace (inverse lock nestings that can be
+//! co-enabled). *Base order:* the observation (fork/join +
+//! reads-from), built online per event. *Buffering:* buffered pattern
+//! mining at `finish`, or **windowed** via [`DeadlockCfg::window`].
+//!
+//! ```
+//! use csst_analyses::deadlock::{self, DeadlockCfg};
+//! use csst_core::IncrementalCsst;
+//! use csst_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! let (la, lb) = (b.lock("a"), b.lock("b"));
+//! b.on(0).acquire(la);
+//! b.on(0).acquire(lb);
+//! b.on(0).release(lb);
+//! b.on(0).release(la);
+//! b.on(1).acquire(lb);
+//! b.on(1).acquire(la);
+//! b.on(1).release(la);
+//! b.on(1).release(lb);
+//! let report = deadlock::predict::<IncrementalCsst>(&b.build(), &DeadlockCfg::default());
+//! assert_eq!(report.deadlocks.len(), 1);
+//! ```
 
-use crate::common::index_for_trace;
-use crate::saturation::{insert_observation, witness_co_enabled, ClosureCtx, SaturationCfg};
-use csst_core::{NodeId, PartialOrderIndex};
+use crate::common::{BaseOrderBuilder, WindowIndex, WindowStats};
+use crate::saturation::{witness_co_enabled, ClosureCtx, SaturationCfg};
+use crate::Analysis;
+use csst_core::{NodeId, PartialOrderIndex, ThreadId};
 use csst_trace::{EventKind, LockId, Trace};
 use std::collections::{HashMap, HashSet};
 
@@ -43,19 +69,25 @@ pub struct Deadlock {
 pub struct DeadlockCfg {
     /// Saturation settings.
     pub saturation: SaturationCfg,
-    /// Maximum number of patterns to witness-check.
+    /// Maximum number of patterns to witness-check (across windows).
     pub max_patterns: usize,
+    /// Tumbling-window size bounding the event buffer; `None` buffers
+    /// the whole stream. See the [`Analysis`] soundness contract.
+    pub window: Option<usize>,
 }
 
 /// Result of a deadlock prediction run.
 #[derive(Debug, Clone)]
 pub struct DeadlockReport<P> {
-    /// The saturated base partial order.
+    /// The observed base partial order (final window's edges only in
+    /// windowed runs).
     pub base: P,
     /// Potential patterns found from lock orders alone.
     pub patterns: usize,
-    /// Patterns with a feasible co-enabling witness.
+    /// Patterns with a feasible co-enabling witness (global event ids).
     pub deadlocks: Vec<Deadlock>,
+    /// Streaming/windowing counters of the run.
+    pub window: WindowStats,
 }
 
 /// Extracts all nested acquisitions from the trace.
@@ -90,79 +122,124 @@ pub fn nestings(trace: &Trace) -> Vec<Nesting> {
     result
 }
 
-crate::analysis::buffered_analysis! {
-    /// Streaming form of [`predict`]: buffers the event stream and runs
-    /// the SeqCheck-style prediction at `finish`.
-    DeadlockPredictor { cfg: DeadlockCfg, report: DeadlockReport<P>, batch: predict_buffered }
+/// Streaming form of [`predict`]: the observation base order grows per
+/// event inside `feed`; pattern mining and the SeqCheck-style witness
+/// checks run over the buffered events at `finish` — or per window when
+/// [`DeadlockCfg::window`] bounds the buffer.
+#[derive(Debug)]
+pub struct DeadlockPredictor<P> {
+    cfg: DeadlockCfg,
+    builder: BaseOrderBuilder<P>,
+    patterns: usize,
+    deadlocks: Vec<Deadlock>,
+    reported: HashSet<(NodeId, NodeId)>,
+}
+
+impl<P: PartialOrderIndex> DeadlockPredictor<P> {
+    fn analyze_window(&mut self) {
+        let (trace, win) = self.builder.split();
+        if trace.total_events() == 0 {
+            return;
+        }
+        let ctx = ClosureCtx::new(trace, None);
+
+        let all = nestings(trace);
+        // Group by unordered lock pair.
+        let mut by_pair: HashMap<(LockId, LockId), Vec<&Nesting>> = HashMap::new();
+        for n in &all {
+            if n.outer != n.inner {
+                let key = (n.outer.min(n.inner), n.outer.max(n.inner));
+                by_pair.entry(key).or_default().push(n);
+            }
+        }
+
+        let max_patterns = if self.cfg.max_patterns == 0 {
+            usize::MAX
+        } else {
+            self.cfg.max_patterns
+        };
+        let mut groups: Vec<(&(LockId, LockId), &Vec<&Nesting>)> = by_pair.iter().collect();
+        groups.sort_unstable_by_key(|(k, _)| **k);
+        'outer: for (_, group) in groups {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in group.iter().skip(i + 1) {
+                    if self.patterns >= max_patterns {
+                        break 'outer;
+                    }
+                    // Opposite nesting orders in different threads.
+                    if a.inner_acq.thread == b.inner_acq.thread
+                        || a.outer != b.inner
+                        || a.inner != b.outer
+                    {
+                        continue;
+                    }
+                    // Guarded by a common lock (other than the pair):
+                    // the inversion is benign.
+                    if guarded(trace, a, b) {
+                        continue;
+                    }
+                    self.patterns += 1;
+                    let key = (win.to_global(a.inner_acq), win.to_global(b.inner_acq));
+                    if witness::<_, P>(&win, &ctx, &self.cfg.saturation, a, b)
+                        && self.reported.insert(key)
+                    {
+                        self.deadlocks.push(Deadlock {
+                            first: globalize(&win, a),
+                            second: globalize(&win, b),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<P: PartialOrderIndex> Analysis for DeadlockPredictor<P> {
+    type Cfg = DeadlockCfg;
+    type Report = DeadlockReport<P>;
+
+    fn new(cfg: Self::Cfg) -> Self {
+        DeadlockPredictor {
+            builder: BaseOrderBuilder::observing(cfg.window),
+            cfg,
+            patterns: 0,
+            deadlocks: Vec::new(),
+            reported: HashSet::new(),
+        }
+    }
+
+    fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        self.builder.feed(thread, event);
+        if self.builder.window_full() {
+            self.analyze_window();
+            self.builder.retire_window();
+        }
+    }
+
+    fn finish(mut self) -> DeadlockReport<P> {
+        self.analyze_window();
+        DeadlockReport {
+            patterns: self.patterns,
+            deadlocks: self.deadlocks,
+            window: self.builder.stats(),
+            base: self.builder.into_po(),
+        }
+    }
 }
 
 /// Runs deadlock prediction over `trace` using representation `P`: a
 /// thin wrapper streaming the trace through [`DeadlockPredictor`].
 pub fn predict<P: PartialOrderIndex>(trace: &Trace, cfg: &DeadlockCfg) -> DeadlockReport<P> {
-    use crate::Analysis;
     DeadlockPredictor::<P>::run(trace, cfg.clone())
 }
 
-fn predict_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &DeadlockCfg) -> DeadlockReport<P> {
-    let ctx = ClosureCtx::new(trace, None);
-    let mut base: P = index_for_trace(trace);
-    insert_observation(&mut base, trace, &ctx.rf);
-
-    let all = nestings(trace);
-    // Group by unordered lock pair.
-    let mut by_pair: HashMap<(LockId, LockId), Vec<&Nesting>> = HashMap::new();
-    for n in &all {
-        if n.outer != n.inner {
-            let key = (n.outer.min(n.inner), n.outer.max(n.inner));
-            by_pair.entry(key).or_default().push(n);
-        }
-    }
-
-    let max_patterns = if cfg.max_patterns == 0 {
-        usize::MAX
-    } else {
-        cfg.max_patterns
-    };
-    let mut patterns = 0usize;
-    let mut deadlocks = Vec::new();
-    let mut reported: HashSet<(NodeId, NodeId)> = HashSet::new();
-    let mut groups: Vec<(&(LockId, LockId), &Vec<&Nesting>)> = by_pair.iter().collect();
-    groups.sort_unstable_by_key(|(k, _)| **k);
-    'outer: for (_, group) in groups {
-        for (i, &a) in group.iter().enumerate() {
-            for &b in group.iter().skip(i + 1) {
-                if patterns >= max_patterns {
-                    break 'outer;
-                }
-                // Opposite nesting orders in different threads.
-                if a.inner_acq.thread == b.inner_acq.thread
-                    || a.outer != b.inner
-                    || a.inner != b.outer
-                {
-                    continue;
-                }
-                // Guarded by a common lock (other than the pair): the
-                // inversion is benign.
-                if guarded(trace, a, b) {
-                    continue;
-                }
-                patterns += 1;
-                if witness(&base, &ctx, &cfg.saturation, a, b)
-                    && reported.insert((a.inner_acq, b.inner_acq))
-                {
-                    deadlocks.push(Deadlock {
-                        first: *a,
-                        second: *b,
-                    });
-                }
-            }
-        }
-    }
-
-    DeadlockReport {
-        base,
-        patterns,
-        deadlocks,
+/// Translates a window-local nesting into global event ids.
+fn globalize<P: PartialOrderIndex>(win: &WindowIndex<'_, P>, n: &Nesting) -> Nesting {
+    Nesting {
+        outer: n.outer,
+        inner: n.inner,
+        outer_acq: win.to_global(n.outer_acq),
+        inner_acq: win.to_global(n.inner_acq),
     }
 }
 
@@ -188,9 +265,10 @@ fn guarded(trace: &Trace, a: &Nesting, b: &Nesting) -> bool {
 /// reordering of a trace prefix. The prefix keeps each thread's outer
 /// section open (the thread holds the lock the other thread requests),
 /// so the open-section rules of [`witness_co_enabled`] enforce the
-/// deadlock semantics.
-fn witness<P: PartialOrderIndex>(
-    base: &P,
+/// deadlock semantics. `base` filters ordered pairs; the fresh witness
+/// index is built over `P`.
+fn witness<B: PartialOrderIndex, P: PartialOrderIndex>(
+    base: &B,
     ctx: &ClosureCtx<'_>,
     sat: &SaturationCfg,
     a: &Nesting,

@@ -18,6 +18,25 @@
 //! the two regimes side by side: sound-but-incomplete streaming HB
 //! detection (only races adjacent in the synchronization order) versus
 //! predictive reordering with per-candidate closures.
+//!
+//! **Classification:** genuinely online. *Detects* happens-before
+//! races between conflicting accesses adjacent in the synchronization
+//! order. *Base order:* happens-before from lock and fork/join
+//! synchronization, built online per event — no event is ever
+//! buffered, so windowing does not apply.
+//!
+//! ```
+//! use csst_analyses::hb;
+//! use csst_core::VectorClockIndex;
+//! use csst_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! let x = b.var("x");
+//! b.on(0).write(x, 1);
+//! b.on(1).write(x, 2);
+//! let report = hb::detect::<VectorClockIndex>(&b.build());
+//! assert_eq!(report.races.len(), 1);
+//! ```
 
 use crate::Analysis;
 use csst_core::{NodeId, PartialOrderIndex, ThreadId};

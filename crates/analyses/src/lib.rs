@@ -10,24 +10,30 @@
 //! CSSTs, segment trees, vector clocks, or plain graphs, exactly like
 //! the paper's Tables 1–7:
 //!
-//! | module | analysis | paper table |
-//! |---|---|---|
-//! | [`race`] | M2-style data race prediction | Table 1 |
-//! | [`deadlock`] | SeqCheck-style deadlock prediction | Table 2 |
-//! | [`membug`] | ConVulPOE-style memory-bug prediction | Table 3 |
-//! | [`tso`] | x86-TSO consistency checking (Roy et al.) | Table 4 |
-//! | [`uaf`] | UFO-style use-after-free query generation | Table 5 |
-//! | [`c11`] | C11Tester-style race detection | Table 6 |
-//! | [`linearizability`] | root-causing linearizability violations | Table 7 |
+//! | module | analysis | paper table | streaming form |
+//! |---|---|---|---|
+//! | [`race`] | M2-style data race prediction | Table 1 | online base, windowable |
+//! | [`deadlock`] | SeqCheck-style deadlock prediction | Table 2 | online base, windowable |
+//! | [`membug`] | ConVulPOE-style memory-bug prediction | Table 3 | online base, windowable |
+//! | [`tso`] | x86-TSO consistency checking (Roy et al.) | Table 4 | online base, windowable |
+//! | [`uaf`] | UFO-style use-after-free query generation | Table 5 | online base, windowable |
+//! | [`c11`] | C11Tester-style race detection | Table 6 | genuinely online |
+//! | [`linearizability`] | root-causing linearizability violations | Table 7 | online base, windowable |
 //!
 //! [`hb`] adds the paper's streaming *counterpoint* (FastTrack-style
 //! happens-before detection), where vector clocks are the right tool.
 //!
 //! Every analysis implements the unified streaming [`Analysis`] trait
 //! (`feed` one event at a time, `finish` for the report); the batch
-//! entry points are thin wrappers over it. The [`registry`] maps
-//! analysis names to runnable entries so front ends select analyses by
-//! string instead of hard-coded match arms.
+//! entry points are thin wrappers over it. The predictive analyses
+//! build their **base order** incrementally inside `feed` through the
+//! shared [`BaseOrderBuilder`], and accept a `window` in their
+//! configuration that bounds buffered events to tumbling windows whose
+//! retirement deletes the window's edges (the CSST deletion path) —
+//! see the [`Analysis`] docs for the windowing soundness contract. The
+//! [`registry`] maps analysis names to runnable entries so front ends
+//! select analyses (and windows) by string instead of hard-coded match
+//! arms.
 //!
 //! The shared [`saturation`] engine implements the ordering-inference
 //! rules (reads-from maximality and lock mutual exclusion) used by the
@@ -63,4 +69,6 @@ pub mod tso;
 pub mod uaf;
 
 pub use analysis::Analysis;
-pub use common::{CountingIndex, OpCounters, OrderOutcome};
+pub use common::{
+    BaseOrderBuilder, CountingIndex, OpCounters, OrderOutcome, WindowIndex, WindowStats,
+};

@@ -11,10 +11,33 @@
 //! structures are out, and the baseline is a plain graph (the
 //! representation used by the original tool). Table 7 shows CSSTs
 //! beating it by orders of magnitude as histories grow.
+//!
+//! **Classification:** predictive. *Detects* non-linearizable
+//! histories of a concurrent set and root-causes them. *Base order:*
+//! the op-level real-time order, built online as operations complete.
+//! *Buffering:* completed operations until the backtracking search at
+//! `finish`, or **windowed** via [`LinCfg::window`] (the witnessed
+//! specification state carries across windows).
+//!
+//! ```
+//! use csst_analyses::linearizability::{self, LinCfg, LinVerdict};
+//! use csst_core::Csst;
+//! use csst_trace::{Method, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new();
+//! let (_, add) = b.on(0).invoke(Method::Add, 5);
+//! b.on(0).respond(add, 1);
+//! let (_, has) = b.on(1).invoke(Method::Contains, 5);
+//! b.on(1).respond(has, 1);
+//! let report = linearizability::analyze::<Csst>(&b.build(), &LinCfg::default());
+//! assert!(matches!(report.verdict, LinVerdict::Linearizable(_)));
+//! ```
 
+use crate::common::{BaseOrderBuilder, WindowStats};
+use crate::Analysis;
 use csst_core::{NodeId, PartialOrderIndex, ThreadId};
 use csst_trace::{EventKind, Method, OpId, Trace};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// One operation interval of the history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,14 +63,25 @@ pub struct Operation {
 #[derive(Debug, Clone)]
 pub struct LinCfg {
     /// Abort the search after this many committed steps (safety valve
-    /// for adversarial histories).
+    /// for adversarial histories; shared across windows).
     pub max_steps: u64,
+    /// Tumbling-window size bounding the buffered operations: every
+    /// `n` events the completed operations are searched and retired,
+    /// carrying the witnessed specification state into the next window.
+    /// An operation belongs to the window of its *response* — an
+    /// invocation interval may span boundaries, in which case the
+    /// real-time edges from retired operations are dropped (they are
+    /// satisfied by the window concatenation anyway). `None` searches
+    /// the whole history at once. See the [`Analysis`] soundness
+    /// contract.
+    pub window: Option<usize>,
 }
 
 impl Default for LinCfg {
     fn default() -> Self {
         LinCfg {
             max_steps: 2_000_000,
+            window: None,
         }
     }
 }
@@ -90,6 +124,8 @@ pub struct LinReport<P> {
     pub inserted: u64,
     /// Edges deleted over the search.
     pub deleted: u64,
+    /// Streaming/windowing counters of the run.
+    pub window: WindowStats,
 }
 
 /// Extracts the per-thread operation sequences of a history trace.
@@ -104,9 +140,12 @@ pub fn operations(trace: &Trace) -> Vec<Operation> {
                 pending.insert(op, (id, method, arg));
             }
             EventKind::Response { op, result } => {
-                let (invoke, method, arg) = pending
-                    .remove(&op)
-                    .expect("response without matching invoke");
+                // A response without a matching invoke (e.g. an
+                // operation cut in half by a window boundary) is
+                // skipped: only complete operations participate.
+                let Some((invoke, method, arg)) = pending.remove(&op) else {
+                    continue;
+                };
                 let t = invoke.thread;
                 let node = NodeId::new(t, per_thread_count[t.index()]);
                 per_thread_count[t.index()] += 1;
@@ -126,11 +165,444 @@ pub fn operations(trace: &Trace) -> Vec<Operation> {
     ops
 }
 
-crate::analysis::buffered_analysis! {
-    /// Streaming form of [`analyze`]: buffers the history and runs the
-    /// backtracking search at `finish` (the search explores
-    /// linearizations of the complete history).
-    LinAnalyzer { cfg: LinCfg, report: LinReport<P>, batch: analyze_buffered }
+/// One completed operation with its global response arrival position
+/// (what real-time edge construction compares invocations against).
+#[derive(Debug, Clone, Copy)]
+struct CompletedOp {
+    op: Operation,
+    resp_pos: u64,
+}
+
+/// Streaming form of [`analyze`]: the real-time base order grows inside
+/// `feed` as operations complete; the backtracking search runs over the
+/// buffered operations at `finish` — or per window when
+/// [`LinCfg::window`] bounds the buffer, carrying the witnessed
+/// specification state from one window into the next.
+#[derive(Debug)]
+pub struct LinAnalyzer<P> {
+    cfg: LinCfg,
+    builder: BaseOrderBuilder<P>,
+    /// Global arrival counter (the trace position of batch runs).
+    arrival: u64,
+    /// Invoked but not yet responded operations.
+    pending: HashMap<OpId, (NodeId, u64, Method, u64)>,
+    /// Completed operations of the current window.
+    ops: Vec<CompletedOp>,
+    /// Indices into `ops` per thread, in completion order.
+    per_thread: Vec<Vec<usize>>,
+    /// Retired operations per thread: the op-level node of the next
+    /// completion of thread `t` is `⟨t, op_base[t] + window ops⟩`.
+    op_base: Vec<u32>,
+    /// Specification state carried across windows (the set contents
+    /// along the committed linearization witness).
+    set: HashSet<u64>,
+    /// Sticky verdict: the first violation (or budget exhaustion) ends
+    /// the analysis — later windows' initial state is unknown.
+    verdict: Option<LinVerdict>,
+    /// Concatenated linearization witness across windows.
+    lin_order: Vec<OpId>,
+    steps: u64,
+    backtracks: u64,
+    inserted: u64,
+    deleted: u64,
+}
+impl<P: PartialOrderIndex> LinAnalyzer<P> {
+    /// Runs the backtracking search over the current window's completed
+    /// operations, continuing from the carried specification state.
+    fn search_window(&mut self) {
+        if self.verdict.is_some() || self.ops.is_empty() {
+            return;
+        }
+        let k = self.per_thread.len();
+        let ops = &self.ops;
+        let per_thread = &self.per_thread;
+        let op_base = &self.op_base;
+        let po = self.builder.po_mut();
+        let set = &mut self.set;
+        // Window-local cursors: committed operations per thread.
+        let mut cursor = vec![0usize; k];
+        let mut executed = 0usize;
+        let total = ops.len();
+
+        // Per depth: (op chosen, tried-set, edges inserted, spec-undo).
+        struct Frame {
+            candidates: Vec<usize>, // op indices still to try
+            committed: Option<Committed>,
+            /// Memoization key of the state this frame explores:
+            /// (per-thread cursors, sorted set contents). Sound because
+            /// committed frontier edges always originate from already
+            /// executed operations and thus never block future
+            /// candidates — the remaining search depends only on this
+            /// key.
+            key: (Vec<usize>, Vec<u64>),
+        }
+        struct Committed {
+            op_idx: usize,
+            edges: Vec<(NodeId, NodeId)>,
+            set_delta: SetDelta,
+        }
+        #[derive(Clone, Copy)]
+        enum SetDelta {
+            None,
+            Added(u64),
+            Removed(u64),
+        }
+        let mut best_executed = 0usize;
+        let mut best_blocked: Vec<OpId> = Vec::new();
+
+        // Enumerate current frontier candidates (per-thread cursor ops
+        // with all cross-thread predecessors executed). Predecessor
+        // positions are global op positions, hence the `op_base`
+        // offsets.
+        let frontier = |po: &P, cursor: &[usize]| {
+            let mut c = Vec::new();
+            #[allow(clippy::needless_range_loop)] // t indexes three tables at once
+            for t in 0..k {
+                let Some(&i) = per_thread[t].get(cursor[t]) else {
+                    continue;
+                };
+                let node = ops[i].op.node;
+                let mut ready = true;
+                #[allow(clippy::needless_range_loop)] // t2 indexes cursor and op_base
+                for t2 in 0..k {
+                    if t2 == t {
+                        continue;
+                    }
+                    if let Some(p) = po.predecessor(node, ThreadId(t2 as u32)) {
+                        if p as usize >= op_base[t2] as usize + cursor[t2] {
+                            ready = false;
+                            break;
+                        }
+                    }
+                }
+                if ready {
+                    c.push(i);
+                }
+            }
+            c
+        };
+
+        let state_key = |cursor: &[usize], set: &HashSet<u64>| -> (Vec<usize>, Vec<u64>) {
+            let mut s: Vec<u64> = set.iter().copied().collect();
+            s.sort_unstable();
+            (cursor.to_vec(), s)
+        };
+        // States whose entire subtree was explored without success.
+        let mut dead: HashSet<(Vec<usize>, Vec<u64>)> = HashSet::new();
+
+        let mut stack: Vec<Frame> = vec![Frame {
+            candidates: frontier(po, &cursor),
+            committed: None,
+            key: state_key(&cursor, set),
+        }];
+
+        let verdict = loop {
+            if self.steps >= self.cfg.max_steps {
+                break LinVerdict::Unknown;
+            }
+            let Some(frame) = stack.last_mut() else {
+                // Root exhausted: violation.
+                break LinVerdict::Violation(RootCause {
+                    executed: best_executed,
+                    blocked: best_blocked.clone(),
+                });
+            };
+            // Undo the previous commitment at this frame, if any.
+            if let Some(c) = frame.committed.take() {
+                let op = &ops[c.op_idx].op;
+                let t = op.node.thread.index();
+                cursor[t] -= 1;
+                executed -= 1;
+                match c.set_delta {
+                    SetDelta::None => {}
+                    SetDelta::Added(v) => {
+                        set.remove(&v);
+                    }
+                    SetDelta::Removed(v) => {
+                        set.insert(v);
+                    }
+                }
+                for (u, v) in c.edges.iter().rev() {
+                    po.delete_edge(*u, *v).expect("undo of inserted edge");
+                    self.deleted += 1;
+                }
+            }
+            // Try the next candidate.
+            let Some(op_idx) = frame.candidates.pop() else {
+                let exhausted = stack.pop().expect("frame exists");
+                dead.insert(exhausted.key);
+                self.backtracks += 1;
+                continue;
+            };
+            let op = ops[op_idx].op;
+            // Specification check.
+            let (applies, set_delta) = match op.method {
+                Method::Add => {
+                    let fresh = !set.contains(&op.arg);
+                    if (fresh as u64) == op.result {
+                        if fresh {
+                            set.insert(op.arg);
+                            (true, SetDelta::Added(op.arg))
+                        } else {
+                            (true, SetDelta::None)
+                        }
+                    } else {
+                        (false, SetDelta::None)
+                    }
+                }
+                Method::Remove => {
+                    let present = set.contains(&op.arg);
+                    if (present as u64) == op.result {
+                        if present {
+                            set.remove(&op.arg);
+                            (true, SetDelta::Removed(op.arg))
+                        } else {
+                            (true, SetDelta::None)
+                        }
+                    } else {
+                        (false, SetDelta::None)
+                    }
+                }
+                Method::Contains => (set.contains(&op.arg) as u64 == op.result, SetDelta::None),
+            };
+            if !applies {
+                continue;
+            }
+            // Commit: the chosen op precedes every other thread's
+            // frontier.
+            self.steps += 1;
+            let t = op.node.thread.index();
+            let mut edges = Vec::new();
+            for t2 in 0..k {
+                if t2 == t {
+                    continue;
+                }
+                let Some(&j) = per_thread[t2].get(cursor[t2]) else {
+                    continue;
+                };
+                let next = ops[j].op.node;
+                if !po.reachable(op.node, next) {
+                    po.insert_edge(op.node, next)
+                        .expect("frontier edge is valid");
+                    self.inserted += 1;
+                    edges.push((op.node, next));
+                }
+            }
+            cursor[t] += 1;
+            executed += 1;
+            if executed > best_executed {
+                best_executed = executed;
+                best_blocked.clear();
+            }
+            stack.last_mut().expect("frame exists").committed = Some(Committed {
+                op_idx,
+                edges,
+                set_delta,
+            });
+            if executed == total {
+                // Reconstruct the linearization from the stack.
+                let order: Vec<OpId> = stack
+                    .iter()
+                    .filter_map(|f| f.committed.as_ref())
+                    .map(|c| ops[c.op_idx].op.op)
+                    .collect();
+                self.lin_order.extend(order);
+                // In windowed runs the committed frontier edges must
+                // not outlive the window: the search owns them, so it
+                // removes them before retirement.
+                if self.cfg.window.is_some() {
+                    for f in stack.iter().rev() {
+                        if let Some(c) = f.committed.as_ref() {
+                            for (u, v) in c.edges.iter().rev() {
+                                po.delete_edge(*u, *v).expect("undo of committed edge");
+                                self.deleted += 1;
+                            }
+                        }
+                    }
+                }
+                return;
+            }
+            let key = state_key(&cursor, set);
+            let next_candidates = if dead.contains(&key) {
+                Vec::new() // already proven fruitless: force a backtrack
+            } else {
+                frontier(po, &cursor)
+            };
+            if executed == best_executed {
+                // Record the blocked frontier at the deepest point.
+                best_blocked = (0..k)
+                    .filter_map(|t2| per_thread[t2].get(cursor[t2]))
+                    .map(|&j| ops[j].op.op)
+                    .collect();
+            }
+            stack.push(Frame {
+                candidates: next_candidates,
+                committed: None,
+                key,
+            });
+        };
+        // A Violation exits with an empty, fully unwound stack, but a
+        // budget-exhausted search (Unknown) breaks mid-descent with its
+        // committed frontier edges still in the index. Mirror the
+        // success path: in windowed runs, search edges must not outlive
+        // the window.
+        if self.cfg.window.is_some() {
+            for f in stack.iter().rev() {
+                if let Some(c) = f.committed.as_ref() {
+                    for (u, v) in c.edges.iter().rev() {
+                        po.delete_edge(*u, *v).expect("undo of committed edge");
+                        self.deleted += 1;
+                    }
+                }
+            }
+        }
+        self.verdict = Some(verdict);
+    }
+
+    /// Retires the searched window: deletes the logged real-time edges
+    /// and advances the per-thread operation offsets.
+    fn retire(&mut self) {
+        self.builder.retire_window();
+        for (t, list) in self.per_thread.iter_mut().enumerate() {
+            self.op_base[t] += list.len() as u32;
+            list.clear();
+        }
+        self.ops.clear();
+    }
+}
+
+impl<P: PartialOrderIndex> Analysis for LinAnalyzer<P> {
+    type Cfg = LinCfg;
+    type Report = LinReport<P>;
+
+    fn new(cfg: Self::Cfg) -> Self {
+        let builder: BaseOrderBuilder<P> = BaseOrderBuilder::counting(cfg.window);
+        assert!(
+            builder.po().supports_deletion(),
+            "linearizability root-causing needs a fully dynamic index"
+        );
+        LinAnalyzer {
+            builder,
+            cfg,
+            arrival: 0,
+            pending: HashMap::new(),
+            ops: Vec::new(),
+            per_thread: Vec::new(),
+            op_base: Vec::new(),
+            set: HashSet::new(),
+            verdict: None,
+            lin_order: Vec::new(),
+            steps: 0,
+            backtracks: 0,
+            inserted: 0,
+            deleted: 0,
+        }
+    }
+
+    fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        let id = self.builder.feed(thread, event);
+        let pos = self.arrival;
+        self.arrival += 1;
+        match event {
+            EventKind::Invoke { op, method, arg } => {
+                self.pending.insert(op, (id, pos, method, arg));
+            }
+            EventKind::Response { op, result } => {
+                // An operation belongs to the window of its *response*;
+                // `pending` survives retirement, so an op whose invoke
+                // fell into an earlier window still completes here
+                // (dropping it would corrupt the carried specification
+                // state). Responses with no invoke at all are skipped.
+                if let Some((invoke, invoke_pos, method, arg)) = self.pending.remove(&op) {
+                    self.complete(op, method, arg, result, invoke, invoke_pos, id, pos);
+                }
+            }
+            _ => {}
+        }
+        if self.builder.window_full() {
+            self.search_window();
+            self.retire();
+        }
+    }
+
+    fn finish(mut self) -> LinReport<P> {
+        self.search_window();
+        let verdict = self
+            .verdict
+            .unwrap_or(LinVerdict::Linearizable(self.lin_order));
+        LinReport {
+            verdict,
+            steps: self.steps,
+            backtracks: self.backtracks,
+            inserted: self.inserted,
+            deleted: self.deleted,
+            window: self.builder.stats(),
+            po: self.builder.into_po(),
+        }
+    }
+}
+
+impl<P: PartialOrderIndex> LinAnalyzer<P> {
+    /// Completes an operation: assigns its op-level node, inserts its
+    /// real-time edges into the base order (the incremental part of the
+    /// analysis) and buffers it for the window's search.
+    #[allow(clippy::too_many_arguments)] // one call site, plain data
+    fn complete(
+        &mut self,
+        op: OpId,
+        method: Method,
+        arg: u64,
+        result: u64,
+        invoke: NodeId,
+        invoke_pos: u64,
+        response: NodeId,
+        resp_pos: u64,
+    ) {
+        let t = invoke.thread;
+        if t.index() >= self.per_thread.len() {
+            self.per_thread.resize(t.index() + 1, Vec::new());
+            self.op_base.resize(t.index() + 1, 0);
+        }
+        let node = NodeId::new(
+            t,
+            self.op_base[t.index()] + self.per_thread[t.index()].len() as u32,
+        );
+        // Real-time order: one edge from the latest op of every other
+        // thread that responded before this op invoked (earlier ones
+        // follow transitively through the chain). Operations of retired
+        // windows are already ordered before this one by construction.
+        for t2 in 0..self.per_thread.len() {
+            if t2 == t.index() {
+                continue;
+            }
+            let list = &self.per_thread[t2];
+            let i = list.partition_point(|&j| self.ops[j].resp_pos < invoke_pos);
+            if i > 0 {
+                let prev = self.ops[list[i - 1]].op.node;
+                if !self.builder.po().reachable(prev, node) {
+                    self.builder
+                        .insert_logged(prev, node)
+                        .expect("real-time edges are acyclic");
+                    self.inserted += 1;
+                }
+            }
+        }
+        let idx = self.ops.len();
+        self.ops.push(CompletedOp {
+            op: Operation {
+                op,
+                method,
+                arg,
+                result,
+                invoke,
+                response,
+                node,
+            },
+            resp_pos,
+        });
+        self.per_thread[t.index()].push(idx);
+        self.builder.note_buffered(self.ops.len());
+    }
 }
 
 /// Runs the root-cause analysis over a history trace using the fully
@@ -141,265 +613,7 @@ crate::analysis::buffered_analysis! {
 ///
 /// Panics if `P` does not support deletion.
 pub fn analyze<P: PartialOrderIndex>(trace: &Trace, cfg: &LinCfg) -> LinReport<P> {
-    use crate::Analysis;
     LinAnalyzer::<P>::run(trace, cfg.clone())
-}
-
-fn analyze_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &LinCfg) -> LinReport<P> {
-    let ops = operations(trace);
-    let k = trace.num_threads().max(1);
-    let mut per_thread: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for (i, op) in ops.iter().enumerate() {
-        per_thread[op.node.thread.index()].push(i);
-    }
-    let cap = per_thread.iter().map(Vec::len).max().unwrap_or(0).max(1);
-    let mut po = P::with_capacity(k, cap);
-    assert!(
-        po.supports_deletion(),
-        "linearizability root-causing needs a fully dynamic index"
-    );
-
-    let mut inserted = 0u64;
-    // Real-time order: for each op, one edge from the latest op of
-    // every other thread that responded before this op invoked
-    // (earlier ones follow transitively through the chain).
-    for op in &ops {
-        #[allow(clippy::needless_range_loop)] // t is also a chain id
-        for t in 0..k {
-            if ThreadId(t as u32) == op.node.thread {
-                continue;
-            }
-            let latest = per_thread[t]
-                .iter()
-                .map(|&j| &ops[j])
-                .take_while(|o| trace.trace_pos(o.response) < trace.trace_pos(op.invoke))
-                .last();
-            if let Some(prev) = latest {
-                if !po.reachable(prev.node, op.node) {
-                    po.insert_edge(prev.node, op.node)
-                        .expect("real-time edges are acyclic");
-                    inserted += 1;
-                }
-            }
-        }
-    }
-
-    // Backtracking search state.
-    let mut set: HashSet<u64> = HashSet::new();
-    let mut cursor = vec![0usize; k]; // next op index per thread
-    let mut executed = 0usize;
-    let total = ops.len();
-    let mut steps = 0u64;
-    let mut backtracks = 0u64;
-    let mut deleted = 0u64;
-    // Per depth: (thread chosen, tried-set, edges inserted, spec-undo).
-    struct Frame {
-        candidates: Vec<usize>, // op indices still to try
-        committed: Option<Committed>,
-        /// Memoization key of the state this frame explores:
-        /// (per-thread cursors, sorted set contents). Sound because
-        /// committed frontier edges always originate from already
-        /// executed operations and thus never block future candidates
-        /// — the remaining search depends only on this key.
-        key: (Vec<usize>, Vec<u64>),
-    }
-    struct Committed {
-        op_idx: usize,
-        edges: Vec<(NodeId, NodeId)>,
-        set_delta: SetDelta,
-    }
-    #[derive(Clone, Copy)]
-    enum SetDelta {
-        None,
-        Added(u64),
-        Removed(u64),
-    }
-    let mut best_executed = 0usize;
-    let mut best_blocked: Vec<OpId> = Vec::new();
-
-    // Enumerate current frontier candidates (per-thread cursor ops with
-    // all cross-thread predecessors executed).
-    let frontier = |po: &P, cursor: &[usize], ops: &[Operation], per_thread: &[Vec<usize>]| {
-        let mut c = Vec::new();
-        #[allow(clippy::needless_range_loop)] // t indexes three tables at once
-        for t in 0..k {
-            let Some(&i) = per_thread[t].get(cursor[t]) else {
-                continue;
-            };
-            let node = ops[i].node;
-            let mut ready = true;
-            #[allow(clippy::needless_range_loop)] // t2 indexes cursor and per_thread
-            for t2 in 0..k {
-                if t2 == t {
-                    continue;
-                }
-                if let Some(p) = po.predecessor(node, ThreadId(t2 as u32)) {
-                    if p as usize >= cursor[t2] {
-                        ready = false;
-                        break;
-                    }
-                }
-            }
-            if ready {
-                c.push(i);
-            }
-        }
-        c
-    };
-
-    let state_key = |cursor: &[usize], set: &HashSet<u64>| -> (Vec<usize>, Vec<u64>) {
-        let mut s: Vec<u64> = set.iter().copied().collect();
-        s.sort_unstable();
-        (cursor.to_vec(), s)
-    };
-    // States whose entire subtree was explored without success.
-    let mut dead: HashSet<(Vec<usize>, Vec<u64>)> = HashSet::new();
-
-    let mut stack: Vec<Frame> = vec![Frame {
-        candidates: frontier(&po, &cursor, &ops, &per_thread),
-        committed: None,
-        key: state_key(&cursor, &set),
-    }];
-
-    let verdict = loop {
-        if steps >= cfg.max_steps {
-            break LinVerdict::Unknown;
-        }
-        let Some(frame) = stack.last_mut() else {
-            // Root exhausted: violation.
-            break LinVerdict::Violation(RootCause {
-                executed: best_executed,
-                blocked: best_blocked.clone(),
-            });
-        };
-        // Undo the previous commitment at this frame, if any.
-        if let Some(c) = frame.committed.take() {
-            let op = &ops[c.op_idx];
-            let t = op.node.thread.index();
-            cursor[t] -= 1;
-            executed -= 1;
-            match c.set_delta {
-                SetDelta::None => {}
-                SetDelta::Added(v) => {
-                    set.remove(&v);
-                }
-                SetDelta::Removed(v) => {
-                    set.insert(v);
-                }
-            }
-            for (u, v) in c.edges.iter().rev() {
-                po.delete_edge(*u, *v).expect("undo of inserted edge");
-                deleted += 1;
-            }
-        }
-        // Try the next candidate.
-        let Some(op_idx) = frame.candidates.pop() else {
-            let exhausted = stack.pop().expect("frame exists");
-            dead.insert(exhausted.key);
-            backtracks += 1;
-            continue;
-        };
-        let op = ops[op_idx];
-        // Specification check.
-        let (applies, set_delta) = match op.method {
-            Method::Add => {
-                let fresh = !set.contains(&op.arg);
-                if (fresh as u64) == op.result {
-                    if fresh {
-                        set.insert(op.arg);
-                        (true, SetDelta::Added(op.arg))
-                    } else {
-                        (true, SetDelta::None)
-                    }
-                } else {
-                    (false, SetDelta::None)
-                }
-            }
-            Method::Remove => {
-                let present = set.contains(&op.arg);
-                if (present as u64) == op.result {
-                    if present {
-                        set.remove(&op.arg);
-                        (true, SetDelta::Removed(op.arg))
-                    } else {
-                        (true, SetDelta::None)
-                    }
-                } else {
-                    (false, SetDelta::None)
-                }
-            }
-            Method::Contains => (set.contains(&op.arg) as u64 == op.result, SetDelta::None),
-        };
-        if !applies {
-            continue;
-        }
-        // Commit: the chosen op precedes every other thread's frontier.
-        steps += 1;
-        let t = op.node.thread.index();
-        let mut edges = Vec::new();
-        for t2 in 0..k {
-            if t2 == t {
-                continue;
-            }
-            let Some(&j) = per_thread[t2].get(cursor[t2]) else {
-                continue;
-            };
-            let next = ops[j].node;
-            if !po.reachable(op.node, next) {
-                po.insert_edge(op.node, next)
-                    .expect("frontier edge is valid");
-                inserted += 1;
-                edges.push((op.node, next));
-            }
-        }
-        cursor[t] += 1;
-        executed += 1;
-        if executed > best_executed {
-            best_executed = executed;
-            best_blocked.clear();
-        }
-        stack.last_mut().expect("frame exists").committed = Some(Committed {
-            op_idx,
-            edges,
-            set_delta,
-        });
-        if executed == total {
-            // Reconstruct the linearization from the stack.
-            let order = stack
-                .iter()
-                .filter_map(|f| f.committed.as_ref())
-                .map(|c| ops[c.op_idx].op)
-                .collect();
-            break LinVerdict::Linearizable(order);
-        }
-        let key = state_key(&cursor, &set);
-        let next_candidates = if dead.contains(&key) {
-            Vec::new() // already proven fruitless: force a backtrack
-        } else {
-            frontier(&po, &cursor, &ops, &per_thread)
-        };
-        if executed == best_executed {
-            // Record the blocked frontier at the deepest point.
-            best_blocked = (0..k)
-                .filter_map(|t2| per_thread[t2].get(cursor[t2]))
-                .map(|&j| ops[j].op)
-                .collect();
-        }
-        stack.push(Frame {
-            candidates: next_candidates,
-            committed: None,
-            key,
-        });
-    };
-
-    LinReport {
-        po,
-        verdict,
-        steps,
-        backtracks,
-        inserted,
-        deleted,
-    }
 }
 
 #[cfg(test)]

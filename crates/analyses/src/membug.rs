@@ -8,12 +8,31 @@
 //! prediction: a saturated base order filters ordered pairs, and each
 //! surviving (use, free) candidate is witness-checked for
 //! co-enabledness via prefix reconstruction.
+//!
+//! **Classification:** predictive. *Detects* use-after-free and
+//! double-free bugs exposable by reordering. *Base order:* the
+//! observation (fork/join + reads-from), built online per event.
+//! *Buffering:* buffered candidate generation at `finish`, or
+//! **windowed** via [`MemBugCfg::window`].
+//!
+//! ```
+//! use csst_analyses::membug::{self, MemBugCfg};
+//! use csst_core::IncrementalCsst;
+//! use csst_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! let o = b.obj("o");
+//! b.on(0).alloc(o);
+//! b.on(0).deref(o, false);
+//! b.on(1).free(o);
+//! let report = membug::predict::<IncrementalCsst>(&b.build(), &MemBugCfg::default());
+//! assert_eq!(report.bugs.len(), 1);
+//! ```
 
-use crate::common::index_for_trace;
-use crate::saturation::{
-    common_lock, insert_observation, witness_co_enabled, ClosureCtx, SaturationCfg,
-};
-use csst_core::{NodeId, PartialOrderIndex};
+use crate::common::{BaseOrderBuilder, WindowStats};
+use crate::saturation::{common_lock, witness_co_enabled, ClosureCtx, SaturationCfg};
+use crate::Analysis;
+use csst_core::{NodeId, PartialOrderIndex, ThreadId};
 use csst_trace::{EventKind, ObjId, Trace};
 use std::collections::HashMap;
 
@@ -43,10 +62,13 @@ pub enum MemBug {
 /// Configuration of [`predict`].
 #[derive(Debug, Clone)]
 pub struct MemBugCfg {
-    /// Maximum number of candidates to witness-check.
+    /// Maximum number of candidates to witness-check (across windows).
     pub max_candidates: usize,
     /// Saturation settings.
     pub saturation: SaturationCfg,
+    /// Tumbling-window size bounding the event buffer; `None` buffers
+    /// the whole stream. See the [`Analysis`] soundness contract.
+    pub window: Option<usize>,
 }
 
 impl Default for MemBugCfg {
@@ -54,6 +76,7 @@ impl Default for MemBugCfg {
         MemBugCfg {
             max_candidates: 400,
             saturation: SaturationCfg::default(),
+            window: None,
         }
     }
 }
@@ -61,110 +84,146 @@ impl Default for MemBugCfg {
 /// Result of a memory-bug prediction run.
 #[derive(Debug, Clone)]
 pub struct MemBugReport<P> {
-    /// The saturated base partial order.
+    /// The observed base partial order (final window's edges only in
+    /// windowed runs).
     pub base: P,
     /// Number of candidates examined.
     pub candidates: usize,
-    /// Predicted bugs.
+    /// Predicted bugs (global event ids).
     pub bugs: Vec<MemBug>,
+    /// Streaming/windowing counters of the run.
+    pub window: WindowStats,
 }
 
-crate::analysis::buffered_analysis! {
-    /// Streaming form of [`predict`]: buffers the event stream and runs
-    /// the ConVulPOE-style prediction at `finish`.
-    MemBugPredictor { cfg: MemBugCfg, report: MemBugReport<P>, batch: predict_buffered }
+/// Streaming form of [`predict`]: the observation base order grows per
+/// event inside `feed`; candidate generation and witness checks run
+/// over the buffered events at `finish` — or per window when
+/// [`MemBugCfg::window`] bounds the buffer.
+#[derive(Debug)]
+pub struct MemBugPredictor<P> {
+    cfg: MemBugCfg,
+    builder: BaseOrderBuilder<P>,
+    candidates: usize,
+    bugs: Vec<MemBug>,
+}
+
+impl<P: PartialOrderIndex> MemBugPredictor<P> {
+    fn analyze_window(&mut self) {
+        let (trace, win) = self.builder.split();
+        if trace.total_events() == 0 {
+            return;
+        }
+        let ctx = ClosureCtx::new(trace, None);
+
+        // Object lifecycle events.
+        #[derive(Default)]
+        struct Life {
+            frees: Vec<NodeId>,
+            uses: Vec<NodeId>,
+        }
+        let mut lives: HashMap<ObjId, Life> = HashMap::new();
+        for (id, ev) in trace.iter_order() {
+            match ev.kind {
+                EventKind::Free { obj } => lives.entry(obj).or_default().frees.push(id),
+                EventKind::Deref { obj, .. } => lives.entry(obj).or_default().uses.push(id),
+                _ => {}
+            }
+        }
+        let mut objs: Vec<(&ObjId, &Life)> = lives.iter().collect();
+        objs.sort_unstable_by_key(|(o, _)| **o);
+
+        'outer: for (&obj, life) in objs {
+            // Use-after-free: use vs free co-enabled.
+            for &f in &life.frees {
+                for &u in &life.uses {
+                    if self.candidates >= self.cfg.max_candidates {
+                        break 'outer;
+                    }
+                    if u.thread == f.thread {
+                        continue; // program order decides
+                    }
+                    if win.reachable(u, f) || win.reachable(f, u) {
+                        continue;
+                    }
+                    if common_lock(trace, u, f) {
+                        continue;
+                    }
+                    self.candidates += 1;
+                    if witness_co_enabled::<P>(&ctx, &self.cfg.saturation, &[u, f]) {
+                        self.bugs.push(MemBug::UseAfterFree {
+                            obj,
+                            use_event: win.to_global(u),
+                            free_event: win.to_global(f),
+                        });
+                    }
+                }
+            }
+            // Double free: two frees co-enabled (or unordered).
+            for (i, &f1) in life.frees.iter().enumerate() {
+                for &f2 in life.frees.iter().skip(i + 1) {
+                    if self.candidates >= self.cfg.max_candidates {
+                        break 'outer;
+                    }
+                    if f1.thread == f2.thread {
+                        // Same thread: both execute regardless — a bug
+                        // by construction.
+                        self.bugs.push(MemBug::DoubleFree {
+                            obj,
+                            first: win.to_global(f1),
+                            second: win.to_global(f2),
+                        });
+                        continue;
+                    }
+                    self.candidates += 1;
+                    // Both frees execute in any correct reordering; a
+                    // double free needs no witness beyond both existing.
+                    self.bugs.push(MemBug::DoubleFree {
+                        obj,
+                        first: win.to_global(f1),
+                        second: win.to_global(f2),
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl<P: PartialOrderIndex> Analysis for MemBugPredictor<P> {
+    type Cfg = MemBugCfg;
+    type Report = MemBugReport<P>;
+
+    fn new(cfg: Self::Cfg) -> Self {
+        MemBugPredictor {
+            builder: BaseOrderBuilder::observing(cfg.window),
+            cfg,
+            candidates: 0,
+            bugs: Vec::new(),
+        }
+    }
+
+    fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        self.builder.feed(thread, event);
+        if self.builder.window_full() {
+            self.analyze_window();
+            self.builder.retire_window();
+        }
+    }
+
+    fn finish(mut self) -> MemBugReport<P> {
+        self.analyze_window();
+        MemBugReport {
+            candidates: self.candidates,
+            bugs: self.bugs,
+            window: self.builder.stats(),
+            base: self.builder.into_po(),
+        }
+    }
 }
 
 /// Runs memory-bug prediction over `trace` using representation `P`: a
 /// thin wrapper streaming the trace through [`MemBugPredictor`].
 pub fn predict<P: PartialOrderIndex>(trace: &Trace, cfg: &MemBugCfg) -> MemBugReport<P> {
-    use crate::Analysis;
     MemBugPredictor::<P>::run(trace, cfg.clone())
-}
-
-fn predict_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &MemBugCfg) -> MemBugReport<P> {
-    let ctx = ClosureCtx::new(trace, None);
-    let mut base: P = index_for_trace(trace);
-    insert_observation(&mut base, trace, &ctx.rf);
-
-    // Object lifecycle events.
-    #[derive(Default)]
-    struct Life {
-        frees: Vec<NodeId>,
-        uses: Vec<NodeId>,
-    }
-    let mut lives: HashMap<ObjId, Life> = HashMap::new();
-    for (id, ev) in trace.iter_order() {
-        match ev.kind {
-            EventKind::Free { obj } => lives.entry(obj).or_default().frees.push(id),
-            EventKind::Deref { obj, .. } => lives.entry(obj).or_default().uses.push(id),
-            _ => {}
-        }
-    }
-    let mut objs: Vec<(&ObjId, &Life)> = lives.iter().collect();
-    objs.sort_unstable_by_key(|(o, _)| **o);
-
-    let mut candidates = 0usize;
-    let mut bugs = Vec::new();
-    'outer: for (&obj, life) in objs {
-        // Use-after-free: use vs free co-enabled.
-        for &f in &life.frees {
-            for &u in &life.uses {
-                if candidates >= cfg.max_candidates {
-                    break 'outer;
-                }
-                if u.thread == f.thread {
-                    continue; // program order decides
-                }
-                if base.reachable(u, f) || base.reachable(f, u) {
-                    continue;
-                }
-                if common_lock(trace, u, f) {
-                    continue;
-                }
-                candidates += 1;
-                if witness_co_enabled::<P>(&ctx, &cfg.saturation, &[u, f]) {
-                    bugs.push(MemBug::UseAfterFree {
-                        obj,
-                        use_event: u,
-                        free_event: f,
-                    });
-                }
-            }
-        }
-        // Double free: two frees co-enabled (or unordered).
-        for (i, &f1) in life.frees.iter().enumerate() {
-            for &f2 in life.frees.iter().skip(i + 1) {
-                if candidates >= cfg.max_candidates {
-                    break 'outer;
-                }
-                if f1.thread == f2.thread {
-                    // Same thread: both execute regardless — a bug by
-                    // construction.
-                    bugs.push(MemBug::DoubleFree {
-                        obj,
-                        first: f1,
-                        second: f2,
-                    });
-                    continue;
-                }
-                candidates += 1;
-                // Both frees execute in any correct reordering; a
-                // double free needs no witness beyond both existing.
-                bugs.push(MemBug::DoubleFree {
-                    obj,
-                    first: f1,
-                    second: f2,
-                });
-            }
-        }
-    }
-
-    MemBugReport {
-        base,
-        candidates,
-        bugs,
-    }
 }
 
 #[cfg(test)]

@@ -16,26 +16,48 @@
 //! Step 3 inserts orderings between events in the middle of the trace —
 //! the non-streaming pattern where vector clocks degrade to `O(n)` per
 //! insertion and CSSTs stay logarithmic.
+//!
+//! **Classification:** predictive. *Detects* data races exposable by
+//! reordering the observed trace. *Base order:* the light observation
+//! (fork/join + reads-from), built online per event. *Buffering:*
+//! buffered candidate generation at `finish`, or **windowed** via
+//! [`RaceCfg::window`].
+//!
+//! ```
+//! use csst_analyses::race::{self, RaceCfg};
+//! use csst_core::IncrementalCsst;
+//! use csst_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! let x = b.var("x");
+//! b.on(0).write(x, 1);
+//! b.on(1).write(x, 2);
+//! let report = race::predict::<IncrementalCsst>(&b.build(), &RaceCfg::default());
+//! assert_eq!(report.races.len(), 1);
+//! ```
 
-use crate::common::index_for_trace;
-use crate::saturation::{
-    common_lock, insert_observation, witness_co_enabled, ClosureCtx, SaturationCfg,
-};
-use csst_core::{NodeId, PartialOrderIndex};
-use csst_trace::{Trace, VarId};
+use crate::common::{BaseOrderBuilder, WindowStats};
+use crate::saturation::{common_lock, witness_co_enabled, ClosureCtx, SaturationCfg};
+use crate::Analysis;
+use csst_core::{NodeId, PartialOrderIndex, ThreadId};
+use csst_trace::{EventKind, Trace, VarId};
 use std::collections::HashMap;
 
 /// Configuration of [`predict`].
 #[derive(Debug, Clone)]
 pub struct RaceCfg {
     /// Maximum number of candidate pairs to witness-check (in trace
-    /// order); practical tools window their search the same way.
+    /// order, across all windows); practical tools window their search
+    /// the same way.
     pub max_candidates: usize,
     /// Pair every access with at most this many preceding accesses of
     /// the same variable (the candidate window).
     pub recent: usize,
     /// Saturation settings used by the per-candidate witness checks.
     pub saturation: SaturationCfg,
+    /// Tumbling-window size bounding the event buffer; `None` buffers
+    /// the whole stream. See the [`Analysis`] soundness contract.
+    pub window: Option<usize>,
 }
 
 impl Default for RaceCfg {
@@ -44,6 +66,7 @@ impl Default for RaceCfg {
             max_candidates: 200,
             recent: 24,
             saturation: SaturationCfg::default(),
+            window: None,
         }
     }
 }
@@ -51,81 +74,120 @@ impl Default for RaceCfg {
 /// Result of a race prediction run.
 #[derive(Debug, Clone)]
 pub struct RaceReport<P> {
-    /// The light observed base order (useful for density stats).
+    /// The light observed base order (useful for density stats). In
+    /// windowed runs only the final window's edges are still live.
     pub base: P,
     /// Number of candidate pairs examined (witness-checked).
     pub candidates: usize,
-    /// Predicted races: conflicting pairs with a feasible witness.
+    /// Predicted races: conflicting pairs with a feasible witness
+    /// (global event ids).
     pub races: Vec<(NodeId, NodeId)>,
     /// Edges inserted while building the base order.
     pub base_inserted: usize,
+    /// Streaming/windowing counters of the run.
+    pub window: WindowStats,
 }
 
-crate::analysis::buffered_analysis! {
-    /// Streaming form of [`predict`]: buffers the event stream and runs
-    /// the M2-style prediction at `finish` (witness checks reorder the
-    /// whole trace, so prediction is inherently offline).
-    RacePredictor { cfg: RaceCfg, report: RaceReport<P>, batch: predict_buffered }
+/// Streaming form of [`predict`]: the observation base order (fork/
+/// join and reads-from) grows per event inside `feed`; candidate
+/// generation and the M2-style witness checks run over the buffered
+/// events at `finish` — or per window when [`RaceCfg::window`] bounds
+/// the buffer.
+#[derive(Debug)]
+pub struct RacePredictor<P> {
+    cfg: RaceCfg,
+    builder: BaseOrderBuilder<P>,
+    races: Vec<(NodeId, NodeId)>,
+    candidates: usize,
+}
+
+impl<P: PartialOrderIndex> RacePredictor<P> {
+    /// Runs candidate generation + witness checks over the buffered
+    /// window (the whole trace when unwindowed).
+    fn analyze_window(&mut self) {
+        let (trace, win) = self.builder.split();
+        if trace.total_events() == 0 {
+            return;
+        }
+        let ctx = ClosureCtx::new(trace, None);
+
+        // Candidate enumeration: conflicting pairs within the recency
+        // window, different threads, in trace order.
+        let mut recent: HashMap<VarId, Vec<(NodeId, bool)>> = HashMap::new();
+        let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
+        for (id, ev) in trace.iter_order() {
+            let Some(var) = ev.kind.var() else { continue };
+            if !(ev.kind.is_plain_read() || ev.kind.is_plain_write()) {
+                continue;
+            }
+            let is_write = ev.kind.is_plain_write();
+            let buf = recent.entry(var).or_default();
+            for &(prev, prev_write) in buf.iter() {
+                if prev.thread != id.thread && (is_write || prev_write) {
+                    candidates.push((prev, id));
+                }
+            }
+            buf.push((id, is_write));
+            if buf.len() > self.cfg.recent {
+                buf.remove(0);
+            }
+        }
+
+        for (e1, e2) in candidates {
+            if self.candidates >= self.cfg.max_candidates {
+                break;
+            }
+            if win.reachable(e1, e2) || win.reachable(e2, e1) {
+                continue; // ordered: not a candidate
+            }
+            if common_lock(trace, e1, e2) {
+                continue; // protected: cannot be co-enabled
+            }
+            self.candidates += 1;
+            if witness_co_enabled::<P>(&ctx, &self.cfg.saturation, &[e1, e2]) {
+                self.races.push((win.to_global(e1), win.to_global(e2)));
+            }
+        }
+    }
+}
+
+impl<P: PartialOrderIndex> Analysis for RacePredictor<P> {
+    type Cfg = RaceCfg;
+    type Report = RaceReport<P>;
+
+    fn new(cfg: Self::Cfg) -> Self {
+        RacePredictor {
+            builder: BaseOrderBuilder::observing(cfg.window),
+            cfg,
+            races: Vec::new(),
+            candidates: 0,
+        }
+    }
+
+    fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        self.builder.feed(thread, event);
+        if self.builder.window_full() {
+            self.analyze_window();
+            self.builder.retire_window();
+        }
+    }
+
+    fn finish(mut self) -> RaceReport<P> {
+        self.analyze_window();
+        RaceReport {
+            candidates: self.candidates,
+            races: self.races,
+            base_inserted: self.builder.base_inserted(),
+            window: self.builder.stats(),
+            base: self.builder.into_po(),
+        }
+    }
 }
 
 /// Runs race prediction over `trace` using partial-order representation
 /// `P`: a thin wrapper streaming the trace through [`RacePredictor`].
 pub fn predict<P: PartialOrderIndex>(trace: &Trace, cfg: &RaceCfg) -> RaceReport<P> {
-    use crate::Analysis;
     RacePredictor::<P>::run(trace, cfg.clone())
-}
-
-fn predict_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &RaceCfg) -> RaceReport<P> {
-    let ctx = ClosureCtx::new(trace, None);
-    let mut base: P = index_for_trace(trace);
-    let base_inserted = insert_observation(&mut base, trace, &ctx.rf);
-
-    // Candidate enumeration: conflicting pairs within the recency
-    // window, different threads, in trace order.
-    let mut recent: HashMap<VarId, Vec<(NodeId, bool)>> = HashMap::new();
-    let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
-    for (id, ev) in trace.iter_order() {
-        let Some(var) = ev.kind.var() else { continue };
-        if !(ev.kind.is_plain_read() || ev.kind.is_plain_write()) {
-            continue;
-        }
-        let is_write = ev.kind.is_plain_write();
-        let buf = recent.entry(var).or_default();
-        for &(prev, prev_write) in buf.iter() {
-            if prev.thread != id.thread && (is_write || prev_write) {
-                candidates.push((prev, id));
-            }
-        }
-        buf.push((id, is_write));
-        if buf.len() > cfg.recent {
-            buf.remove(0);
-        }
-    }
-
-    let mut races = Vec::new();
-    let mut examined = 0usize;
-    for (e1, e2) in candidates {
-        if examined >= cfg.max_candidates {
-            break;
-        }
-        if base.reachable(e1, e2) || base.reachable(e2, e1) {
-            continue; // ordered: not a candidate
-        }
-        if common_lock(trace, e1, e2) {
-            continue; // protected: cannot be co-enabled
-        }
-        examined += 1;
-        if witness_co_enabled::<P>(&ctx, &cfg.saturation, &[e1, e2]) {
-            races.push((e1, e2));
-        }
-    }
-
-    RaceReport {
-        base,
-        candidates: examined,
-        races,
-        base_inserted,
-    }
 }
 
 #[cfg(test)]

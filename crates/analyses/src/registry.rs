@@ -5,6 +5,13 @@
 //! harness — select analyses and index representations by string
 //! instead of hard-coding one match arm per analysis. Adding an
 //! analysis means adding one [`AnalysisEntry`] here.
+//!
+//! Runs take an optional **window** (the `--window N` of the CLI):
+//! predictive analyses then bound their event buffer to `N`-event
+//! tumbling windows, retiring each window's base-order edges through
+//! `delete_edge` — which is why windowed runs are restricted to the
+//! fully dynamic representations (`csst`, `graph`). See the
+//! [`crate::Analysis`] soundness contract.
 
 use crate::{c11, deadlock, hb, linearizability, membug, race, tso, uaf};
 use csst_core::{Csst, GraphIndex, IncrementalCsst, SegTreeIndex, VectorClockIndex};
@@ -74,19 +81,26 @@ pub struct AnalysisEntry {
     pub name: &'static str,
     /// One-line description.
     pub description: &'static str,
-    run: fn(&Trace, IndexKind) -> Result<RunOutput, String>,
+    run: fn(&Trace, IndexKind, Option<usize>) -> Result<RunOutput, String>,
     demo: fn() -> Trace,
 }
 
 impl AnalysisEntry {
-    /// Runs the analysis on `trace` with the given representation.
+    /// Runs the analysis on `trace` with the given representation and
+    /// optional window size.
     ///
     /// # Errors
     ///
     /// A human-readable message when the representation does not fit
-    /// the analysis (e.g. linearizability needs edge deletion).
-    pub fn run(&self, trace: &Trace, index: IndexKind) -> Result<RunOutput, String> {
-        (self.run)(trace, index)
+    /// the analysis (e.g. linearizability and windowed runs need edge
+    /// deletion) or when the analysis does not support windowing.
+    pub fn run(
+        &self,
+        trace: &Trace,
+        index: IndexKind,
+        window: Option<usize>,
+    ) -> Result<RunOutput, String> {
+        (self.run)(trace, index, window)
     }
 
     /// A small deterministic workload of this analysis's family, for
@@ -106,14 +120,39 @@ pub fn find(name: &str) -> Option<&'static AnalysisEntry> {
     ENTRIES.iter().find(|e| e.name == name)
 }
 
-/// Dispatches a generic runner over the insert-only representations.
-macro_rules! incremental_dispatch {
-    ($index:expr, $run:ident, $trace:expr) => {
-        match $index {
-            IndexKind::Csst => Ok($run::<IncrementalCsst>($trace)),
-            IndexKind::SegTree => Ok($run::<SegTreeIndex>($trace)),
-            IndexKind::VectorClock => Ok($run::<VectorClockIndex>($trace)),
-            IndexKind::Graph => Ok($run::<GraphIndex>($trace)),
+/// Looks up an analysis by CLI name, producing an actionable error —
+/// listing every valid name — when the registry does not know it.
+///
+/// # Errors
+///
+/// A message of the form ``unknown analysis `foo`; valid analyses:
+/// race, hb, …`` for unknown names.
+pub fn resolve(name: &str) -> Result<&'static AnalysisEntry, String> {
+    find(name).ok_or_else(|| {
+        let names: Vec<&str> = entries().iter().map(|e| e.name).collect();
+        format!(
+            "unknown analysis `{name}`; valid analyses: {}",
+            names.join(", ")
+        )
+    })
+}
+
+/// Dispatches a generic runner: over every representation when
+/// unwindowed, over the fully dynamic ones (`csst` → [`Csst`],
+/// `graph`) when a window is set — retirement deletes edges.
+macro_rules! streaming_dispatch {
+    ($index:expr, $window:expr, $run:ident, $trace:expr) => {
+        match ($window, $index) {
+            (None, IndexKind::Csst) => Ok($run::<IncrementalCsst>($trace, None)),
+            (None, IndexKind::SegTree) => Ok($run::<SegTreeIndex>($trace, None)),
+            (None, IndexKind::VectorClock) => Ok($run::<VectorClockIndex>($trace, None)),
+            (None, IndexKind::Graph) => Ok($run::<GraphIndex>($trace, None)),
+            (Some(w), IndexKind::Csst) => Ok($run::<Csst>($trace, Some(w))),
+            (Some(w), IndexKind::Graph) => Ok($run::<GraphIndex>($trace, Some(w))),
+            (Some(_), other) => Err(format!(
+                "--window retires edges and needs a fully dynamic index (csst|graph), got `{}`",
+                other.name()
+            )),
         }
     };
 }
@@ -122,7 +161,7 @@ static ENTRIES: [AnalysisEntry; 8] = [
     AnalysisEntry {
         name: "race",
         description: "M2-style data race prediction (Table 1)",
-        run: |trace, index| incremental_dispatch!(index, run_race, trace),
+        run: |trace, index, window| streaming_dispatch!(index, window, run_race, trace),
         demo: || {
             gen::racy_program(&gen::RacyProgramCfg {
                 threads: 4,
@@ -135,7 +174,7 @@ static ENTRIES: [AnalysisEntry; 8] = [
     AnalysisEntry {
         name: "hb",
         description: "streaming FastTrack-style happens-before detection",
-        run: |trace, index| incremental_dispatch!(index, run_hb, trace),
+        run: run_hb_entry,
         demo: || {
             gen::racy_program(&gen::RacyProgramCfg {
                 threads: 6,
@@ -149,7 +188,7 @@ static ENTRIES: [AnalysisEntry; 8] = [
     AnalysisEntry {
         name: "deadlock",
         description: "SeqCheck-style deadlock prediction (Table 2)",
-        run: |trace, index| incremental_dispatch!(index, run_deadlock, trace),
+        run: |trace, index, window| streaming_dispatch!(index, window, run_deadlock, trace),
         demo: || {
             gen::lock_program(&gen::LockProgramCfg {
                 threads: 4,
@@ -162,7 +201,7 @@ static ENTRIES: [AnalysisEntry; 8] = [
     AnalysisEntry {
         name: "membug",
         description: "ConVulPOE-style memory-bug prediction (Table 3)",
-        run: |trace, index| incremental_dispatch!(index, run_membug, trace),
+        run: |trace, index, window| streaming_dispatch!(index, window, run_membug, trace),
         demo: || {
             gen::alloc_program(&gen::AllocProgramCfg {
                 threads: 5,
@@ -174,7 +213,7 @@ static ENTRIES: [AnalysisEntry; 8] = [
     AnalysisEntry {
         name: "tso",
         description: "x86-TSO consistency checking (Table 4)",
-        run: |trace, index| incremental_dispatch!(index, run_tso, trace),
+        run: |trace, index, window| streaming_dispatch!(index, window, run_tso, trace),
         demo: || {
             gen::tso_history(&gen::TsoCfg {
                 threads: 5,
@@ -186,7 +225,7 @@ static ENTRIES: [AnalysisEntry; 8] = [
     AnalysisEntry {
         name: "uaf",
         description: "UFO-style use-after-free query generation (Table 5)",
-        run: |trace, index| incremental_dispatch!(index, run_uaf, trace),
+        run: |trace, index, window| streaming_dispatch!(index, window, run_uaf, trace),
         demo: || {
             gen::alloc_program(&gen::AllocProgramCfg {
                 threads: 5,
@@ -199,7 +238,7 @@ static ENTRIES: [AnalysisEntry; 8] = [
     AnalysisEntry {
         name: "c11",
         description: "C11Tester-style race detection (Table 6)",
-        run: |trace, index| incremental_dispatch!(index, run_c11, trace),
+        run: |trace, index, window| streaming_dispatch!(index, window, run_c11, trace),
         demo: || {
             gen::c11_program(&gen::C11Cfg {
                 threads: 6,
@@ -224,8 +263,12 @@ static ENTRIES: [AnalysisEntry; 8] = [
     },
 ];
 
-fn run_race<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
-    let r = race::predict::<P>(trace, &race::RaceCfg::default());
+fn run_race<P: csst_core::PartialOrderIndex>(trace: &Trace, window: Option<usize>) -> RunOutput {
+    let cfg = race::RaceCfg {
+        window,
+        ..Default::default()
+    };
+    let r = race::predict::<P>(trace, &cfg);
     RunOutput {
         lines: r
             .races
@@ -238,6 +281,24 @@ fn run_race<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
             r.candidates
         ),
         exit_code: (!r.races.is_empty()) as u8,
+    }
+}
+
+fn run_hb_entry(
+    trace: &Trace,
+    index: IndexKind,
+    window: Option<usize>,
+) -> Result<RunOutput, String> {
+    if window.is_some() {
+        return Err(
+            "hb is genuinely online and buffers nothing; --window does not apply".to_string(),
+        );
+    }
+    match index {
+        IndexKind::Csst => Ok(run_hb::<IncrementalCsst>(trace)),
+        IndexKind::SegTree => Ok(run_hb::<SegTreeIndex>(trace)),
+        IndexKind::VectorClock => Ok(run_hb::<VectorClockIndex>(trace)),
+        IndexKind::Graph => Ok(run_hb::<GraphIndex>(trace)),
     }
 }
 
@@ -259,8 +320,15 @@ fn run_hb<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
     }
 }
 
-fn run_deadlock<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
-    let r = deadlock::predict::<P>(trace, &deadlock::DeadlockCfg::default());
+fn run_deadlock<P: csst_core::PartialOrderIndex>(
+    trace: &Trace,
+    window: Option<usize>,
+) -> RunOutput {
+    let cfg = deadlock::DeadlockCfg {
+        window,
+        ..Default::default()
+    };
+    let r = deadlock::predict::<P>(trace, &cfg);
     RunOutput {
         lines: r
             .deadlocks
@@ -286,8 +354,12 @@ fn run_deadlock<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
     }
 }
 
-fn run_membug<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
-    let r = membug::predict::<P>(trace, &membug::MemBugCfg::default());
+fn run_membug<P: csst_core::PartialOrderIndex>(trace: &Trace, window: Option<usize>) -> RunOutput {
+    let cfg = membug::MemBugCfg {
+        window,
+        ..Default::default()
+    };
+    let r = membug::predict::<P>(trace, &cfg);
     RunOutput {
         lines: r
             .bugs
@@ -308,8 +380,12 @@ fn run_membug<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
     }
 }
 
-fn run_tso<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
-    let r = tso::check::<P>(trace, &tso::TsoCheckCfg::default());
+fn run_tso<P: csst_core::PartialOrderIndex>(trace: &Trace, window: Option<usize>) -> RunOutput {
+    let cfg = tso::TsoCheckCfg {
+        window,
+        ..Default::default()
+    };
+    let r = tso::check::<P>(trace, &cfg);
     RunOutput {
         lines: Vec::new(),
         summary: format!(
@@ -326,8 +402,12 @@ fn run_tso<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
     }
 }
 
-fn run_uaf<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
-    let r = uaf::generate::<P>(trace, &uaf::UafCfg::default());
+fn run_uaf<P: csst_core::PartialOrderIndex>(trace: &Trace, window: Option<usize>) -> RunOutput {
+    let cfg = uaf::UafCfg {
+        window,
+        ..Default::default()
+    };
+    let r = uaf::generate::<P>(trace, &cfg);
     RunOutput {
         lines: r
             .candidates
@@ -350,8 +430,12 @@ fn run_uaf<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
     }
 }
 
-fn run_c11<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
-    let r = c11::detect::<P>(trace, &c11::C11Cfg::default());
+fn run_c11<P: csst_core::PartialOrderIndex>(trace: &Trace, window: Option<usize>) -> RunOutput {
+    let cfg = c11::C11Cfg {
+        window,
+        ..Default::default()
+    };
+    let r = c11::detect::<P>(trace, &cfg);
     RunOutput {
         lines: r
             .races
@@ -369,8 +453,15 @@ fn run_c11<P: csst_core::PartialOrderIndex>(trace: &Trace) -> RunOutput {
     }
 }
 
-fn run_linearizability(trace: &Trace, index: IndexKind) -> Result<RunOutput, String> {
-    let cfg = linearizability::LinCfg::default();
+fn run_linearizability(
+    trace: &Trace,
+    index: IndexKind,
+    window: Option<usize>,
+) -> Result<RunOutput, String> {
+    let cfg = linearizability::LinCfg {
+        window,
+        ..Default::default()
+    };
     let verdict = match index {
         IndexKind::Csst => linearizability::analyze::<Csst>(trace, &cfg).verdict,
         IndexKind::Graph => linearizability::analyze::<GraphIndex>(trace, &cfg).verdict,
@@ -416,8 +507,22 @@ mod tests {
             let trace = entry.demo_trace();
             assert!(trace.total_events() > 0, "{}: empty demo", entry.name);
             let out = entry
-                .run(&trace, IndexKind::Csst)
+                .run(&trace, IndexKind::Csst, None)
                 .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert!(!out.summary.is_empty(), "{}: empty summary", entry.name);
+        }
+    }
+
+    #[test]
+    fn all_predictive_entries_run_windowed_on_csst() {
+        for entry in entries() {
+            if entry.name == "hb" {
+                continue; // genuinely online: windowing does not apply
+            }
+            let trace = entry.demo_trace();
+            let out = entry
+                .run(&trace, IndexKind::Csst, Some(64))
+                .unwrap_or_else(|e| panic!("{} windowed: {e}", entry.name));
             assert!(!out.summary.is_empty(), "{}: empty summary", entry.name);
         }
     }
@@ -434,10 +539,43 @@ mod tests {
     }
 
     #[test]
+    fn resolve_error_lists_every_valid_name() {
+        assert!(resolve("race").is_ok());
+        let err = resolve("rcae").err().expect("unknown name must error");
+        assert!(err.contains("unknown analysis `rcae`"), "{err}");
+        for entry in entries() {
+            assert!(
+                err.contains(entry.name),
+                "error must list `{}`: {err}",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
     fn linearizability_rejects_insert_only_indexes() {
         let entry = find("linearizability").unwrap();
         let trace = entry.demo_trace();
-        assert!(entry.run(&trace, IndexKind::VectorClock).is_err());
-        assert!(entry.run(&trace, IndexKind::Graph).is_ok());
+        assert!(entry.run(&trace, IndexKind::VectorClock, None).is_err());
+        assert!(entry.run(&trace, IndexKind::Graph, None).is_ok());
+    }
+
+    #[test]
+    fn windowed_runs_reject_insert_only_indexes() {
+        let entry = find("race").unwrap();
+        let trace = entry.demo_trace();
+        for kind in [IndexKind::SegTree, IndexKind::VectorClock] {
+            let err = entry.run(&trace, kind, Some(50)).unwrap_err();
+            assert!(err.contains("fully dynamic"), "{err}");
+        }
+        assert!(entry.run(&trace, IndexKind::Graph, Some(50)).is_ok());
+    }
+
+    #[test]
+    fn hb_rejects_windowing() {
+        let entry = find("hb").unwrap();
+        let trace = entry.demo_trace();
+        let err = entry.run(&trace, IndexKind::Csst, Some(10)).unwrap_err();
+        assert!(err.contains("does not apply"), "{err}");
     }
 }

@@ -522,9 +522,12 @@ pub fn saturate<P: PartialOrderIndex>(
 /// Builds the *light* observed order of a trace: fork/join structure
 /// plus the trace's reads-from edges in trace order (the streaming
 /// order a real analysis uses for its base), without any saturation
-/// fixpoint. This is what the predictive analyses use for candidate
+/// fixpoint. The predictive analyses build exactly this edge set
+/// incrementally per event through
+/// [`crate::BaseOrderBuilder::observing`] and use it for candidate
 /// filtering — the expensive closure happens per candidate in
-/// [`witness_co_enabled`], exactly as in M2.
+/// [`witness_co_enabled`], exactly as in M2. This batch form remains
+/// the one-shot equivalent for recorded traces.
 ///
 /// Returns the number of edges inserted.
 pub fn insert_observation<P: PartialOrderIndex>(

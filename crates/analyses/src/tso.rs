@@ -25,8 +25,30 @@
 //! A derived cycle means the history is not TSO-consistent. These
 //! insertions hit events deep inside the partial order, which is why
 //! Table 4 shows the largest vector-clock blowups.
+//!
+//! **Classification:** predictive. *Detects* violations of the x86-TSO
+//! memory model in a load/store history. *Base order:* `issue → commit`
+//! per store and `commit → issue` reads-from edges, built online per
+//! event over two chains per thread. *Buffering:* per-window load and
+//! commit tables for the coherence fixpoint at `finish`, or
+//! **windowed** via [`TsoCheckCfg::window`].
+//!
+//! ```
+//! use csst_analyses::tso::{self, TsoCheckCfg};
+//! use csst_core::IncrementalCsst;
+//! use csst_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! let x = b.var("x");
+//! b.on(0).write(x, 1);
+//! b.on(1).read(x, 1);
+//! b.on(1).read(x, 0); // stale after fresh: coherence violation
+//! let report = tso::check::<IncrementalCsst>(&b.build(), &TsoCheckCfg::default());
+//! assert!(!report.consistent);
+//! ```
 
-use crate::common::{require_order, OrderOutcome};
+use crate::common::{BaseOrderBuilder, OrderOutcome, WindowStats};
+use crate::Analysis;
 use csst_core::{NodeId, PartialOrderIndex, Pos, ThreadId};
 use csst_trace::{EventKind, Trace, VarId};
 use std::collections::HashMap;
@@ -36,11 +58,18 @@ use std::collections::HashMap;
 pub struct TsoCheckCfg {
     /// Safety valve for the saturation fixpoint.
     pub max_rounds: usize,
+    /// Tumbling-window size bounding the per-window load/commit
+    /// tables; `None` checks the whole history at once. See the
+    /// [`Analysis`] soundness contract.
+    pub window: Option<usize>,
 }
 
 impl Default for TsoCheckCfg {
     fn default() -> Self {
-        TsoCheckCfg { max_rounds: 64 }
+        TsoCheckCfg {
+            max_rounds: 64,
+            window: None,
+        }
     }
 }
 
@@ -55,6 +84,8 @@ pub struct TsoReport<P> {
     pub inserted: usize,
     /// Fixpoint rounds executed.
     pub rounds: usize,
+    /// Streaming/windowing counters of the run.
+    pub window: WindowStats,
 }
 
 /// Issue-chain node of event `⟨t, i⟩`.
@@ -69,11 +100,239 @@ fn commit(t: ThreadId, idx: u32) -> NodeId {
     NodeId::new(ThreadId(t.0 * 2 + 1), idx)
 }
 
-crate::analysis::buffered_analysis! {
-    /// Streaming form of [`check`]: buffers the history and runs the
-    /// saturation fixpoint at `finish` (coherence rules relate stores
-    /// across the entire history).
-    TsoChecker { cfg: TsoCheckCfg, report: TsoReport<P>, batch: check_buffered }
+/// Streaming form of [`check`]: the base order — `issue(s) → commit(s)`
+/// per store and the reads-from edge `commit(s) → issue(l)` per load —
+/// grows per event inside `feed`; only the coherence fixpoint runs over
+/// the window's load/commit tables at `finish` (or per window when
+/// [`TsoCheckCfg::window`] is set).
+///
+/// A read returning a value no store has produced *so far* is flagged
+/// as a value-from-nowhere inconsistency — faithful recordings always
+/// write a value before any read returns it. A windowed read observing
+/// a store of an earlier (retired) window contributes no constraint.
+#[derive(Debug)]
+pub struct TsoChecker<P> {
+    cfg: TsoCheckCfg,
+    builder: BaseOrderBuilder<P>,
+    /// Global number of stores per thread (the next commit position).
+    store_count: Vec<u32>,
+    /// value → (store event, variable); persists across windows so
+    /// cross-window observations are recognized (and skipped) rather
+    /// than misread as values from nowhere.
+    writer_of_value: HashMap<u64, (NodeId, VarId)>,
+    /// Current window's stores: store event → commit node.
+    commit_of: HashMap<NodeId, NodeId>,
+    /// Current window's sorted commit positions per (variable, thread).
+    commits_at: HashMap<(VarId, usize), Vec<Pos>>,
+    /// Current window's loads.
+    loads: Vec<(NodeId, VarId, u64)>,
+    inconsistent: bool,
+    inserted: usize,
+    rounds: usize,
+}
+
+impl<P: PartialOrderIndex> TsoChecker<P> {
+    /// Frontier-based coherence saturation over the current window: per
+    /// load and per commit chain, only the boundary store is related;
+    /// the rest follow by the FIFO order of the commit chain.
+    fn fixpoint(&mut self) {
+        let k = self.store_count.len();
+        // Detach the lookup table so rule applications can borrow
+        // `self` mutably; `apply` never touches it.
+        let commits_at = std::mem::take(&mut self.commits_at);
+        while !self.inconsistent {
+            self.rounds += 1;
+            let mut changed = false;
+            'loads: for li in 0..self.loads.len() {
+                let (l, var, value) = self.loads[li];
+                let li = issue(l);
+                let observed = if value == 0 {
+                    None
+                } else {
+                    // A retired writer (not in `commit_of`) is a
+                    // cross-window observation: no constraint.
+                    match self.writer_of_value.get(&value) {
+                        Some(&(s, _)) if self.commit_of.contains_key(&s) => Some(s),
+                        Some(_) => continue 'loads,
+                        None => continue 'loads,
+                    }
+                };
+                match observed {
+                    None => {
+                        // Initial read: every store to the variable
+                        // commits after the load; the first store per
+                        // chain covers the rest through the FIFO commit
+                        // order.
+                        for t in 0..k {
+                            let Some(cps) = commits_at.get(&(var, t)) else {
+                                continue;
+                            };
+                            let first = NodeId::new(ThreadId(t as u32 * 2 + 1), cps[0]);
+                            if self.apply(li, first) {
+                                changed = true;
+                            }
+                            if self.inconsistent {
+                                break 'loads;
+                            }
+                        }
+                    }
+                    Some(s) => {
+                        let cs = self.commit_of[&s];
+                        for t in 0..k {
+                            let cchain = ThreadId(t as u32 * 2 + 1);
+                            let Some(cps) = commits_at.get(&(var, t)) else {
+                                continue;
+                            };
+                            // (a) The latest same-variable commit
+                            // reaching the load is coherence-before the
+                            // observed store's commit.
+                            if let Some(p) = self.builder.po().predecessor(li, cchain) {
+                                let i = cps.partition_point(|&x| x <= p);
+                                if i > 0 {
+                                    let c2 = NodeId::new(cchain, cps[i - 1]);
+                                    if c2 != cs && self.apply(c2, cs) {
+                                        changed = true;
+                                    }
+                                    if self.inconsistent {
+                                        break 'loads;
+                                    }
+                                }
+                            }
+                            // (b) The earliest same-variable commit
+                            // reachable from the observed store's
+                            // commit must come after the load.
+                            if let Some(su) = self.builder.po().successor(cs, cchain) {
+                                let mut i = cps.partition_point(|&x| x < su);
+                                if i < cps.len() && NodeId::new(cchain, cps[i]) == cs {
+                                    i += 1;
+                                }
+                                if i < cps.len() {
+                                    let c2 = NodeId::new(cchain, cps[i]);
+                                    if self.apply(li, c2) {
+                                        changed = true;
+                                    }
+                                    if self.inconsistent {
+                                        break 'loads;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed || self.rounds >= self.cfg.max_rounds {
+                break;
+            }
+        }
+        self.commits_at = commits_at;
+    }
+
+    /// Enforces `from → to`, tracking insertions and contradictions.
+    fn apply(&mut self, from: NodeId, to: NodeId) -> bool {
+        match self.builder.require_logged(from, to) {
+            OrderOutcome::Inserted => {
+                self.inserted += 1;
+                true
+            }
+            OrderOutcome::AlreadyOrdered => false,
+            OrderOutcome::Contradiction => {
+                self.inconsistent = true;
+                false
+            }
+        }
+    }
+
+    fn retire(&mut self) {
+        self.builder.retire_window();
+        self.commit_of.clear();
+        self.commits_at.clear();
+        self.loads.clear();
+    }
+}
+
+impl<P: PartialOrderIndex> Analysis for TsoChecker<P> {
+    type Cfg = TsoCheckCfg;
+    type Report = TsoReport<P>;
+
+    fn new(cfg: Self::Cfg) -> Self {
+        TsoChecker {
+            builder: BaseOrderBuilder::counting(cfg.window),
+            cfg,
+            store_count: Vec::new(),
+            writer_of_value: HashMap::new(),
+            commit_of: HashMap::new(),
+            commits_at: HashMap::new(),
+            loads: Vec::new(),
+            inconsistent: false,
+            inserted: 0,
+            rounds: 0,
+        }
+    }
+
+    fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        let id = self.builder.feed(thread, event);
+        if thread.index() >= self.store_count.len() {
+            self.store_count.resize(thread.index() + 1, 0);
+        }
+        match event {
+            EventKind::Write { var, value } => {
+                let c = commit(thread, self.store_count[thread.index()]);
+                self.store_count[thread.index()] += 1;
+                self.commit_of.insert(id, c);
+                self.writer_of_value.insert(value, (id, var));
+                self.commits_at
+                    .entry((var, thread.index()))
+                    .or_default()
+                    .push(c.pos);
+                // Base edge: issue(s) → commit(s).
+                self.builder
+                    .insert_logged(issue(id), c)
+                    .expect("issue → commit is valid");
+                self.inserted += 1;
+            }
+            EventKind::Read { var, value } => {
+                self.loads.push((id, var, value));
+                // Reads-from edge: remote reads happen after the
+                // commit (the initial value needs none).
+                if value != 0 {
+                    match self.writer_of_value.get(&value) {
+                        None => self.inconsistent = true, // value from nowhere
+                        Some(&(s, wvar)) => {
+                            if wvar != var {
+                                self.inconsistent = true;
+                            } else if s.thread != thread {
+                                if let Some(&c) = self.commit_of.get(&s) {
+                                    self.apply(c, issue(id));
+                                }
+                                // A retired writer is a cross-window
+                                // observation: no constraint.
+                            } else if s.pos >= id.pos {
+                                self.inconsistent = true; // future store
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.builder
+            .note_buffered(self.loads.len() + self.commit_of.len());
+        if self.builder.window_full() {
+            self.fixpoint();
+            self.retire();
+        }
+    }
+
+    fn finish(mut self) -> TsoReport<P> {
+        self.fixpoint();
+        TsoReport {
+            consistent: !self.inconsistent,
+            inserted: self.inserted,
+            rounds: self.rounds,
+            window: self.builder.stats(),
+            po: self.builder.into_po(),
+        }
+    }
 }
 
 /// Runs the TSO consistency check over a history of plain reads and
@@ -81,177 +340,7 @@ crate::analysis::buffered_analysis! {
 /// [`csst_trace::gen::tso_history`]). Non-access events are ignored.
 /// A thin wrapper streaming the trace through [`TsoChecker`].
 pub fn check<P: PartialOrderIndex>(trace: &Trace, cfg: &TsoCheckCfg) -> TsoReport<P> {
-    use crate::Analysis;
     TsoChecker::<P>::run(trace, cfg.clone())
-}
-
-fn check_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &TsoCheckCfg) -> TsoReport<P> {
-    let k = trace.num_threads().max(1);
-    let cap = trace.max_chain_len().max(1);
-    let mut po = P::with_capacity(2 * k, cap);
-    let mut inserted = 0usize;
-
-    // Store bookkeeping: value → (store event, its commit node),
-    // plus, per (variable, thread), the sorted commit positions of the
-    // thread's stores to that variable — the frontier lookup tables.
-    let mut commit_of: HashMap<NodeId, NodeId> = HashMap::new();
-    let mut writer_of_value: HashMap<u64, (NodeId, VarId)> = HashMap::new();
-    let mut commits_at: HashMap<(VarId, usize), Vec<Pos>> = HashMap::new();
-    let mut loads: Vec<(NodeId, VarId, u64)> = Vec::new();
-    {
-        let mut store_count = vec![0u32; k];
-        for (id, ev) in trace.iter_order() {
-            match ev.kind {
-                EventKind::Write { var, value } => {
-                    let c = commit(id.thread, store_count[id.thread.index()]);
-                    store_count[id.thread.index()] += 1;
-                    commit_of.insert(id, c);
-                    writer_of_value.insert(value, (id, var));
-                    commits_at
-                        .entry((var, id.thread.index()))
-                        .or_default()
-                        .push(c.pos);
-                }
-                EventKind::Read { var, value } => {
-                    loads.push((id, var, value));
-                }
-                _ => {}
-            }
-        }
-    }
-
-    // Base edges: issue(s) → commit(s).
-    for (&s, &c) in &commit_of {
-        po.insert_edge(issue(s), c)
-            .expect("issue → commit is valid");
-        inserted += 1;
-    }
-
-    let mut inconsistent = false;
-    // Reads-from edges: remote reads happen after the commit.
-    for &(l, var, value) in &loads {
-        if value == 0 {
-            continue; // initial value
-        }
-        let Some(&(s, wvar)) = writer_of_value.get(&value) else {
-            inconsistent = true; // value from nowhere
-            continue;
-        };
-        if wvar != var {
-            inconsistent = true;
-            continue;
-        }
-        if s.thread != l.thread {
-            match require_order(&mut po, commit_of[&s], issue(l)) {
-                OrderOutcome::Inserted => inserted += 1,
-                OrderOutcome::AlreadyOrdered => {}
-                OrderOutcome::Contradiction => inconsistent = true,
-            }
-        } else if s.pos >= l.pos {
-            inconsistent = true; // forwarding from a future store
-        }
-    }
-
-    // Frontier-based coherence saturation: per load and per commit
-    // chain, only the boundary store is related; the rest follow by
-    // the FIFO order of the commit chain.
-    let mut rounds = 0usize;
-    while !inconsistent {
-        rounds += 1;
-        let mut changed = false;
-        let apply = |po: &mut P, from: NodeId, to: NodeId, inconsistent: &mut bool| -> bool {
-            match require_order(po, from, to) {
-                OrderOutcome::Inserted => true,
-                OrderOutcome::AlreadyOrdered => false,
-                OrderOutcome::Contradiction => {
-                    *inconsistent = true;
-                    false
-                }
-            }
-        };
-        'loads: for &(l, var, value) in &loads {
-            let li = issue(l);
-            let observed = if value == 0 {
-                None
-            } else {
-                writer_of_value.get(&value).map(|&(s, _)| s)
-            };
-            match observed {
-                None => {
-                    // Initial read: every store to the variable commits
-                    // after the load; the first store per chain covers
-                    // the rest through the FIFO commit order.
-                    for t in 0..k {
-                        let Some(cps) = commits_at.get(&(var, t)) else {
-                            continue;
-                        };
-                        let first = NodeId::new(ThreadId(t as u32 * 2 + 1), cps[0]);
-                        if apply(&mut po, li, first, &mut inconsistent) {
-                            inserted += 1;
-                            changed = true;
-                        }
-                        if inconsistent {
-                            break 'loads;
-                        }
-                    }
-                }
-                Some(s) => {
-                    let cs = commit_of[&s];
-                    for t in 0..k {
-                        let cchain = ThreadId(t as u32 * 2 + 1);
-                        let Some(cps) = commits_at.get(&(var, t)) else {
-                            continue;
-                        };
-                        // (a) The latest same-variable commit reaching
-                        // the load is coherence-before the observed
-                        // store's commit.
-                        if let Some(p) = po.predecessor(li, cchain) {
-                            let i = cps.partition_point(|&x| x <= p);
-                            if i > 0 {
-                                let c2 = NodeId::new(cchain, cps[i - 1]);
-                                if c2 != cs && apply(&mut po, c2, cs, &mut inconsistent) {
-                                    inserted += 1;
-                                    changed = true;
-                                }
-                                if inconsistent {
-                                    break 'loads;
-                                }
-                            }
-                        }
-                        // (b) The earliest same-variable commit
-                        // reachable from the observed store's commit
-                        // must come after the load.
-                        if let Some(su) = po.successor(cs, cchain) {
-                            let mut i = cps.partition_point(|&x| x < su);
-                            if i < cps.len() && NodeId::new(cchain, cps[i]) == cs {
-                                i += 1;
-                            }
-                            if i < cps.len() {
-                                let c2 = NodeId::new(cchain, cps[i]);
-                                if apply(&mut po, li, c2, &mut inconsistent) {
-                                    inserted += 1;
-                                    changed = true;
-                                }
-                                if inconsistent {
-                                    break 'loads;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        if !changed || rounds >= cfg.max_rounds {
-            break;
-        }
-    }
-
-    TsoReport {
-        po,
-        consistent: !inconsistent,
-        inserted,
-        rounds,
-    }
 }
 
 #[cfg(test)]

@@ -14,9 +14,31 @@
 //! further insertions. This matches the paper's observation that the
 //! UFO speedups are more modest — the data structure is a smaller
 //! fraction of the total work.
+//!
+//! **Classification:** predictive. *Detects* (generates SMT queries
+//! for) use-after-free candidates the partial order cannot refute.
+//! *Base order:* the observation (fork/join + reads-from) built online
+//! per event, saturated to a fixpoint before query generation.
+//! *Buffering:* buffered query generation at `finish`, or **windowed**
+//! via [`UafCfg::window`].
+//!
+//! ```
+//! use csst_analyses::uaf::{self, UafCfg};
+//! use csst_core::IncrementalCsst;
+//! use csst_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! let o = b.obj("o");
+//! b.on(0).alloc(o);
+//! b.on(0).deref(o, true);
+//! b.on(1).free(o);
+//! let report = uaf::generate::<IncrementalCsst>(&b.build(), &UafCfg::default());
+//! assert_eq!(report.candidates.len(), 1);
+//! ```
 
-use crate::common::index_for_trace;
-use crate::saturation::{saturate_observed, SaturationCfg};
+use crate::common::{BaseOrderBuilder, WindowStats};
+use crate::saturation::{saturate, ClosureCtx, SaturationCfg};
+use crate::Analysis;
 use csst_core::{NodeId, PartialOrderIndex, ThreadId};
 use csst_trace::{EventKind, ObjId, Trace};
 use std::collections::HashMap;
@@ -40,98 +62,145 @@ pub struct UafCandidate {
 pub struct UafCfg {
     /// Saturation settings for the base order.
     pub saturation: SaturationCfg,
+    /// Tumbling-window size bounding the event buffer; `None` buffers
+    /// the whole stream. See the [`Analysis`] soundness contract.
+    pub window: Option<usize>,
 }
 
 /// Result of the query-generation phase.
 #[derive(Debug, Clone)]
 pub struct UafReport<P> {
-    /// The saturated base partial order.
+    /// The saturated base partial order (final window's edges only in
+    /// windowed runs).
     pub base: P,
-    /// Candidate pairs surviving the partial-order pruning.
+    /// Candidate pairs surviving the partial-order pruning (global
+    /// event ids).
     pub candidates: Vec<UafCandidate>,
     /// Pairs pruned because the base order already orders them.
     pub pruned: usize,
     /// Total constraints across all candidates.
     pub total_constraints: usize,
+    /// Streaming/windowing counters of the run.
+    pub window: WindowStats,
 }
 
-crate::analysis::buffered_analysis! {
-    /// Streaming form of [`generate`]: buffers the event stream and
-    /// runs the UFO-style query generation at `finish`.
-    UafGenerator { cfg: UafCfg, report: UafReport<P>, batch: generate_buffered }
+/// Streaming form of [`generate`]: the observation base order (fork/
+/// join + reads-from) grows per event inside `feed`; the saturation
+/// fixpoint and the query generation run over the buffered events at
+/// `finish` — or per window when [`UafCfg::window`] bounds the buffer.
+#[derive(Debug)]
+pub struct UafGenerator<P> {
+    cfg: UafCfg,
+    builder: BaseOrderBuilder<P>,
+    candidates: Vec<UafCandidate>,
+    pruned: usize,
+    total_constraints: usize,
+}
+
+impl<P: PartialOrderIndex> UafGenerator<P> {
+    fn analyze_window(&mut self) {
+        let (trace, mut win) = self.builder.split();
+        if trace.total_events() == 0 {
+            return;
+        }
+        // Saturate the incrementally built observation order up to the
+        // fixpoint the UFO encoding assumes (the fork/join and rf edges
+        // are already in place from `feed`).
+        let ctx = ClosureCtx::new(trace, None);
+        let out = saturate(&mut win, &ctx, &self.cfg.saturation);
+        debug_assert!(out.consistent);
+
+        #[derive(Default)]
+        struct Life {
+            frees: Vec<NodeId>,
+            uses: Vec<NodeId>,
+        }
+        let mut lives: HashMap<ObjId, Life> = HashMap::new();
+        for (id, ev) in trace.iter_order() {
+            match ev.kind {
+                EventKind::Free { obj } => lives.entry(obj).or_default().frees.push(id),
+                EventKind::Deref { obj, .. } => lives.entry(obj).or_default().uses.push(id),
+                _ => {}
+            }
+        }
+        let mut objs: Vec<(&ObjId, &Life)> = lives.iter().collect();
+        objs.sort_unstable_by_key(|(o, _)| **o);
+
+        let k = trace.num_threads();
+        for (&obj, life) in objs {
+            for &f in &life.frees {
+                for &u in &life.uses {
+                    if u.thread == f.thread || win.reachable(u, f) || win.reachable(f, u) {
+                        self.pruned += 1;
+                        continue;
+                    }
+                    // Constraint counting: the encoding relates the
+                    // per-thread frontiers of the two events — for
+                    // every thread, the latest event that must precede
+                    // `u` and the latest that must precede `f`
+                    // (predecessor queries), each becoming an ordering
+                    // constraint.
+                    let mut constraints = 0usize;
+                    for t in 0..k {
+                        let tid = ThreadId(t as u32);
+                        if win.predecessor(u, tid).is_some() {
+                            constraints += 1;
+                        }
+                        if win.predecessor(f, tid).is_some() {
+                            constraints += 1;
+                        }
+                    }
+                    self.total_constraints += constraints;
+                    self.candidates.push(UafCandidate {
+                        obj,
+                        use_event: win.to_global(u),
+                        free_event: win.to_global(f),
+                        constraints,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl<P: PartialOrderIndex> Analysis for UafGenerator<P> {
+    type Cfg = UafCfg;
+    type Report = UafReport<P>;
+
+    fn new(cfg: Self::Cfg) -> Self {
+        UafGenerator {
+            builder: BaseOrderBuilder::observing(cfg.window),
+            cfg,
+            candidates: Vec::new(),
+            pruned: 0,
+            total_constraints: 0,
+        }
+    }
+
+    fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        self.builder.feed(thread, event);
+        if self.builder.window_full() {
+            self.analyze_window();
+            self.builder.retire_window();
+        }
+    }
+
+    fn finish(mut self) -> UafReport<P> {
+        self.analyze_window();
+        UafReport {
+            candidates: self.candidates,
+            pruned: self.pruned,
+            total_constraints: self.total_constraints,
+            window: self.builder.stats(),
+            base: self.builder.into_po(),
+        }
+    }
 }
 
 /// Runs the UFO-style query generation over `trace`: a thin wrapper
 /// streaming the trace through [`UafGenerator`].
 pub fn generate<P: PartialOrderIndex>(trace: &Trace, cfg: &UafCfg) -> UafReport<P> {
-    use crate::Analysis;
     UafGenerator::<P>::run(trace, cfg.clone())
-}
-
-fn generate_buffered<P: PartialOrderIndex>(trace: &Trace, cfg: &UafCfg) -> UafReport<P> {
-    let mut base: P = index_for_trace(trace);
-    let out = saturate_observed(&mut base, trace, &cfg.saturation);
-    debug_assert!(out.consistent);
-
-    #[derive(Default)]
-    struct Life {
-        frees: Vec<NodeId>,
-        uses: Vec<NodeId>,
-    }
-    let mut lives: HashMap<ObjId, Life> = HashMap::new();
-    for (id, ev) in trace.iter_order() {
-        match ev.kind {
-            EventKind::Free { obj } => lives.entry(obj).or_default().frees.push(id),
-            EventKind::Deref { obj, .. } => lives.entry(obj).or_default().uses.push(id),
-            _ => {}
-        }
-    }
-    let mut objs: Vec<(&ObjId, &Life)> = lives.iter().collect();
-    objs.sort_unstable_by_key(|(o, _)| **o);
-
-    let k = trace.num_threads();
-    let mut candidates = Vec::new();
-    let mut pruned = 0usize;
-    let mut total_constraints = 0usize;
-    for (&obj, life) in objs {
-        for &f in &life.frees {
-            for &u in &life.uses {
-                if u.thread == f.thread || base.reachable(u, f) || base.reachable(f, u) {
-                    pruned += 1;
-                    continue;
-                }
-                // Constraint counting: the encoding relates the
-                // per-thread frontiers of the two events — for every
-                // thread, the latest event that must precede `u` and
-                // the latest that must precede `f` (predecessor
-                // queries), each becoming an ordering constraint.
-                let mut constraints = 0usize;
-                for t in 0..k {
-                    let tid = ThreadId(t as u32);
-                    if base.predecessor(u, tid).is_some() {
-                        constraints += 1;
-                    }
-                    if base.predecessor(f, tid).is_some() {
-                        constraints += 1;
-                    }
-                }
-                total_constraints += constraints;
-                candidates.push(UafCandidate {
-                    obj,
-                    use_event: u,
-                    free_event: f,
-                    constraints,
-                });
-            }
-        }
-    }
-
-    UafReport {
-        base,
-        candidates,
-        pruned,
-        total_constraints,
-    }
 }
 
 #[cfg(test)]

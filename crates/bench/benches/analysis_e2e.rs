@@ -17,7 +17,7 @@ fn bench_analyses(c: &mut Criterion) {
         group.bench_function(entry.name, |b| {
             b.iter(|| {
                 entry
-                    .run(&trace, IndexKind::Csst)
+                    .run(&trace, IndexKind::Csst, None)
                     .expect("demo workload runs on CSSTs")
             });
         });
