@@ -229,11 +229,28 @@ impl<P: PartialOrderIndex> BaseOrderBuilder<P> {
     fn observe(&mut self, id: NodeId, event: EventKind) {
         // A chain's first *live* event resolves the forks waiting for
         // it (in the current window, a chain restarts at its retirement
-        // offset).
+        // offset). All resolved edges target `id` — a fresh event with
+        // no outgoing order yet — so they are filtered against the
+        // current order plus the batch itself (exactly what sequential
+        // `require_order` calls would see) and inserted through the
+        // batched [`PartialOrderIndex::insert_edges`] path.
         if id.pos == self.retired.get(id.thread.index()).copied().unwrap_or(0) {
-            for fork in self.pending_forks.remove(&id.thread).unwrap_or_default() {
-                if self.live(fork) {
-                    self.log_require(fork, id);
+            let forks = self.pending_forks.remove(&id.thread).unwrap_or_default();
+            if !forks.is_empty() {
+                let mut batch: Vec<(NodeId, NodeId)> = Vec::with_capacity(forks.len());
+                for fork in forks {
+                    if !self.live(fork) {
+                        continue;
+                    }
+                    let ordered = self.po.reachable(fork, id)
+                        || batch.iter().any(|&(f, _)| self.po.reachable(fork, f));
+                    if !ordered {
+                        batch.push((fork, id));
+                    }
+                }
+                if !batch.is_empty() {
+                    self.insert_batch_logged(&batch)
+                        .expect("pending fork edges are valid");
                 }
             }
         }
@@ -308,6 +325,25 @@ impl<P: PartialOrderIndex> BaseOrderBuilder<P> {
     pub fn insert_logged_checked(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
         self.po.insert_edge_checked(from, to)?;
         self.window_edges.push((from, to));
+        Ok(())
+    }
+
+    /// Inserts a batch of edges (global ids) through the amortized
+    /// [`PartialOrderIndex::insert_edges`] path, logging every edge for
+    /// retirement. The batch is applied atomically: on a validation
+    /// error nothing is inserted or logged.
+    ///
+    /// Like `insert_edges`, there is no cycle check — callers batch
+    /// edge sets that are acyclic by construction (e.g. all edges
+    /// targeting a freshly created event).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartialOrderIndex::insert_edges`] validation
+    /// errors.
+    pub fn insert_batch_logged(&mut self, edges: &[(NodeId, NodeId)]) -> Result<(), PoError> {
+        self.po.insert_edges(edges)?;
+        self.window_edges.extend_from_slice(edges);
         Ok(())
     }
 
@@ -463,6 +499,15 @@ impl<P: PartialOrderIndex> PartialOrderIndex for WindowIndex<'_, P> {
         self.po.insert_edge_raw(from, to);
     }
 
+    fn insert_edges_raw(&mut self, edges: &[(NodeId, NodeId)]) {
+        let translated: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .map(|&(f, t)| (self.to_global(f), self.to_global(t)))
+            .collect();
+        self.window_edges.extend_from_slice(&translated);
+        self.po.insert_edges_raw(&translated);
+    }
+
     fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
         let (from, to) = (self.to_global(from), self.to_global(to));
         self.po.delete_edge_raw(from, to)?;
@@ -605,6 +650,13 @@ impl<P: PartialOrderIndex> PartialOrderIndex for CountingIndex<P> {
     fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
         self.counters.inserts.set(self.counters.inserts.get() + 1);
         self.inner.insert_edge_raw(from, to)
+    }
+
+    fn insert_edges_raw(&mut self, edges: &[(NodeId, NodeId)]) {
+        self.counters
+            .inserts
+            .set(self.counters.inserts.get() + edges.len() as u64);
+        self.inner.insert_edges_raw(edges)
     }
 
     fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {

@@ -571,6 +571,11 @@ impl<P: PartialOrderIndex> LinAnalyzer<P> {
         // thread that responded before this op invoked (earlier ones
         // follow transitively through the chain). Operations of retired
         // windows are already ordered before this one by construction.
+        // All edges target `node` — a freshly minted op with no
+        // outgoing order — so redundancy is checked against the current
+        // order plus the batch itself (exactly what inserting one at a
+        // time would see) and the survivors go in as one batch.
+        let mut batch: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.per_thread.len());
         for t2 in 0..self.per_thread.len() {
             if t2 == t.index() {
                 continue;
@@ -579,13 +584,20 @@ impl<P: PartialOrderIndex> LinAnalyzer<P> {
             let i = list.partition_point(|&j| self.ops[j].resp_pos < invoke_pos);
             if i > 0 {
                 let prev = self.ops[list[i - 1]].op.node;
-                if !self.builder.po().reachable(prev, node) {
-                    self.builder
-                        .insert_logged(prev, node)
-                        .expect("real-time edges are acyclic");
-                    self.inserted += 1;
+                let ordered = self.builder.po().reachable(prev, node)
+                    || batch
+                        .iter()
+                        .any(|&(p, _)| self.builder.po().reachable(prev, p));
+                if !ordered {
+                    batch.push((prev, node));
                 }
             }
+        }
+        if !batch.is_empty() {
+            self.inserted += batch.len() as u64;
+            self.builder
+                .insert_batch_logged(&batch)
+                .expect("real-time edges are acyclic");
         }
         let idx = self.ops.len();
         self.ops.push(CompletedOp {

@@ -1,27 +1,36 @@
 //! Regenerates every table and figure of the CSSTs paper.
 //!
 //! ```text
-//! repro [--scale F] [--out DIR] <experiment>...
+//! repro [--scale F] [--out DIR] [--smoke] [--json PATH] <experiment>...
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7
-//!              figure10 figure11 blocksize ablation all
+//!              figure10 figure11 blocksize ablation all bench
 //! ```
 //!
 //! `--scale` multiplies workload sizes (default 1.0); `--out` writes a
 //! CSV per experiment in addition to the console rendering.
+//!
+//! `bench` is the hot-path perf harness (not part of `all`): it runs
+//! the criterion suites' workloads headlessly and writes the
+//! machine-readable measurements to `--json PATH` (default
+//! `BENCH_PR4.json`); `--smoke` shrinks the workloads for CI.
 
-use csst_bench::{blocksize, figure10, scalability, tables, Table};
+use csst_bench::{blocksize, figure10, perf, scalability, tables, Table};
 use std::path::PathBuf;
 
 struct Args {
     scale: f64,
     out: Option<PathBuf>,
+    smoke: bool,
+    json: PathBuf,
     experiments: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = 1.0f64;
     let mut out = None;
+    let mut smoke = false;
+    let mut json = PathBuf::from("BENCH_PR4.json");
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -36,10 +45,16 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
             }
+            "--smoke" => smoke = true,
+            "--json" => {
+                json = PathBuf::from(it.next().ok_or("--json needs a value")?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale F] [--out DIR] <experiment>...\n\
-                     experiments: table1..table7 figure10 figure11 blocksize ablation all"
+                    "usage: repro [--scale F] [--out DIR] [--smoke] [--json PATH] <experiment>...\n\
+                     experiments: table1..table7 figure10 figure11 blocksize ablation all bench\n\
+                     bench: headless perf harness, writes measurements to --json PATH\n\
+                            (default BENCH_PR4.json); --smoke shrinks it for CI"
                 );
                 std::process::exit(0);
             }
@@ -53,6 +68,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         scale,
         out,
+        smoke,
+        json,
         experiments,
     })
 }
@@ -74,8 +91,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `bench` is opt-in only: `all` reproduces the paper's artifacts,
+    // the perf harness tracks our own hot paths.
     let wants = |name: &str| {
-        args.experiments.iter().any(|e| e == name) || args.experiments.iter().any(|e| e == "all")
+        args.experiments.iter().any(|e| e == name)
+            || (name != "bench" && args.experiments.iter().any(|e| e == "all"))
     };
     let scale = args.scale;
     eprintln!("# repro at scale {scale}");
@@ -169,5 +189,24 @@ fn main() {
         let points = blocksize::stress(&cfg);
         println!("{}", blocksize::render(&points));
         write_out(&args.out, "blocksize", &blocksize::to_csv(&points));
+    }
+
+    if wants("bench") {
+        let mut cfg = if args.smoke {
+            perf::BenchCfg::smoke()
+        } else {
+            perf::BenchCfg::full()
+        };
+        if scale != 1.0 {
+            cfg.inserts = ((cfg.inserts as f64 * scale) as usize).max(100);
+            cfg.churn_ops = ((cfg.churn_ops as f64 * scale) as usize).max(100);
+            cfg.churn_window = ((cfg.churn_window as f64 * scale) as usize).max(16);
+            cfg.queries = ((cfg.queries as f64 * scale) as usize).max(100);
+        }
+        let measurements = perf::run(&cfg);
+        println!("{}", perf::render(&measurements));
+        let json = perf::to_json(&cfg, &measurements);
+        std::fs::write(&args.json, json).expect("write bench json");
+        eprintln!("wrote {}", args.json.display());
     }
 }

@@ -12,7 +12,9 @@
 //! * **Figure 11** — controlled scalability of insertions and queries
 //!   vs events per chain, for `k ∈ {10, 20}` ([`scalability`]);
 //! * **the §5.1 block-size stress test** selecting `b = 32`
-//!   ([`blocksize`]).
+//!   ([`blocksize`]);
+//! * **the hot-path perf harness** behind `repro -- bench`, emitting
+//!   the machine-readable `BENCH_*.json` trajectory ([`perf`]).
 //!
 //! Absolute numbers will differ from the paper (different machine,
 //! synthetic traces, scaled sizes); the *shape* — which structure wins,
@@ -24,6 +26,7 @@
 
 pub mod blocksize;
 pub mod figure10;
+pub mod perf;
 pub mod report;
 pub mod scalability;
 pub mod tables;

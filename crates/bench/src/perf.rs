@@ -1,0 +1,445 @@
+//! Headless performance harness behind `repro -- bench`.
+//!
+//! Runs the hot-path workloads of the criterion suites (streaming
+//! inserts, bulk deletion, per-event sliding retirement, query mix)
+//! over every partial-order representation and reports ops/sec plus
+//! peak [`memory_bytes`](csst_core::PartialOrderIndex::memory_bytes)
+//! per representation × workload. The machine-readable JSON this
+//! module emits (`BENCH_PR4.json` via `scripts/bench.sh`) is the perf
+//! trajectory future PRs are compared against.
+//!
+//! Numbers are wall-clock and machine-dependent; the JSON records the
+//! workload parameters so runs are comparable like-for-like. The
+//! `--smoke` mode shrinks every workload to keep the emitter and the
+//! harness itself exercised in CI without measuring anything
+//! meaningful.
+
+use csst_core::{
+    AnchoredVectorClockIndex, Csst, GraphIndex, IncrementalCsst, NodeId, PartialOrderIndex,
+    SegTreeIndex, VectorClockIndex,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Workload sizes for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchCfg {
+    /// Number of chains `k`.
+    pub k: u32,
+    /// Edges inserted by the streaming-insert workload (and prefilled
+    /// by the delete workloads).
+    pub inserts: usize,
+    /// Maximum forward gap of a streaming edge's target position.
+    pub gap: u32,
+    /// Live-edge window of the sliding-retirement workload.
+    pub churn_window: usize,
+    /// Insert+delete pairs performed by the sliding-retirement
+    /// workload.
+    pub churn_ops: usize,
+    /// Queries issued by the query-mix workload.
+    pub queries: usize,
+    /// `true` for the CI smoke run (tiny sizes, numbers meaningless).
+    pub smoke: bool,
+}
+
+impl BenchCfg {
+    /// The full measurement configuration.
+    pub fn full() -> Self {
+        BenchCfg {
+            k: 10,
+            inserts: 40_000,
+            gap: 64,
+            churn_window: 4_096,
+            churn_ops: 40_000,
+            queries: 40_000,
+            smoke: false,
+        }
+    }
+
+    /// Tiny sizes for CI: exercises every code path in milliseconds.
+    pub fn smoke() -> Self {
+        BenchCfg {
+            k: 6,
+            inserts: 1_500,
+            gap: 16,
+            churn_window: 256,
+            churn_ops: 1_500,
+            queries: 1_500,
+            smoke: true,
+        }
+    }
+}
+
+/// One measured (workload, representation) cell.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload identifier (`streaming_insert`, `bulk_delete`,
+    /// `delete_churn`, `query_mix`).
+    pub workload: &'static str,
+    /// Stable machine-readable representation key.
+    pub repr: &'static str,
+    /// Human-readable representation name (as in the paper's tables).
+    pub display: &'static str,
+    /// `false` when the representation cannot run the workload (e.g.
+    /// deletion on an insert-only structure); timing fields are zero.
+    pub supported: bool,
+    /// Operations performed.
+    pub ops: usize,
+    /// Total wall-clock nanoseconds.
+    pub elapsed_ns: u128,
+    /// Operations per second (0 when unsupported).
+    pub ops_per_sec: f64,
+    /// Largest `memory_bytes` observed at any sample point.
+    pub memory_bytes_peak: usize,
+    /// `memory_bytes` after the workload finished.
+    pub memory_bytes_final: usize,
+}
+
+/// Deterministic streaming edge list: edge `i` leaves `⟨t1, i⟩` for
+/// `⟨t2, i + gap⟩` with `gap ≥ 1`, so every edge strictly increases the
+/// position and the relation is acyclic by construction — the shape of
+/// a streaming analysis's reads-from frontier. Shared with the
+/// `delete_churn` criterion bench so both measure the same workload.
+pub fn streaming_edges(k: u32, len: usize, gap: u32, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| {
+            let t1 = rng.gen_range(0..k);
+            let mut t2 = rng.gen_range(0..k);
+            while t2 == t1 {
+                t2 = rng.gen_range(0..k);
+            }
+            let pos = i as u32;
+            (
+                NodeId::new(t1, pos),
+                NodeId::new(t2, pos + rng.gen_range(1..=gap)),
+            )
+        })
+        .collect()
+}
+
+/// Samples `memory_bytes` every `MEM_SAMPLE` operations: cheap enough
+/// to leave the timed loop representative, frequent enough to catch the
+/// high-water mark.
+const MEM_SAMPLE: usize = 1024;
+
+fn unsupported(workload: &'static str, repr: &'static str, display: &'static str) -> Measurement {
+    Measurement {
+        workload,
+        repr,
+        display,
+        supported: false,
+        ops: 0,
+        elapsed_ns: 0,
+        ops_per_sec: 0.0,
+        memory_bytes_peak: 0,
+        memory_bytes_final: 0,
+    }
+}
+
+fn measurement(
+    workload: &'static str,
+    repr: &'static str,
+    display: &'static str,
+    ops: usize,
+    elapsed_ns: u128,
+    peak: usize,
+    fin: usize,
+) -> Measurement {
+    let ops_per_sec = if elapsed_ns == 0 {
+        0.0
+    } else {
+        ops as f64 / (elapsed_ns as f64 / 1e9)
+    };
+    Measurement {
+        workload,
+        repr,
+        display,
+        supported: true,
+        ops,
+        elapsed_ns,
+        ops_per_sec,
+        memory_bytes_peak: peak,
+        memory_bytes_final: fin,
+    }
+}
+
+/// Streaming inserts: edges go in one at a time through
+/// [`PartialOrderIndex::insert_edge`], matching how the analyses' base
+/// orders grow as events arrive.
+fn run_streaming_insert<P: PartialOrderIndex>(
+    cfg: &BenchCfg,
+    repr: &'static str,
+    display: &'static str,
+) -> Measurement {
+    let edges = streaming_edges(cfg.k, cfg.inserts, cfg.gap, 0xC557);
+    let mut po = P::with_capacity(cfg.k as usize, cfg.inserts + cfg.gap as usize);
+    let mut peak = 0usize;
+    let start = Instant::now();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        po.insert_edge(u, v).expect("streaming edge is valid");
+        if i % MEM_SAMPLE == 0 {
+            peak = peak.max(po.memory_bytes());
+        }
+    }
+    let elapsed = start.elapsed().as_nanos();
+    let fin = po.memory_bytes();
+    measurement(
+        "streaming_insert",
+        repr,
+        display,
+        edges.len(),
+        elapsed,
+        peak.max(fin),
+        fin,
+    )
+}
+
+/// Bulk deletion: prefill the streaming edge set, then delete every
+/// edge newest-first (the teardown half of Figure 1c).
+fn run_bulk_delete<P: PartialOrderIndex>(
+    cfg: &BenchCfg,
+    repr: &'static str,
+    display: &'static str,
+) -> Measurement {
+    let edges = streaming_edges(cfg.k, cfg.inserts, cfg.gap, 0xC557);
+    let mut po = P::with_capacity(cfg.k as usize, cfg.inserts + cfg.gap as usize);
+    if !po.supports_deletion() {
+        return unsupported("bulk_delete", repr, display);
+    }
+    for &(u, v) in &edges {
+        po.insert_edge(u, v).expect("streaming edge is valid");
+    }
+    let mut peak = po.memory_bytes();
+    let start = Instant::now();
+    for (i, &(u, v)) in edges.iter().enumerate().rev() {
+        po.delete_edge(u, v).expect("edge is live");
+        if i % MEM_SAMPLE == 0 {
+            peak = peak.max(po.memory_bytes());
+        }
+    }
+    let elapsed = start.elapsed().as_nanos();
+    let fin = po.memory_bytes();
+    measurement(
+        "bulk_delete",
+        repr,
+        display,
+        edges.len(),
+        elapsed,
+        peak,
+        fin,
+    )
+}
+
+/// Per-event sliding retirement (the ROADMAP open item's workload): a
+/// window of `churn_window` live edges slides along the stream — each
+/// step inserts the frontier edge and deletes the oldest live one.
+fn run_delete_churn<P: PartialOrderIndex>(
+    cfg: &BenchCfg,
+    repr: &'static str,
+    display: &'static str,
+) -> Measurement {
+    let mut po = P::with_capacity(cfg.k as usize, cfg.churn_ops + cfg.churn_window + 64);
+    if !po.supports_deletion() {
+        return unsupported("delete_churn", repr, display);
+    }
+    let total = cfg.churn_ops + cfg.churn_window;
+    let edges = streaming_edges(cfg.k, total, cfg.gap, 0x51D3);
+    for &(u, v) in &edges[..cfg.churn_window] {
+        po.insert_edge(u, v).expect("prefill edge is valid");
+    }
+    let mut peak = po.memory_bytes();
+    let start = Instant::now();
+    for i in 0..cfg.churn_ops {
+        let (u, v) = edges[cfg.churn_window + i];
+        po.insert_edge(u, v).expect("frontier edge is valid");
+        let (du, dv) = edges[i];
+        po.delete_edge(du, dv).expect("oldest edge is live");
+        if i % MEM_SAMPLE == 0 {
+            peak = peak.max(po.memory_bytes());
+        }
+    }
+    let elapsed = start.elapsed().as_nanos();
+    let fin = po.memory_bytes();
+    measurement(
+        "delete_churn",
+        repr,
+        display,
+        2 * cfg.churn_ops, // one insert + one delete per step
+        elapsed,
+        peak,
+        fin,
+    )
+}
+
+/// Query mix over the fully built streaming edge set: alternating
+/// `reachable` and `successor` probes at random nodes.
+fn run_query_mix<P: PartialOrderIndex>(
+    cfg: &BenchCfg,
+    repr: &'static str,
+    display: &'static str,
+) -> Measurement {
+    let edges = streaming_edges(cfg.k, cfg.inserts, cfg.gap, 0xC557);
+    let mut po = P::with_capacity(cfg.k as usize, cfg.inserts + cfg.gap as usize);
+    for &(u, v) in &edges {
+        po.insert_edge(u, v).expect("streaming edge is valid");
+    }
+    let span = (cfg.inserts + cfg.gap as usize) as u32;
+    let mut rng = SmallRng::seed_from_u64(0x9E37);
+    let probes: Vec<(NodeId, NodeId)> = (0..cfg.queries)
+        .map(|_| {
+            let t1 = rng.gen_range(0..cfg.k);
+            let t2 = rng.gen_range(0..cfg.k);
+            (
+                NodeId::new(t1, rng.gen_range(0..span)),
+                NodeId::new(t2, rng.gen_range(0..span)),
+            )
+        })
+        .collect();
+    let mut hits = 0usize;
+    let start = Instant::now();
+    for (i, &(u, v)) in probes.iter().enumerate() {
+        if i % 2 == 0 {
+            if po.reachable(u, v) {
+                hits += 1;
+            }
+        } else if po.successor(u, v.thread).is_some() {
+            hits += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_nanos();
+    std::hint::black_box(hits);
+    let fin = po.memory_bytes();
+    measurement("query_mix", repr, display, probes.len(), elapsed, fin, fin)
+}
+
+/// Runs every workload over every representation.
+pub fn run(cfg: &BenchCfg) -> Vec<Measurement> {
+    macro_rules! all_reprs {
+        ($runner:ident) => {
+            vec![
+                $runner::<Csst>(cfg, "csst_dynamic", "CSSTs (dynamic)"),
+                $runner::<IncrementalCsst>(cfg, "csst_incremental", "CSSTs (incremental)"),
+                $runner::<SegTreeIndex>(cfg, "segtree", "STs"),
+                $runner::<VectorClockIndex>(cfg, "vc", "VCs"),
+                $runner::<AnchoredVectorClockIndex>(cfg, "avc", "aVCs"),
+                $runner::<GraphIndex>(cfg, "graph", "Graphs"),
+            ]
+        };
+    }
+    let mut out = Vec::new();
+    eprintln!("# bench: streaming_insert ({} edges)…", cfg.inserts);
+    out.extend(all_reprs!(run_streaming_insert));
+    eprintln!("# bench: bulk_delete ({} edges)…", cfg.inserts);
+    out.extend(all_reprs!(run_bulk_delete));
+    eprintln!(
+        "# bench: delete_churn (window {}, {} steps)…",
+        cfg.churn_window, cfg.churn_ops
+    );
+    out.extend(all_reprs!(run_delete_churn));
+    eprintln!("# bench: query_mix ({} probes)…", cfg.queries);
+    out.extend(all_reprs!(run_query_mix));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes the measurements as the `BENCH_*.json` schema: a stable,
+/// dependency-free JSON document future PRs diff against.
+pub fn to_json(cfg: &BenchCfg, measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"csst-bench/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg.smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!(
+        "  \"config\": {{\"k\": {}, \"inserts\": {}, \"gap\": {}, \"churn_window\": {}, \"churn_ops\": {}, \"queries\": {}}},\n",
+        cfg.k, cfg.inserts, cfg.gap, cfg.churn_window, cfg.churn_ops, cfg.queries
+    ));
+    out.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"representation\": \"{}\", \"display\": \"{}\", \
+             \"supported\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.1}, \
+             \"memory_bytes_peak\": {}, \"memory_bytes_final\": {}}}{}\n",
+            json_escape(m.workload),
+            json_escape(m.repr),
+            json_escape(m.display),
+            m.supported,
+            m.ops,
+            m.elapsed_ns,
+            m.ops_per_sec,
+            m.memory_bytes_peak,
+            m.memory_bytes_final,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the measurements as a human-readable console table.
+pub fn render(measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<22} {:>12} {:>14} {:>14}\n",
+        "workload", "representation", "ops/sec", "peak mem (B)", "final mem (B)"
+    ));
+    for m in measurements {
+        if m.supported {
+            out.push_str(&format!(
+                "{:<18} {:<22} {:>12.0} {:>14} {:>14}\n",
+                m.workload, m.display, m.ops_per_sec, m.memory_bytes_peak, m.memory_bytes_final
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<18} {:<22} {:>12} {:>14} {:>14}\n",
+                m.workload, m.display, "-", "-", "-"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_covers_every_cell() {
+        let cfg = BenchCfg {
+            k: 3,
+            inserts: 40,
+            gap: 4,
+            churn_window: 8,
+            churn_ops: 24,
+            queries: 32,
+            smoke: true,
+        };
+        let ms = run(&cfg);
+        // 4 workloads × 6 representations.
+        assert_eq!(ms.len(), 24);
+        for m in &ms {
+            if m.supported {
+                assert!(
+                    m.ops > 0 && m.ops_per_sec > 0.0,
+                    "{}/{}",
+                    m.workload,
+                    m.repr
+                );
+            }
+        }
+        // Deletion workloads are unsupported exactly for the four
+        // insert-only representations.
+        let unsupported = ms.iter().filter(|m| !m.supported).count();
+        assert_eq!(unsupported, 2 * 4);
+        let json = to_json(&cfg, &ms);
+        assert!(json.contains("\"schema\": \"csst-bench/v1\""));
+        assert!(json.contains("delete_churn"));
+        assert!(!render(&ms).is_empty());
+    }
+}

@@ -18,14 +18,13 @@
 //! free.
 
 use crate::error::PoError;
-use crate::heap::MinMultiset;
+use crate::heap::EdgeHeapStore;
 use crate::index::{NodeId, Pos, ThreadId, INF};
 use crate::matrix::PairMatrix;
 use crate::reach::PartialOrderIndex;
 use crate::sst::SparseSegmentTree;
 use crate::stats::DensityStats;
 use crate::suffix::SuffixMinima;
-use std::collections::HashMap;
 
 /// Fully dynamic chain-DAG reachability over a pluggable suffix-minima
 /// structure (Algorithm 2). Use the [`Csst`] alias for the paper's data
@@ -34,9 +33,9 @@ use std::collections::HashMap;
 pub struct DynamicPo<S> {
     arrays: PairMatrix<S>,
     /// Edge heaps: per chain pair and source position, the multiset of
-    /// direct successors in the target chain (sparse: only touched
-    /// pairs allocate).
-    heaps: HashMap<(u32, u32), HashMap<Pos, MinMultiset>>,
+    /// direct successors in the target chain. Flat: slots share the
+    /// matrix stride, so `(t1, t2)` resolves without hashing.
+    heaps: EdgeHeapStore,
     edges: usize,
 }
 
@@ -139,15 +138,18 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
     fn new() -> Self {
         DynamicPo {
             arrays: PairMatrix::new(),
-            heaps: HashMap::new(),
+            heaps: EdgeHeapStore::new(),
             edges: 0,
         }
     }
 
     fn with_capacity(chains: usize, chain_capacity: usize) -> Self {
+        let arrays = PairMatrix::with_capacity(chains, chain_capacity);
+        let mut heaps = EdgeHeapStore::new();
+        heaps.sync_kslots(arrays.kslots());
         DynamicPo {
-            arrays: PairMatrix::with_capacity(chains, chain_capacity),
-            heaps: HashMap::new(),
+            arrays,
+            heaps,
             edges: 0,
         }
     }
@@ -166,51 +168,69 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
 
     fn ensure_chain(&mut self, chain: ThreadId) {
         self.arrays.ensure_chain(chain);
+        self.heaps.sync_kslots(self.arrays.kslots());
     }
 
     fn ensure_len(&mut self, chain: ThreadId, len: usize) {
         self.arrays.ensure_len(chain, len);
+        self.heaps.sync_kslots(self.arrays.kslots());
     }
 
     fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
-        let (t1, j1) = (from.thread.0, from.pos);
-        let (t2, j2) = (to.thread.0, to.pos);
-        let heap = self
-            .heaps
-            .entry((t1, t2))
-            .or_default()
-            .entry(j1)
-            .or_default();
-        let improves = heap.min().is_none_or(|m| j2 < m);
-        heap.insert(j2);
-        if improves {
-            self.arrays
-                .get_mut(t1 as usize, t2 as usize)
-                .update(j1 as usize, j2);
+        let (t1, j1) = (from.thread.index(), from.pos);
+        let (t2, j2) = (to.thread.index(), to.pos);
+        if self.heaps.pair_mut(t1, t2).insert(j1, j2) {
+            self.arrays.get_mut(t1, t2).update(j1 as usize, j2);
         }
         self.edges += 1;
     }
 
+    fn insert_edges_raw(&mut self, edges: &[(NodeId, NodeId)]) {
+        // Visit the batch grouped by chain pair (stable sort, so the
+        // per-pair insertion order — and therefore every heap and
+        // array state — matches the sequential path exactly): one slot
+        // resolution and one warm pair/array working set per group.
+        let kslots = self.arrays.kslots();
+        let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+        order.sort_by_key(|&i| {
+            let (from, to) = edges[i as usize];
+            from.thread.index() * kslots + to.thread.index()
+        });
+        let mut i = 0;
+        while i < order.len() {
+            let (ft, tt) = {
+                let (from, to) = edges[order[i] as usize];
+                (from.thread.index(), to.thread.index())
+            };
+            let pair = self.heaps.pair_mut(ft, tt);
+            while i < order.len() {
+                let (from, to) = edges[order[i] as usize];
+                if from.thread.index() != ft || to.thread.index() != tt {
+                    break;
+                }
+                if pair.insert(from.pos, to.pos) {
+                    self.arrays
+                        .get_mut(ft, tt)
+                        .update(from.pos as usize, to.pos);
+                }
+                self.edges += 1;
+                i += 1;
+            }
+        }
+    }
+
     fn delete_edge_raw(&mut self, from: NodeId, to: NodeId) -> Result<(), PoError> {
-        let (t1, j1) = (from.thread.0, from.pos);
-        let (t2, j2) = (to.thread.0, to.pos);
-        let Some(pair) = self.heaps.get_mut(&(t1, t2)) else {
-            return Err(PoError::EdgeNotFound { from, to });
-        };
-        let Some(heap) = pair.get_mut(&j1) else {
-            return Err(PoError::EdgeNotFound { from, to });
-        };
-        let old_min = heap.min();
-        if !heap.remove(j2) {
+        let (t1, j1) = (from.thread.index(), from.pos);
+        let (t2, j2) = (to.thread.index(), to.pos);
+        if t1 >= self.k() || t2 >= self.k() {
             return Err(PoError::EdgeNotFound { from, to });
         }
-        let new_min = heap.min();
-        if heap.is_empty() {
-            pair.remove(&j1);
-        }
+        let Some((old_min, new_min)) = self.heaps.pair_mut(t1, t2).remove(j1, j2) else {
+            return Err(PoError::EdgeNotFound { from, to });
+        };
         if old_min == Some(j2) && new_min != Some(j2) {
             self.arrays
-                .get_mut(t1 as usize, t2 as usize)
+                .get_mut(t1, t2)
                 .update(j1 as usize, new_min.unwrap_or(INF));
         }
         self.edges -= 1;
@@ -249,16 +269,11 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
     }
 
     fn memory_bytes(&self) -> usize {
-        let heaps: usize = self
-            .heaps
-            .values()
-            .map(|m| {
-                m.values().map(|h| h.memory_bytes()).sum::<usize>()
-                    + m.capacity()
-                        * (std::mem::size_of::<Pos>() + std::mem::size_of::<MinMultiset>())
-            })
-            .sum();
-        std::mem::size_of::<Self>() + self.arrays.memory_bytes() + heaps
+        // The store accounts for itself exactly: the flat slot vector
+        // (the analogue of the outer hash map this layout replaced,
+        // whose bucket overhead the old accounting missed) plus every
+        // pair's entry vector and spilled heap.
+        std::mem::size_of::<Self>() + self.arrays.memory_bytes() + self.heaps.memory_bytes()
     }
 }
 
@@ -473,6 +488,36 @@ mod tests {
         assert_eq!(stats.arrays, 6, "3 witnessed chains → 6 ordered pairs");
         assert_eq!(stats.max_peak, 10);
         assert!(stats.q > 0.0 && stats.q <= 1.0);
+    }
+
+    #[test]
+    fn memory_bytes_monotone_under_inserts_and_shrinks_after_deletes() {
+        // Append-style streaming (every edge touches a fresh source
+        // position): memory may only grow while inserting, and must
+        // genuinely fall once deletions drain the edge heaps and
+        // release the SSTs' block extents.
+        let mut po = Csst::new();
+        let mut prev = po.memory_bytes();
+        let mut edges = Vec::new();
+        for i in 0..256u32 {
+            let (u, v) = (n(i % 4, i), n((i + 1) % 4, i + 1));
+            po.insert_edge(u, v).unwrap();
+            edges.push((u, v));
+            let m = po.memory_bytes();
+            assert!(m >= prev, "memory fell from {prev} to {m} on insert {i}");
+            prev = m;
+        }
+        let peak = prev;
+        for (u, v) in edges.into_iter().rev() {
+            po.delete_edge(u, v).unwrap();
+        }
+        assert_eq!(po.edge_count(), 0);
+        let drained = po.memory_bytes();
+        assert!(
+            drained < peak / 2,
+            "draining all edges must release heap entries and block \
+             extents: {drained}B vs peak {peak}B"
+        );
     }
 
     #[test]

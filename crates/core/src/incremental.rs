@@ -124,6 +124,13 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
     /// The caller must keep the relation acyclic (use
     /// [`PartialOrderIndex::insert_edge_checked`] when unsure); an
     /// undetected cycle leaves the structure in an unspecified state.
+    ///
+    /// Batching note: the incremental closure reads the post-state of
+    /// every earlier insert (the `preds`/`succs` frontiers), so
+    /// [`PartialOrderIndex::insert_edges`] keeps the sequential
+    /// default here — reordering or fusing closures would change which
+    /// redundant entries get written, breaking the batch-equals-
+    /// sequential contract the property tests pin.
     fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
         let k = self.k();
         let (t1, j1) = (from.thread.index(), from.pos);

@@ -63,6 +63,14 @@ impl<S: SuffixMinima> PairMatrix<S> {
         self.dom.chains()
     }
 
+    /// Allocated stride of the matrix. Companion stores (the edge-heap
+    /// store of `DynamicPo`) mirror this stride so a single
+    /// `t1 * kslots + t2` product addresses both structures.
+    #[inline]
+    pub(crate) fn kslots(&self) -> usize {
+        self.kslots
+    }
+
     #[inline]
     pub(crate) fn chain_len(&self, chain: ThreadId) -> usize {
         self.dom.chain_len(chain)
@@ -121,11 +129,17 @@ impl<S: SuffixMinima> PairMatrix<S> {
         if len <= self.row_len[t] {
             return;
         }
-        // Double the row so dense arrays re-allocate O(log n) times,
-        // clamped to the addressable universe (positions ≤ MAX_POS).
+        // Grow rows to the next power of two, clamped to the
+        // addressable universe (positions ≤ MAX_POS). Like doubling,
+        // dense arrays re-allocate O(log n) times — but the new length
+        // is a pure function of the requested length, so growing to a
+        // position in one step or in many lands on identical storage
+        // (what keeps `insert_edges` bit-for-bit equal to sequential
+        // insertion).
         let new_len = len
-            .max(self.row_len[t] * 2)
-            .min(crate::index::MAX_POS as usize + 1);
+            .next_power_of_two()
+            .min(crate::index::MAX_POS as usize + 1)
+            .max(self.row_len[t]);
         self.row_len[t] = new_len;
         for t2 in 0..self.k() {
             if t2 != t {

@@ -178,6 +178,51 @@ pub trait PartialOrderIndex {
         Ok(())
     }
 
+    /// Inserts a batch of cross-chain edges, amortizing validation and
+    /// domain growth over the whole batch.
+    ///
+    /// Semantically equivalent to calling
+    /// [`insert_edge`](Self::insert_edge) for each pair in order, with
+    /// one strengthening: the **whole batch is validated first**, and
+    /// on a validation error *nothing* is inserted (sequential
+    /// insertion would have applied the prefix before failing).
+    /// Successful batches leave the index in exactly the state the
+    /// sequential calls would — same reachability, same density
+    /// statistics, same edge count — which
+    /// `crates/core/tests/proptests.rs` pins against the oracles.
+    ///
+    /// Like `insert_edge`, the caller is responsible for keeping the
+    /// relation acyclic (there is no batched cycle check; use
+    /// [`insert_edge_checked`](Self::insert_edge_checked) per edge when
+    /// unsure).
+    ///
+    /// # Errors
+    ///
+    /// The first [`PoError::OutOfRange`] or [`PoError::SameChain`] in
+    /// batch order; the index is unchanged on error.
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> Result<(), PoError> {
+        for &(from, to) in edges {
+            self.check_edge(from, to)?;
+        }
+        // Grow each touched chain once, to its batch-wide maximum —
+        // not twice per edge. Chains are few; a linear scratch scan
+        // beats hashing.
+        let mut maxima: Vec<(ThreadId, Pos)> = Vec::new();
+        for &(from, to) in edges {
+            for node in [from, to] {
+                match maxima.iter_mut().find(|(t, _)| *t == node.thread) {
+                    Some((_, max)) => *max = (*max).max(node.pos),
+                    None => maxima.push((node.thread, node.pos)),
+                }
+            }
+        }
+        for (chain, max) in maxima {
+            self.ensure_len(chain, max as usize + 1);
+        }
+        self.insert_edges_raw(edges);
+        Ok(())
+    }
+
     /// Deletes a previously inserted edge `from → to`.
     ///
     /// # Errors
@@ -216,6 +261,20 @@ pub trait PartialOrderIndex {
     /// out-of-universe endpoints leaves the structure in an
     /// unspecified state.
     fn insert_edge_raw(&mut self, from: NodeId, to: NodeId);
+
+    /// Records a pre-validated batch of cross-chain edges, in order.
+    ///
+    /// Called by the provided [`insert_edges`](Self::insert_edges)
+    /// after validation and domain growth. The default delegates to
+    /// [`insert_edge_raw`](Self::insert_edge_raw) per edge;
+    /// structures with a profitable batch layout (the fully dynamic
+    /// CSSTs group edges by chain pair) override it, and must remain
+    /// observationally identical to the sequential default.
+    fn insert_edges_raw(&mut self, edges: &[(NodeId, NodeId)]) {
+        for &(from, to) in edges {
+            self.insert_edge_raw(from, to);
+        }
+    }
 
     /// Removes the pre-validated edge `from → to`.
     ///

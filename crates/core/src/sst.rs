@@ -19,15 +19,19 @@
 //! size `b` are flattened into **block nodes** storing the subarray
 //! directly (Figure 7); the paper's stress test selects `b = 32`.
 //!
-//! The implementation uses an index-based arena (no `unsafe`, no
-//! per-node allocation except for blocks) and maintains the min-heap
-//! invariant *value(parent) ≤ value(descendants)* on which the early
-//! stopping of both queries relies.
+//! The implementation is allocation-lean (no `unsafe`): tree nodes live
+//! in an index-based arena, and block subarrays live in a second shared
+//! **block arena** — one flat `Vec<Pos>` carved into power-of-two
+//! extents addressed by `u32` handles, with per-size-class free lists —
+//! so neither structural churn nor block formation touches the global
+//! allocator. Every query and update walks the tree iteratively, and
+//! the min-heap invariant *value(parent) ≤ value(descendants)*
+//! underpins the early stopping of both queries.
 
 use crate::index::{Pos, INF};
 use crate::suffix::SuffixMinima;
 
-/// Sentinel for "no node" links in the arena.
+/// Sentinel for "no node" / "no block" links in the arenas.
 const NIL: u32 = u32::MAX;
 
 /// Default block-size threshold `b`; §5.1 selects 32 by stress testing
@@ -41,16 +45,17 @@ struct Node {
     /// Inclusive canonical (dyadic) range end.
     end: Pos,
     /// Index of the entry stored at this node (for block nodes: the
-    /// cached best index, `INF` when the block is empty).
+    /// cached best index).
     pos: Pos,
     /// Value of the entry stored at this node (for block nodes: the
-    /// cached minimum, `INF` when the block is empty).
+    /// cached minimum).
     min: Pos,
     left: u32,
     right: u32,
-    /// `Some` for block nodes: the flattened subarray, indexed by
-    /// `i - start`.
-    block: Option<Box<[Pos]>>,
+    /// Block-arena handle of the flattened subarray for block nodes
+    /// ([`NIL`] for ordinary nodes). The extent's length is the node's
+    /// range size `end - start + 1`.
+    block: u32,
 }
 
 impl Node {
@@ -63,6 +68,16 @@ impl Node {
     fn mid(&self) -> Pos {
         self.start + (self.end - self.start) / 2
     }
+
+    #[inline]
+    fn is_block(&self) -> bool {
+        self.block != NIL
+    }
+
+    #[inline]
+    fn block_len(&self) -> u32 {
+        self.end - self.start + 1
+    }
 }
 
 /// Entry ordering used throughout: smaller value wins; on equal values
@@ -71,6 +86,74 @@ impl Node {
 #[inline]
 fn better(v1: Pos, p1: Pos, v2: Pos, p2: Pos) -> bool {
     v1 < v2 || (v1 == v2 && p1 > p2)
+}
+
+/// Shared storage for every block node's subarray: one flat `Vec<Pos>`
+/// carved into power-of-two extents. Released extents are recycled
+/// through per-size-class free lists; an extent released from the tail
+/// shrinks the vector's length instead (keeping its capacity as
+/// working-set slack — `memory_bytes` reports capacity), and an
+/// emptied arena drops its whole allocation, so draining a tree
+/// genuinely returns its block memory.
+#[derive(Debug, Clone, Default)]
+struct BlockArena {
+    data: Vec<Pos>,
+    /// Free extents per size class (`class = log2(len)`).
+    free: Vec<Vec<u32>>,
+    /// Cells sitting on free lists (for the accounting sanity checks).
+    free_cells: usize,
+}
+
+impl BlockArena {
+    /// Allocates an all-`INF` extent of `len` cells (`len` a power of
+    /// two) and returns its handle.
+    fn alloc(&mut self, len: u32) -> u32 {
+        debug_assert!(len.is_power_of_two());
+        let class = len.trailing_zeros() as usize;
+        if let Some(off) = self.free.get_mut(class).and_then(Vec::pop) {
+            self.free_cells -= len as usize;
+            return off; // released extents are wiped to INF eagerly
+        }
+        let off = self.data.len() as u32;
+        self.data.resize(self.data.len() + len as usize, INF);
+        off
+    }
+
+    /// Returns the extent at `off` to the arena.
+    fn release(&mut self, off: u32, len: u32) {
+        let (o, l) = (off as usize, len as usize);
+        if o + l == self.data.len() {
+            self.data.truncate(o);
+            return;
+        }
+        self.data[o..o + l].fill(INF);
+        let class = len.trailing_zeros() as usize;
+        if self.free.len() <= class {
+            self.free.resize_with(class + 1, Vec::new);
+        }
+        self.free[class].push(off);
+        self.free_cells += l;
+    }
+
+    /// Drops every allocation (used once the tree holds no blocks).
+    fn reset(&mut self) {
+        *self = BlockArena::default();
+    }
+
+    #[inline]
+    fn cells(&self, off: u32, len: u32) -> &[Pos] {
+        &self.data[off as usize..(off + len) as usize]
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<Pos>()
+            + self.free.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self
+                .free
+                .iter()
+                .map(|f| f.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
 }
 
 /// A Sparse Segment Tree over an array of `len` entries in
@@ -96,6 +179,7 @@ fn better(v1: Pos, p1: Pos, v2: Pos, p2: Pos) -> bool {
 pub struct SparseSegmentTree {
     nodes: Vec<Node>,
     free: Vec<u32>,
+    blocks: BlockArena,
     root: u32,
     len: usize,
     block_size: u32,
@@ -117,6 +201,7 @@ impl SparseSegmentTree {
         SparseSegmentTree {
             nodes: Vec::new(),
             free: Vec::new(),
+            blocks: BlockArena::default(),
             root: NIL,
             len,
             block_size,
@@ -162,7 +247,9 @@ impl SparseSegmentTree {
     ///    the `(min, pos)` cache matches the block contents exactly
     ///    (ties broken toward the larger index, per Eq. (2));
     /// 4. each array index is represented at most once;
-    /// 5. the tracked density equals the number of stored entries.
+    /// 5. the tracked density equals the number of stored entries;
+    /// 6. live block extents and free-listed extents tile the block
+    ///    arena exactly (no leaked or double-booked cells).
     ///
     /// # Panics
     ///
@@ -172,7 +259,12 @@ impl SparseSegmentTree {
             let size = (end - start) as u64 + 1;
             size.is_power_of_two() && (start as u64).is_multiple_of(size)
         }
-        fn rec(sst: &SparseSegmentTree, nd: u32, seen: &mut std::collections::HashSet<Pos>) {
+        fn rec(
+            sst: &SparseSegmentTree,
+            nd: u32,
+            seen: &mut std::collections::HashSet<Pos>,
+            block_cells: &mut usize,
+        ) {
             let n = &sst.nodes[nd as usize];
             assert!(
                 canonical(n.start, n.end),
@@ -180,9 +272,10 @@ impl SparseSegmentTree {
                 n.start,
                 n.end
             );
-            if let Some(block) = &n.block {
+            if n.is_block() {
+                *block_cells += n.block_len() as usize;
                 let mut best: Option<(Pos, Pos)> = None;
-                for (off, &v) in block.iter().enumerate() {
+                for (off, &v) in sst.blocks.cells(n.block, n.block_len()).iter().enumerate() {
                     if v == INF {
                         continue;
                     }
@@ -230,14 +323,20 @@ impl SparseSegmentTree {
                     n.min,
                     c.min
                 );
-                rec(sst, child, seen);
+                rec(sst, child, seen, block_cells);
             }
         }
         let mut seen = std::collections::HashSet::new();
+        let mut block_cells = 0usize;
         if self.root != NIL {
-            rec(self, self.root, &mut seen);
+            rec(self, self.root, &mut seen, &mut block_cells);
         }
         assert_eq!(seen.len(), self.density, "density counter out of sync");
+        assert_eq!(
+            block_cells + self.blocks.free_cells,
+            self.blocks.data.len(),
+            "block arena cells leaked or double-booked"
+        );
     }
 
     /// Returns the value stored at index `i` ([`INF`] if empty).
@@ -252,8 +351,8 @@ impl SparseSegmentTree {
             if !n.contains(target) {
                 return INF;
             }
-            if let Some(block) = &n.block {
-                return block[(target - n.start) as usize];
+            if n.is_block() {
+                return self.blocks.data[(n.block + (target - n.start)) as usize];
             }
             if n.pos == target {
                 return n.min;
@@ -267,26 +366,25 @@ impl SparseSegmentTree {
     /// Intended for tests and diagnostics.
     pub fn entries(&self) -> Vec<(usize, Pos)> {
         let mut out = Vec::with_capacity(self.density);
-        self.collect_entries(self.root, &mut out);
-        out
-    }
-
-    fn collect_entries(&self, nd: u32, out: &mut Vec<(usize, Pos)>) {
-        if nd == NIL {
-            return;
-        }
-        let n = &self.nodes[nd as usize];
-        if let Some(block) = &n.block {
-            for (off, &v) in block.iter().enumerate() {
-                if v != INF {
-                    out.push((n.start as usize + off, v));
-                }
+        let mut stack = vec![self.root];
+        while let Some(nd) = stack.pop() {
+            if nd == NIL {
+                continue;
             }
-            return;
+            let n = &self.nodes[nd as usize];
+            if n.is_block() {
+                for (off, &v) in self.blocks.cells(n.block, n.block_len()).iter().enumerate() {
+                    if v != INF {
+                        out.push((n.start as usize + off, v));
+                    }
+                }
+                continue;
+            }
+            out.push((n.pos as usize, n.min));
+            stack.push(n.left);
+            stack.push(n.right);
         }
-        out.push((n.pos as usize, n.min));
-        self.collect_entries(n.left, out);
-        self.collect_entries(n.right, out);
+        out
     }
 
     // ----- arena plumbing -------------------------------------------------
@@ -305,8 +403,18 @@ impl SparseSegmentTree {
 
     fn release(&mut self, idx: u32) {
         self.live_nodes -= 1;
-        self.nodes[idx as usize].block = None;
+        let n = &mut self.nodes[idx as usize];
+        if n.block != NIL {
+            let (off, len) = (n.block, n.block_len());
+            n.block = NIL;
+            self.blocks.release(off, len);
+        }
         self.free.push(idx);
+        if self.live_nodes == 0 {
+            // An emptied tree returns the whole block arena to the
+            // allocator (the node arena keeps its slots for reuse).
+            self.blocks.reset();
+        }
     }
 
     fn new_leaf(&mut self, pos: Pos, v: Pos) -> u32 {
@@ -317,14 +425,28 @@ impl SparseSegmentTree {
             min: v,
             left: NIL,
             right: NIL,
-            block: None,
+            block: NIL,
         })
+    }
+
+    /// Repoints the link through which `nd` was reached: the matching
+    /// child field of `parent`, or the root when `parent` is `NIL`.
+    #[inline]
+    fn relink(&mut self, parent: u32, went_left: bool, child: u32) {
+        if parent == NIL {
+            self.root = child;
+        } else if went_left {
+            self.nodes[parent as usize].left = child;
+        } else {
+            self.nodes[parent as usize].right = child;
+        }
     }
 
     // ----- dyadic range arithmetic ----------------------------------------
 
     /// Smallest canonical (power-of-two aligned) range containing both
     /// the canonical range `[s, e]` and the index `pos`.
+    #[inline]
     fn dyadic_lca(s: Pos, e: Pos, pos: Pos) -> (Pos, Pos) {
         let mut size = e - s + 1;
         let mut ns = s;
@@ -339,41 +461,41 @@ impl SparseSegmentTree {
 
     /// Inserts `(pos, v)` into the subtree rooted at `nd`, which must
     /// contain `pos` in its range; maintains the heap invariant by
-    /// swapping entries downward.
-    fn insert(&mut self, nd: u32, mut pos: Pos, mut v: Pos) -> u32 {
-        debug_assert!(self.nodes[nd as usize].contains(pos));
-        if self.nodes[nd as usize].block.is_some() {
-            self.block_write(nd, pos, v);
-            return nd;
-        }
-        {
-            let n = &mut self.nodes[nd as usize];
-            debug_assert!(
-                n.pos != pos,
-                "insert precondition: entry at pos was erased first"
-            );
-            if better(v, pos, n.min, n.pos) {
-                std::mem::swap(&mut n.min, &mut v);
-                std::mem::swap(&mut n.pos, &mut pos);
+    /// swapping entries downward. A single iterative descent.
+    fn insert(&mut self, nd: u32, mut pos: Pos, mut v: Pos) {
+        let mut cur = nd;
+        loop {
+            debug_assert!(self.nodes[cur as usize].contains(pos));
+            if self.nodes[cur as usize].is_block() {
+                self.block_write(cur, pos, v);
+                return;
             }
+            let (go_left, child) = {
+                let n = &mut self.nodes[cur as usize];
+                debug_assert!(
+                    n.pos != pos,
+                    "insert precondition: entry at pos was erased first"
+                );
+                if better(v, pos, n.min, n.pos) {
+                    std::mem::swap(&mut n.min, &mut v);
+                    std::mem::swap(&mut n.pos, &mut pos);
+                }
+                let go_left = pos <= n.mid();
+                (go_left, if go_left { n.left } else { n.right })
+            };
+            if child == NIL {
+                let leaf = self.new_leaf(pos, v);
+                self.relink(cur, go_left, leaf);
+                return;
+            }
+            if self.nodes[child as usize].contains(pos) {
+                cur = child;
+                continue;
+            }
+            let joined = self.join_lca(child, pos, v);
+            self.relink(cur, go_left, joined);
+            return;
         }
-        let n = &self.nodes[nd as usize];
-        let go_left = pos <= n.mid();
-        let child = if go_left { n.left } else { n.right };
-        let new_child = if child == NIL {
-            self.new_leaf(pos, v)
-        } else if self.nodes[child as usize].contains(pos) {
-            self.insert(child, pos, v)
-        } else {
-            self.join_lca(child, pos, v)
-        };
-        let n = &mut self.nodes[nd as usize];
-        if go_left {
-            n.left = new_child;
-        } else {
-            n.right = new_child;
-        }
-        nd
     }
 
     /// `createLowestCommonAncestor` of Algorithm 1: `pos` lies outside
@@ -387,6 +509,7 @@ impl SparseSegmentTree {
         };
         let (ns, ne) = Self::dyadic_lca(cs, ce, pos);
         if ne - ns < self.block_size {
+            let extent = self.blocks.alloc(ne - ns + 1);
             let block_idx = self.alloc(Node {
                 start: ns,
                 end: ne,
@@ -394,7 +517,7 @@ impl SparseSegmentTree {
                 min: INF,
                 left: NIL,
                 right: NIL,
-                block: Some(vec![INF; (ne - ns + 1) as usize].into_boxed_slice()),
+                block: extent,
             });
             self.flatten_into(child, block_idx);
             self.block_write(block_idx, pos, v);
@@ -416,7 +539,7 @@ impl SparseSegmentTree {
                 min: v,
                 left: NIL,
                 right: NIL,
-                block: None,
+                block: NIL,
             };
             if child_left {
                 node.left = child;
@@ -442,46 +565,48 @@ impl SparseSegmentTree {
                 min: cv,
                 left: l,
                 right: r,
-                block: None,
+                block: NIL,
             })
         }
     }
 
-    /// Walks `sub`, moving every entry into the block node `block_idx`
-    /// and releasing `sub`'s nodes. The block cache is refreshed by the
+    /// Walks `sub` with an explicit stack, moving every entry into the
+    /// block node `block_idx` and releasing `sub`'s nodes (block
+    /// extents included). The block cache is refreshed by the
     /// subsequent [`Self::block_write`].
     fn flatten_into(&mut self, sub: u32, block_idx: u32) {
-        if sub == NIL {
-            return;
-        }
-        let (left, right) = {
-            let n = &self.nodes[sub as usize];
-            (n.left, n.right)
-        };
-        if let Some(sub_block) = self.nodes[sub as usize].block.take() {
-            let sub_start = self.nodes[sub as usize].start;
-            for (off, &v) in sub_block.iter().enumerate() {
-                if v != INF {
-                    self.block_set_raw(block_idx, sub_start + off as Pos, v);
-                }
+        let mut stack = vec![sub];
+        while let Some(nd) = stack.pop() {
+            if nd == NIL {
+                continue;
             }
-        } else {
-            let (p, v) = {
-                let n = &self.nodes[sub as usize];
-                (n.pos, n.min)
-            };
-            self.block_set_raw(block_idx, p, v);
+            let n = &self.nodes[nd as usize];
+            let (left, right) = (n.left, n.right);
+            if n.is_block() {
+                let (src, len, sub_start) = (n.block, n.block_len(), n.start);
+                for off in 0..len {
+                    let v = self.blocks.data[(src + off) as usize];
+                    if v != INF {
+                        self.block_set_raw(block_idx, sub_start + off, v);
+                    }
+                }
+            } else {
+                let (p, v) = (n.pos, n.min);
+                self.block_set_raw(block_idx, p, v);
+            }
+            stack.push(left);
+            stack.push(right);
+            self.release(nd);
         }
-        self.flatten_into(left, block_idx);
-        self.flatten_into(right, block_idx);
-        self.release(sub);
     }
 
     /// Raw cell write into a block, updating the cache opportunistically.
+    #[inline]
     fn block_set_raw(&mut self, block_idx: u32, pos: Pos, v: Pos) {
+        let n = &self.nodes[block_idx as usize];
+        let cell = (n.block + (pos - n.start)) as usize;
+        self.blocks.data[cell] = v;
         let n = &mut self.nodes[block_idx as usize];
-        let off = (pos - n.start) as usize;
-        n.block.as_mut().expect("block node")[off] = v;
         if better(v, pos, n.min, n.pos) {
             n.min = v;
             n.pos = pos;
@@ -492,10 +617,10 @@ impl SparseSegmentTree {
     /// exact. The cell must be empty (public `update` erases first).
     fn block_write(&mut self, block_idx: u32, pos: Pos, v: Pos) {
         debug_assert_eq!(
-            self.nodes[block_idx as usize]
-                .block
-                .as_ref()
-                .expect("block")[(pos - self.nodes[block_idx as usize].start) as usize],
+            {
+                let n = &self.nodes[block_idx as usize];
+                self.blocks.data[(n.block + (pos - n.start)) as usize]
+            },
             INF,
             "block cell must be empty on insert"
         );
@@ -504,12 +629,11 @@ impl SparseSegmentTree {
 
     /// Rescans a block to restore the exact `(min, pos)` cache.
     fn block_recache(&mut self, block_idx: u32) {
-        let n = &mut self.nodes[block_idx as usize];
+        let n = &self.nodes[block_idx as usize];
         let start = n.start;
-        let block = n.block.as_ref().expect("block node");
         let mut best_v = INF;
         let mut best_p = INF;
-        for (off, &v) in block.iter().enumerate() {
+        for (off, &v) in self.blocks.cells(n.block, n.block_len()).iter().enumerate() {
             if v == INF {
                 continue;
             }
@@ -519,6 +643,7 @@ impl SparseSegmentTree {
                 best_p = p;
             }
         }
+        let n = &mut self.nodes[block_idx as usize];
         n.min = best_v;
         n.pos = best_p;
     }
@@ -526,171 +651,205 @@ impl SparseSegmentTree {
     // ----- removal ---------------------------------------------------------
 
     /// Removes the top entry of the subtree rooted at `nd`, promoting
-    /// entries upward along the cheaper child; returns the new subtree
-    /// root (`NIL` if the subtree became empty).
+    /// entries upward along the cheaper child in one iterative walk;
+    /// returns the new subtree root (`NIL` if the subtree became
+    /// empty).
     fn remove_top(&mut self, nd: u32) -> u32 {
-        if self.nodes[nd as usize].block.is_some() {
-            let best = self.nodes[nd as usize].pos;
-            debug_assert_ne!(best, INF, "remove_top on empty block");
-            let start = self.nodes[nd as usize].start;
-            let off = (best - start) as usize;
-            self.nodes[nd as usize].block.as_mut().expect("block")[off] = INF;
-            self.block_recache(nd);
-            if self.nodes[nd as usize].min == INF {
-                self.release(nd);
-                return NIL;
-            }
-            return nd;
+        if self.nodes[nd as usize].is_block() {
+            return self.block_remove_top(nd);
         }
-        let (left, right) = {
+        let (mut left, mut right) = {
             let n = &self.nodes[nd as usize];
             (n.left, n.right)
         };
-        let pick = match (left, right) {
-            (NIL, NIL) => {
-                self.release(nd);
-                return NIL;
-            }
-            (l, NIL) => l,
-            (NIL, r) => r,
-            (l, r) => {
-                let ln = &self.nodes[l as usize];
-                let rn = &self.nodes[r as usize];
-                if better(ln.min, ln.pos, rn.min, rn.pos) {
-                    l
-                } else {
-                    r
+        if left == NIL && right == NIL {
+            self.release(nd);
+            return NIL;
+        }
+        let mut cur = nd;
+        loop {
+            let pick_left = match (left, right) {
+                (l, NIL) => {
+                    debug_assert_ne!(l, NIL);
+                    true
                 }
+                (NIL, _) => false,
+                (l, r) => {
+                    let ln = &self.nodes[l as usize];
+                    let rn = &self.nodes[r as usize];
+                    better(ln.min, ln.pos, rn.min, rn.pos)
+                }
+            };
+            let pick = if pick_left { left } else { right };
+            // Promote the child's entry into `cur`…
+            let (pv, pp) = {
+                let p = &self.nodes[pick as usize];
+                (p.min, p.pos)
+            };
+            let n = &mut self.nodes[cur as usize];
+            n.min = pv;
+            n.pos = pp;
+            // …then remove that entry from the child's subtree.
+            if self.nodes[pick as usize].is_block() {
+                let sub = self.block_remove_top(pick);
+                self.relink(cur, pick_left, sub);
+                return nd;
             }
-        };
-        let (pv, pp) = {
-            let p = &self.nodes[pick as usize];
-            (p.min, p.pos)
-        };
-        let new_pick = self.remove_top(pick);
-        let n = &mut self.nodes[nd as usize];
-        n.min = pv;
-        n.pos = pp;
-        if pick == left {
-            n.left = new_pick;
-        } else {
-            n.right = new_pick;
+            let (pl, pr) = {
+                let p = &self.nodes[pick as usize];
+                (p.left, p.right)
+            };
+            if pl == NIL && pr == NIL {
+                self.release(pick);
+                self.relink(cur, pick_left, NIL);
+                return nd;
+            }
+            cur = pick;
+            left = pl;
+            right = pr;
+        }
+    }
+
+    /// Removes a block node's cached best entry, recaching (and
+    /// releasing the node when it empties). Returns the node or `NIL`.
+    fn block_remove_top(&mut self, nd: u32) -> u32 {
+        let n = &self.nodes[nd as usize];
+        debug_assert_ne!(n.pos, INF, "remove_top on empty block");
+        let cell = (n.block + (n.pos - n.start)) as usize;
+        self.blocks.data[cell] = INF;
+        self.block_recache(nd);
+        if self.nodes[nd as usize].min == INF {
+            self.release(nd);
+            return NIL;
         }
         nd
     }
 
-    /// Removes the entry at index `i` if present; returns whether an
-    /// entry was removed and the new subtree root.
-    fn erase_rec(&mut self, nd: u32, i: Pos) -> (u32, bool) {
-        if nd == NIL {
-            return (NIL, false);
-        }
-        if !self.nodes[nd as usize].contains(i) {
-            return (nd, false);
-        }
-        if self.nodes[nd as usize].block.is_some() {
-            let start = self.nodes[nd as usize].start;
-            let off = (i - start) as usize;
-            let block = self.nodes[nd as usize].block.as_mut().expect("block");
-            if block[off] == INF {
-                return (nd, false);
+    /// Removes the entry at index `i` if present, descending
+    /// iteratively; returns whether an entry was removed.
+    fn erase(&mut self, i: Pos) -> bool {
+        let mut parent = NIL;
+        let mut went_left = false;
+        let mut nd = self.root;
+        loop {
+            if nd == NIL {
+                return false;
             }
-            block[off] = INF;
-            if self.nodes[nd as usize].pos == i {
-                self.block_recache(nd);
-                if self.nodes[nd as usize].min == INF {
-                    self.release(nd);
-                    return (NIL, true);
+            let n = &self.nodes[nd as usize];
+            if !n.contains(i) {
+                return false;
+            }
+            if n.is_block() {
+                let cell = (n.block + (i - n.start)) as usize;
+                if self.blocks.data[cell] == INF {
+                    return false;
                 }
+                self.blocks.data[cell] = INF;
+                if self.nodes[nd as usize].pos == i {
+                    self.block_recache(nd);
+                    if self.nodes[nd as usize].min == INF {
+                        self.release(nd);
+                        self.relink(parent, went_left, NIL);
+                    }
+                }
+                return true;
             }
-            return (nd, true);
+            if n.pos == i {
+                let sub = self.remove_top(nd);
+                self.relink(parent, went_left, sub);
+                return true;
+            }
+            went_left = i <= n.mid();
+            parent = nd;
+            nd = if went_left { n.left } else { n.right };
         }
-        if self.nodes[nd as usize].pos == i {
-            return (self.remove_top(nd), true);
-        }
-        let go_left = i <= self.nodes[nd as usize].mid();
-        let child = if go_left {
-            self.nodes[nd as usize].left
-        } else {
-            self.nodes[nd as usize].right
-        };
-        let (new_child, found) = self.erase_rec(child, i);
-        let n = &mut self.nodes[nd as usize];
-        if go_left {
-            n.left = new_child;
-        } else {
-            n.right = new_child;
-        }
-        (nd, found)
     }
 
     // ----- queries (Algorithm 1: min / argleq) ------------------------------
 
-    fn min_rec(&self, nd: u32, i: Pos) -> Pos {
-        if nd == NIL {
-            return INF;
+    /// Iterative suffix-minimum walk. At a node whose range intersects
+    /// the suffix: stop early when the cached entry index is ≥ `i`
+    /// (minima indexing); otherwise the right child lies entirely in
+    /// the suffix — its cached minimum is its subtree's answer by the
+    /// heap invariant — and only the left child needs descending.
+    fn min_from(&self, i: Pos) -> Pos {
+        let mut best = INF;
+        let mut nd = self.root;
+        while nd != NIL {
+            let n = &self.nodes[nd as usize];
+            if i > n.end {
+                break;
+            }
+            if n.pos >= i && n.pos != INF {
+                best = best.min(n.min);
+                break;
+            }
+            if n.is_block() {
+                let lo = i.max(n.start) - n.start;
+                let cells = self.blocks.cells(n.block, n.block_len());
+                best = best.min(cells[lo as usize..].iter().copied().min().unwrap_or(INF));
+                break;
+            }
+            if i <= n.mid() {
+                if n.right != NIL {
+                    best = best.min(self.nodes[n.right as usize].min);
+                }
+                nd = n.left;
+            } else {
+                nd = n.right;
+            }
         }
-        let n = &self.nodes[nd as usize];
-        if i > n.end {
-            return INF;
-        }
-        // Minima indexing: the cached entry is at an index ≥ i, and by
-        // the heap invariant it is ≤ every entry below, so the
-        // traversal stops here.
-        if n.pos != INF && n.pos >= i {
-            return n.min;
-        }
-        if let Some(block) = &n.block {
-            let lo = i.max(n.start) - n.start;
-            return block[lo as usize..].iter().copied().min().unwrap_or(INF);
-        }
-        let l = self.min_rec(n.left, i);
-        let r = self.min_rec(n.right, i);
-        l.min(r)
+        best
     }
 
-    fn argleq_rec(&self, nd: u32, v: Pos) -> Option<Pos> {
-        if nd == NIL {
-            return None;
-        }
-        let n = &self.nodes[nd as usize];
-        if n.min > v {
-            // Heap invariant: every entry below is ≥ n.min > v.
-            return None;
-        }
-        if let Some(block) = &n.block {
-            for off in (0..block.len()).rev() {
-                if block[off] <= v {
-                    return Some(n.start + off as Pos);
+    /// Iterative arg-leq walk, accumulating the best qualifying index.
+    /// Every visited node's own entry qualifies (its value is the
+    /// subtree minimum, checked ≤ `v` before visiting), so the walk
+    /// descends toward larger indices: into the right child whenever it
+    /// can still qualify, into the left otherwise.
+    fn argleq_from(&self, v: Pos) -> Option<Pos> {
+        let mut best: Option<Pos> = None;
+        let mut nd = self.root;
+        while nd != NIL {
+            let n = &self.nodes[nd as usize];
+            if n.min > v {
+                // Heap invariant: every entry below is ≥ n.min > v.
+                break;
+            }
+            if n.is_block() {
+                let cells = self.blocks.cells(n.block, n.block_len());
+                for off in (0..cells.len()).rev() {
+                    if cells[off] <= v {
+                        let p = n.start + off as Pos;
+                        best = Some(best.map_or(p, |b| b.max(p)));
+                        break;
+                    }
                 }
+                break;
             }
-            unreachable!("block cache said min ≤ v");
-        }
-        let left_end = if n.left == NIL {
-            None
-        } else {
-            Some(self.nodes[n.left as usize].end)
-        };
-        let right_end = if n.right == NIL {
-            None
-        } else {
-            Some(self.nodes[n.right as usize].end)
-        };
-        // Line 29: no child range extends past our own entry's index.
-        if left_end.is_none_or(|e| n.pos >= e) && right_end.is_none_or(|e| n.pos >= e) {
-            return Some(n.pos);
-        }
-        if n.right != NIL && self.nodes[n.right as usize].min <= v {
-            let sub = self
-                .argleq_rec(n.right, v)
-                .expect("right subtree min ≤ v implies a qualifying entry");
-            Some(n.pos.max(sub))
-        } else {
-            match self.argleq_rec(n.left, v) {
-                Some(sub) => Some(n.pos.max(sub)),
-                None => Some(n.pos),
+            best = Some(best.map_or(n.pos, |b| b.max(n.pos)));
+            let left_end = if n.left == NIL {
+                None
+            } else {
+                Some(self.nodes[n.left as usize].end)
+            };
+            let right_end = if n.right == NIL {
+                None
+            } else {
+                Some(self.nodes[n.right as usize].end)
+            };
+            // Line 29: no child range extends past our own entry's
+            // index, so nothing below can improve the answer.
+            if left_end.is_none_or(|e| n.pos >= e) && right_end.is_none_or(|e| n.pos >= e) {
+                break;
+            }
+            if n.right != NIL && self.nodes[n.right as usize].min <= v {
+                nd = n.right;
+            } else {
+                nd = n.left;
             }
         }
+        best
     }
 }
 
@@ -713,9 +872,7 @@ impl SuffixMinima for SparseSegmentTree {
     fn update(&mut self, i: usize, v: Pos) {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let pos = i as Pos;
-        let (new_root, found) = self.erase_rec(self.root, pos);
-        self.root = new_root;
-        if found {
+        if self.erase(pos) {
             self.density -= 1;
         }
         if v == INF {
@@ -723,27 +880,29 @@ impl SuffixMinima for SparseSegmentTree {
         }
         self.density += 1;
         self.peak_density = self.peak_density.max(self.density);
-        self.root = if self.root == NIL {
-            self.new_leaf(pos, v)
+        if self.root == NIL {
+            self.root = self.new_leaf(pos, v);
         } else if self.nodes[self.root as usize].contains(pos) {
-            self.insert(self.root, pos, v)
+            self.insert(self.root, pos, v);
         } else {
-            self.join_lca(self.root, pos, v)
-        };
+            self.root = self.join_lca(self.root, pos, v);
+        }
     }
 
+    #[inline]
     fn suffix_min(&self, i: usize) -> Pos {
         if i >= self.len {
             return INF;
         }
-        self.min_rec(self.root, i as Pos)
+        self.min_from(i as Pos)
     }
 
+    #[inline]
     fn argleq(&self, v: Pos) -> Option<usize> {
         // INF entries are "empty"; clamping below the sentinel keeps
         // them from qualifying (stored values are positions < INF).
         let v = v.min(INF - 1);
-        self.argleq_rec(self.root, v).map(|p| p as usize)
+        self.argleq_from(v).map(|p| p as usize)
     }
 
     fn density(&self) -> usize {
@@ -755,16 +914,10 @@ impl SuffixMinima for SparseSegmentTree {
     }
 
     fn memory_bytes(&self) -> usize {
-        let blocks: usize = self
-            .nodes
-            .iter()
-            .filter_map(|n| n.block.as_ref())
-            .map(|b| b.len() * std::mem::size_of::<Pos>())
-            .sum();
         std::mem::size_of::<Self>()
             + self.nodes.capacity() * std::mem::size_of::<Node>()
             + self.free.capacity() * std::mem::size_of::<u32>()
-            + blocks
+            + self.blocks.memory_bytes()
     }
 }
 
@@ -1042,5 +1195,52 @@ mod tests {
         b.update(5, INF);
         assert_eq!(a.get(5), 1);
         assert_eq!(b.get(5), INF);
+    }
+
+    #[test]
+    fn block_arena_recycles_extents() {
+        let mut sst = SparseSegmentTree::with_block_size(1 << 12, 32);
+        // Two dense clusters form two block nodes sharing the arena.
+        for i in 0..16usize {
+            sst.update(i, 100 + i as Pos);
+            sst.update(512 + i, 200 + i as Pos);
+        }
+        sst.assert_invariants();
+        let populated = sst.memory_bytes();
+        // Erase one whole cluster: its extent is released (and the
+        // arena bookkeeping stays exact).
+        for i in 0..16usize {
+            sst.update(512 + i, INF);
+        }
+        sst.assert_invariants();
+        // Rebuild it: the recycled extent must be clean.
+        for i in 0..16usize {
+            sst.update(512 + i, 300 + i as Pos);
+        }
+        sst.assert_invariants();
+        assert_eq!(sst.suffix_min(512), 300);
+        assert!(
+            sst.memory_bytes() <= populated,
+            "recycled extent must not grow the arena"
+        );
+    }
+
+    #[test]
+    fn emptied_tree_releases_the_block_arena() {
+        let mut sst = SparseSegmentTree::with_block_size(1 << 10, 32);
+        for i in 0..64usize {
+            sst.update(i, i as Pos + 1);
+        }
+        assert!(sst.memory_bytes() > std::mem::size_of::<SparseSegmentTree>());
+        for i in 0..64usize {
+            sst.update(i, INF);
+        }
+        assert_eq!(sst.node_count(), 0);
+        assert_eq!(
+            sst.blocks.data.capacity(),
+            0,
+            "emptied tree returns the block arena allocation"
+        );
+        sst.assert_invariants();
     }
 }

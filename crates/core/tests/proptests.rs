@@ -3,8 +3,9 @@
 //! the naive oracle.
 
 use csst_core::{
-    Csst, GraphIndex, IncrementalCsst, NaiveIndex, NaiveSuffixArray, NodeId, PartialOrderIndex,
-    SegTreeIndex, SegmentTree, SparseSegmentTree, SuffixMinima, ThreadId, VectorClockIndex, INF,
+    AnchoredVectorClockIndex, Csst, GraphIndex, IncrementalCsst, NaiveIndex, NaiveSuffixArray,
+    NodeId, PartialOrderIndex, SegTreeIndex, SegmentTree, SparseSegmentTree, SuffixMinima,
+    ThreadId, VectorClockIndex, INF,
 };
 use proptest::prelude::*;
 
@@ -617,4 +618,192 @@ proptest! {
             d
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Batched insertion: insert_edges(batch) == sequential insert_edge.
+// ---------------------------------------------------------------------------
+
+/// Query-grid snapshot used to compare two indexes exhaustively.
+fn po_snapshot<P: PartialOrderIndex>(
+    po: &P,
+    k: u32,
+    cap: u32,
+) -> Vec<(Option<u32>, Option<u32>, bool)> {
+    let mut out = Vec::new();
+    for t1 in 0..=k {
+        for j1 in 0..cap {
+            let u = NodeId::new(t1, j1);
+            for t2 in 0..=k {
+                let c = ThreadId(t2);
+                out.push((
+                    po.successor(u, c),
+                    po.predecessor(u, c),
+                    po.reachable(u, NodeId::new(t2, (j1 * 5 + t2) % cap)),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Applies the same acyclic batches to `P` twice — once through
+/// `insert_edges`, once edge-by-edge — and to the naive and graph
+/// oracles, asserting all four agree on every query after every batch.
+fn run_batch_vs_sequential<P: PartialOrderIndex>(
+    k: u32,
+    cap: u32,
+    raw: &[Vec<(u32, u32, u32, u32)>],
+) {
+    let mut batched = P::new();
+    let mut sequential = P::new();
+    let mut naive = NaiveIndex::new();
+    let mut graph = GraphIndex::new();
+    // The planner replays sequential-application semantics to keep the
+    // relation acyclic, considering earlier edges of the same batch.
+    let mut planner = NaiveIndex::new();
+    for ops in raw {
+        let mut batch: Vec<(NodeId, NodeId)> = Vec::new();
+        for &(t1, j1, t2, j2) in ops {
+            let (t1, t2) = (t1 % k, t2 % k);
+            if t1 == t2 {
+                continue;
+            }
+            let (u, v) = (NodeId::new(t1, j1 % cap), NodeId::new(t2, j2 % cap));
+            if planner.reachable(v, u) {
+                continue;
+            }
+            planner.insert_edge(u, v).unwrap();
+            batch.push((u, v));
+        }
+        batched.insert_edges(&batch).unwrap();
+        for &(u, v) in &batch {
+            sequential.insert_edge(u, v).unwrap();
+            naive.insert_edge(u, v).unwrap();
+            graph.insert_edge(u, v).unwrap();
+        }
+        assert_eq!(
+            po_snapshot(&batched, k, cap),
+            po_snapshot(&sequential, k, cap),
+            "{}: batch != sequential",
+            batched.name()
+        );
+        assert_eq!(
+            po_snapshot(&batched, k, cap),
+            po_snapshot(&naive, k, cap),
+            "{}: batch != naive oracle",
+            batched.name()
+        );
+        assert_eq!(
+            po_snapshot(&batched, k, cap),
+            po_snapshot(&graph, k, cap),
+            "{}: batch != graph oracle",
+            batched.name()
+        );
+        assert_eq!(batched.chains(), sequential.chains());
+        for t in 0..k {
+            assert_eq!(
+                batched.chain_len(ThreadId(t)),
+                sequential.chain_len(ThreadId(t)),
+                "{}: batch grew the domain differently",
+                batched.name()
+            );
+        }
+    }
+}
+
+fn batch_scripts(k: u32, cap: u32) -> impl Strategy<Value = Vec<Vec<(u32, u32, u32, u32)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..k, 0..cap, 0..k, 0..cap), 1..12),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_inserts_match_sequential(raw in batch_scripts(5, 14)) {
+        run_batch_vs_sequential::<Csst>(5, 14, &raw);
+        run_batch_vs_sequential::<GraphIndex>(5, 14, &raw);
+        run_batch_vs_sequential::<IncrementalCsst>(5, 14, &raw);
+        run_batch_vs_sequential::<SegTreeIndex>(5, 14, &raw);
+        run_batch_vs_sequential::<VectorClockIndex>(5, 14, &raw);
+        run_batch_vs_sequential::<AnchoredVectorClockIndex>(5, 14, &raw);
+    }
+
+    #[test]
+    fn batched_inserts_preserve_density_stats(raw in batch_scripts(4, 12)) {
+        // Density statistics (the q column) must not depend on whether
+        // edges arrived batched or sequentially.
+        let mut batched = Csst::new();
+        let mut sequential = Csst::new();
+        let mut inc_batched = IncrementalCsst::new();
+        let mut inc_sequential = IncrementalCsst::new();
+        let mut planner = NaiveIndex::new();
+        for ops in &raw {
+            let mut batch: Vec<(NodeId, NodeId)> = Vec::new();
+            for &(t1, j1, t2, j2) in ops {
+                let (t1, t2) = (t1 % 4, t2 % 4);
+                if t1 == t2 {
+                    continue;
+                }
+                let (u, v) = (NodeId::new(t1, j1 % 12), NodeId::new(t2, j2 % 12));
+                if planner.reachable(v, u) {
+                    continue;
+                }
+                planner.insert_edge(u, v).unwrap();
+                batch.push((u, v));
+            }
+            batched.insert_edges(&batch).unwrap();
+            inc_batched.insert_edges(&batch).unwrap();
+            for &(u, v) in &batch {
+                sequential.insert_edge(u, v).unwrap();
+                inc_sequential.insert_edge(u, v).unwrap();
+            }
+            prop_assert_eq!(batched.density_stats(), sequential.density_stats());
+            prop_assert_eq!(batched.edge_count(), sequential.edge_count());
+            prop_assert_eq!(inc_batched.density_stats(), inc_sequential.density_stats());
+            prop_assert_eq!(batched.memory_bytes(), sequential.memory_bytes());
+        }
+    }
+}
+
+#[test]
+fn batched_insert_errors_match_sequential_and_are_atomic() {
+    use csst_core::{PoError, MAX_CHAINS};
+    let good = (NodeId::new(0, 1), NodeId::new(1, 2));
+    let same_chain = (NodeId::new(2, 1), NodeId::new(2, 5));
+    let out_of_range = (NodeId::new(MAX_CHAINS as u32, 0), NodeId::new(0, 0));
+
+    // The reported error is the first the sequential loop would hit…
+    let mut po = Csst::new();
+    let err = po
+        .insert_edges(&[good, same_chain, out_of_range])
+        .unwrap_err();
+    let mut seq = Csst::new();
+    let seq_err = [good, same_chain, out_of_range]
+        .iter()
+        .find_map(|&(u, v)| seq.insert_edge(u, v).err())
+        .expect("sequential loop errors too");
+    assert_eq!(err, seq_err);
+    assert!(matches!(err, PoError::SameChain { .. }));
+
+    // …but unlike the sequential loop, nothing was applied.
+    assert_eq!(po.edge_count(), 0);
+    assert_eq!(
+        po.chains(),
+        0,
+        "validation failure must not grow the domain"
+    );
+    assert!(!po.reachable(good.0, good.1));
+
+    // A valid batch then applies cleanly.
+    po.insert_edges(&[good]).unwrap();
+    assert_eq!(po.edge_count(), 1);
+    assert!(po.reachable(good.0, good.1));
+
+    // Empty batches are a no-op.
+    po.insert_edges(&[]).unwrap();
+    assert_eq!(po.edge_count(), 1);
 }

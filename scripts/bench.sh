@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the headless perf harness (`repro -- bench`) and writes the
+# machine-readable measurements to BENCH_PR4.json at the repo root.
+#
+#   scripts/bench.sh            full measurement run (minutes)
+#   scripts/bench.sh --smoke    tiny CI run: validates the harness and
+#                               the JSON emitter, numbers meaningless
+#
+# Extra arguments are passed through to `repro` (e.g. --json PATH).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo run --release --bin repro -- bench "$@"

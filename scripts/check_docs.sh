@@ -2,6 +2,8 @@
 # Checks the markdown "book" (docs/ARCHITECTURE.md, README.md) for rot:
 # every relative link must point at an existing file, and every
 # intra-document #anchor must match a real heading (GitHub slug rules).
+# Also validates the checked-in perf baseline (BENCH_PR4.json):
+# parseable JSON with the expected schema, keys, and coverage.
 # Run from the repository root; CI runs it as a dedicated step.
 set -euo pipefail
 
@@ -63,10 +65,46 @@ for path in FILES:
         elif anchor and anchor not in anchors:
             errors.append(f"{path}: broken intra-doc anchor `#{anchor}`")
 
+import json
+
+BENCH = "BENCH_PR4.json"
+ROW_KEYS = {
+    "workload", "representation", "display", "supported", "ops",
+    "elapsed_ns", "ops_per_sec", "memory_bytes_peak", "memory_bytes_final",
+}
+if not os.path.exists(BENCH):
+    errors.append(f"{BENCH}: perf baseline missing (run scripts/bench.sh)")
+else:
+    try:
+        bench = json.load(open(BENCH, encoding="utf-8"))
+        if bench.get("schema") != "csst-bench/v1":
+            errors.append(f"{BENCH}: unexpected schema {bench.get('schema')!r}")
+        for key in ("mode", "config", "measurements"):
+            if key not in bench:
+                errors.append(f"{BENCH}: missing top-level key `{key}`")
+        rows = bench.get("measurements", [])
+        for i, row in enumerate(rows):
+            missing = ROW_KEYS - set(row)
+            if missing:
+                errors.append(f"{BENCH}: row {i} missing {sorted(missing)}")
+                break
+        reprs = {r.get("representation") for r in rows}
+        for want in ("csst_dynamic", "csst_incremental", "segtree",
+                     "vc", "avc", "graph"):
+            if want not in reprs:
+                errors.append(f"{BENCH}: representation `{want}` absent")
+        workloads = {r.get("workload") for r in rows}
+        for want in ("streaming_insert", "bulk_delete", "delete_churn",
+                     "query_mix"):
+            if want not in workloads:
+                errors.append(f"{BENCH}: workload `{want}` absent")
+    except json.JSONDecodeError as e:
+        errors.append(f"{BENCH}: not valid JSON ({e})")
+
 if errors:
     print("documentation check failed:", file=sys.stderr)
     for e in errors:
         print(f"  {e}", file=sys.stderr)
     sys.exit(1)
-print(f"docs OK: {', '.join(FILES)}")
+print(f"docs OK: {', '.join(FILES)} + {BENCH}")
 EOF
