@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the CSSTs paper.
 //!
 //! ```text
-//! repro [--scale F] [--out DIR] [--smoke] [--json PATH] <experiment>...
+//! repro [--scale F] [--out DIR] [--smoke] [--json PATH] [--repeat N] <experiment>...
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7
 //!              figure10 figure11 blocksize ablation all bench
@@ -13,7 +13,9 @@
 //! `bench` is the hot-path perf harness (not part of `all`): it runs
 //! the criterion suites' workloads headlessly and writes the
 //! machine-readable measurements to `--json PATH` (default
-//! `BENCH_PR4.json`); `--smoke` shrinks the workloads for CI.
+//! `BENCH_PR5.json`); `--smoke` shrinks the workloads for CI.
+//! `scripts/bench.sh --compare OLD.json NEW.json` diffs two such
+//! files and fails on ops/sec regressions.
 
 use csst_bench::{blocksize, figure10, perf, scalability, tables, Table};
 use std::path::PathBuf;
@@ -23,6 +25,7 @@ struct Args {
     out: Option<PathBuf>,
     smoke: bool,
     json: PathBuf,
+    repeat: usize,
     experiments: Vec<String>,
 }
 
@@ -30,7 +33,8 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 1.0f64;
     let mut out = None;
     let mut smoke = false;
-    let mut json = PathBuf::from("BENCH_PR4.json");
+    let mut json = PathBuf::from("BENCH_PR5.json");
+    let mut repeat = 1usize;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -49,12 +53,23 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 json = PathBuf::from(it.next().ok_or("--json needs a value")?);
             }
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .ok_or("--repeat needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --repeat: {e}"))?;
+                if repeat == 0 {
+                    return Err("--repeat must be at least 1".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale F] [--out DIR] [--smoke] [--json PATH] <experiment>...\n\
+                    "usage: repro [--scale F] [--out DIR] [--smoke] [--json PATH] [--repeat N] <experiment>...\n\
                      experiments: table1..table7 figure10 figure11 blocksize ablation all bench\n\
                      bench: headless perf harness, writes measurements to --json PATH\n\
-                            (default BENCH_PR4.json); --smoke shrinks it for CI"
+                            (default BENCH_PR5.json); --smoke shrinks it for CI;\n\
+                            --repeat N keeps the best of N runs per cell"
                 );
                 std::process::exit(0);
             }
@@ -70,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         smoke,
         json,
+        repeat,
         experiments,
     })
 }
@@ -202,10 +218,13 @@ fn main() {
             cfg.churn_ops = ((cfg.churn_ops as f64 * scale) as usize).max(100);
             cfg.churn_window = ((cfg.churn_window as f64 * scale) as usize).max(16);
             cfg.queries = ((cfg.queries as f64 * scale) as usize).max(100);
+            cfg.sweep_inserts = ((cfg.sweep_inserts as f64 * scale) as usize).max(100);
+            cfg.sweep_queries = ((cfg.sweep_queries as f64 * scale) as usize).max(100);
+            cfg.ratio_queries = ((cfg.ratio_queries as f64 * scale) as usize).max(100);
         }
-        let measurements = perf::run(&cfg);
+        let measurements = perf::run_repeated(&cfg, args.repeat);
         println!("{}", perf::render(&measurements));
-        let json = perf::to_json(&cfg, &measurements);
+        let json = perf::to_json(&cfg, args.repeat, &measurements);
         std::fs::write(&args.json, json).expect("write bench json");
         eprintln!("wrote {}", args.json.display());
     }

@@ -8,10 +8,31 @@
 //! the next-earliest neighbour.
 //!
 //! Since arrays store direct edges only, queries must discover
-//! transitive reachability: `successor` runs the `O(k³)` crossing-path
-//! fixpoint of Algorithm 2 (Lemma 4) — a Bellman–Ford-style loop over
-//! chains rather than over the `n` events, which is what makes the
-//! query cost independent of the trace length.
+//! transitive reachability (Algorithm 2, Lemma 4). The paper bounds
+//! that crossing-path fixpoint by `O(k³)` suffix-minima operations; the
+//! implementation here reaches the same fixpoint with a **sparse
+//! worklist**: relaxations run only along chain pairs that currently
+//! hold at least one live edge (the adjacency maintained by
+//! [`EdgeHeapStore`]), and only from chains whose bound actually
+//! improved. On real traces most chain pairs are empty and the
+//! propagation converges after a handful of relaxations, so query cost
+//! tracks the *live* structure instead of the `k³` worst case — and
+//! remains, as in the paper, independent of the trace length `n`.
+//!
+//! Three further ingredients make the read path allocation-free and
+//! burst-friendly (see the "query engine" chapter of
+//! `docs/ARCHITECTURE.md`):
+//!
+//! * per-index scratch buffers ([`QueryScratch`], behind a `RefCell`)
+//!   reused across queries, with stamp-based invalidation so a query
+//!   touches only the chains it visits;
+//! * an **epoch-guarded memo**: every successful update bumps an edge
+//!   version; complete fixpoint closures are cached per source node
+//!   and served until the epoch rolls, so query bursts between updates
+//!   (the `hb`/`race` pattern) pay the propagation once;
+//! * bound-aware early exit: [`PartialOrderIndex::reachable`] stops as
+//!   soon as the target chain's bound is good enough, rather than
+//!   running the fixpoint to completion.
 //!
 //! The domain is capacity-free: chains and positions are witnessed on
 //! demand (see [`PartialOrderIndex`]), and the sparse arrays grow for
@@ -25,6 +46,198 @@ use crate::reach::PartialOrderIndex;
 use crate::sst::SparseSegmentTree;
 use crate::stats::DensityStats;
 use crate::suffix::SuffixMinima;
+use std::cell::RefCell;
+
+/// Default number of source-node closures the epoch-guarded query memo
+/// retains (see [`DynamicPo::set_query_memo_capacity`]).
+const DEFAULT_MEMO_CAPACITY: usize = 16;
+
+/// Reusable buffers of the worklist query engine. One instance lives in
+/// each index behind a `RefCell`, so steady-state queries allocate
+/// nothing: per-chain slots are invalidated by bumping a stamp, never
+/// by clearing, and a query touches only the chains it actually visits.
+#[derive(Debug, Clone, Default)]
+struct QueryScratch {
+    /// Per chain: the current closure bound (earliest reachable
+    /// position forward, latest predecessor backward). Meaningful only
+    /// when the matching `val_stamp` entry equals `cur`.
+    vals: Vec<Pos>,
+    val_stamp: Vec<u32>,
+    /// Worklist membership stamps (`== cur` while queued).
+    on_list: Vec<u32>,
+    /// Stamp of the query in flight; `0` is never a live stamp.
+    cur: u32,
+    list: Vec<u32>,
+}
+
+impl QueryScratch {
+    /// Starts a new query over `k` chains: grows the buffers if the
+    /// domain grew and invalidates all previous slots by stamp.
+    fn begin(&mut self, k: usize) {
+        if self.vals.len() < k {
+            self.vals.resize(k, 0);
+            self.val_stamp.resize(k, 0);
+            self.on_list.resize(k, 0);
+        }
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            // Stamp wrap (once per 2³² queries): hard-reset so stale
+            // stamps cannot collide with the new generation.
+            self.val_stamp.fill(0);
+            self.on_list.fill(0);
+            self.cur = 1;
+        }
+        self.list.clear();
+    }
+
+    #[inline]
+    fn get(&self, t: usize) -> Option<Pos> {
+        (self.val_stamp[t] == self.cur).then(|| self.vals[t])
+    }
+
+    #[inline]
+    fn set(&mut self, t: usize, v: Pos) {
+        self.vals[t] = v;
+        self.val_stamp[t] = self.cur;
+    }
+
+    #[inline]
+    fn push(&mut self, t: usize) {
+        if self.on_list[t] != self.cur {
+            self.on_list[t] = self.cur;
+            self.list.push(t as u32);
+        }
+    }
+
+    /// Pops the queued chain with the **smallest** bound (linear scan:
+    /// the active set is at most `k` chains, and each scan step is two
+    /// array reads — noise next to one suffix-minima query).
+    #[inline]
+    fn pop_min(&mut self) -> Option<usize> {
+        let mut best = 0;
+        for i in 1..self.list.len() {
+            if self.vals[self.list[i] as usize] < self.vals[self.list[best] as usize] {
+                best = i;
+            }
+        }
+        let t = (*self.list.get(best)?) as usize;
+        self.list.swap_remove(best);
+        self.on_list[t] = 0;
+        Some(t)
+    }
+
+    /// Pops the queued chain with the **largest** bound (the backward
+    /// dual of [`pop_min`](Self::pop_min)).
+    #[inline]
+    fn pop_max(&mut self) -> Option<usize> {
+        let mut best = 0;
+        for i in 1..self.list.len() {
+            if self.vals[self.list[i] as usize] > self.vals[self.list[best] as usize] {
+                best = i;
+            }
+        }
+        let t = (*self.list.get(best)?) as usize;
+        self.list.swap_remove(best);
+        self.on_list[t] = 0;
+        Some(t)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.vals.capacity() * std::mem::size_of::<Pos>()
+            + (self.val_stamp.capacity() + self.on_list.capacity() + self.list.capacity())
+                * std::mem::size_of::<u32>()
+    }
+}
+
+/// Direction of a memoized closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Fwd,
+    Bwd,
+}
+
+/// One cached fixpoint closure: for source node `⟨t1, j1⟩`, the bound
+/// per chain (forward: earliest reachable position, backward: latest
+/// predecessor; [`INF`] encodes "none" in both directions). Valid only
+/// while `epoch` matches the index's edge version.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    epoch: u64,
+    dir: Dir,
+    t1: u32,
+    j1: Pos,
+    vals: Vec<Pos>,
+}
+
+/// Epoch-guarded closure cache: a tiny direct-scan store with
+/// round-robin replacement. Chains beyond `vals.len()` read as
+/// unconnected, so pure domain growth (which never changes answers)
+/// does not invalidate entries — only edge updates roll the epoch.
+#[derive(Debug, Clone)]
+struct QueryMemo {
+    entries: Vec<MemoEntry>,
+    cap: usize,
+    next: usize,
+}
+
+impl QueryMemo {
+    fn new(cap: usize) -> Self {
+        QueryMemo {
+            entries: Vec::new(),
+            cap,
+            next: 0,
+        }
+    }
+
+    /// The cached bound of chain `t2` for source `⟨t1, j1⟩`, if a
+    /// closure of the right direction and epoch is cached.
+    fn lookup(&self, epoch: u64, dir: Dir, t1: usize, j1: Pos, t2: usize) -> Option<Pos> {
+        self.entries
+            .iter()
+            .find(|e| e.epoch == epoch && e.dir == dir && e.t1 == t1 as u32 && e.j1 == j1)
+            .map(|e| e.vals.get(t2).copied().unwrap_or(INF))
+    }
+
+    /// Caches the complete closure held in `scratch` (unvisited chains
+    /// are stored as [`INF`]), reusing a replaced entry's allocation.
+    fn store(&mut self, epoch: u64, dir: Dir, t1: usize, j1: Pos, k: usize, s: &QueryScratch) {
+        if self.cap == 0 {
+            return;
+        }
+        let fill = |vals: &mut Vec<Pos>| {
+            vals.clear();
+            vals.extend((0..k).map(|t| s.get(t).unwrap_or(INF)));
+        };
+        if self.entries.len() < self.cap {
+            let mut vals = Vec::new();
+            fill(&mut vals);
+            self.entries.push(MemoEntry {
+                epoch,
+                dir,
+                t1: t1 as u32,
+                j1,
+                vals,
+            });
+        } else {
+            let e = &mut self.entries[self.next];
+            e.epoch = epoch;
+            e.dir = dir;
+            e.t1 = t1 as u32;
+            e.j1 = j1;
+            fill(&mut e.vals);
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<MemoEntry>()
+            + self
+                .entries
+                .iter()
+                .map(|e| e.vals.capacity() * std::mem::size_of::<Pos>())
+                .sum::<usize>()
+    }
+}
 
 /// Fully dynamic chain-DAG reachability over a pluggable suffix-minima
 /// structure (Algorithm 2). Use the [`Csst`] alias for the paper's data
@@ -34,9 +247,22 @@ pub struct DynamicPo<S> {
     arrays: PairMatrix<S>,
     /// Edge heaps: per chain pair and source position, the multiset of
     /// direct successors in the target chain. Flat: slots share the
-    /// matrix stride, so `(t1, t2)` resolves without hashing.
+    /// matrix stride, so `(t1, t2)` resolves without hashing. Also owns
+    /// the live-pair adjacency the query worklist walks.
     heaps: EdgeHeapStore,
     edges: usize,
+    /// Edge version: bumped by every successful insert/delete so cached
+    /// closures and in-flight assumptions can be invalidated cheaply.
+    epoch: u64,
+    /// Number of live edges that go *backward* in position
+    /// (`to.pos < from.pos`). While zero — true for every
+    /// streaming/windowed workload in this repo — relaxed bounds are
+    /// monotone along crossing paths, and the query engine upgrades
+    /// from chaotic worklist iteration to Dijkstra-style processing
+    /// with single-pop finalization and sound early termination.
+    backward_edges: usize,
+    scratch: RefCell<QueryScratch>,
+    memo: RefCell<QueryMemo>,
 }
 
 /// The paper's fully dynamic CSST: [`DynamicPo`] over
@@ -59,10 +285,161 @@ impl<S: SuffixMinima> DynamicPo<S> {
         self.arrays.density_stats()
     }
 
+    /// Sets the capacity (number of cached source-node closures) of the
+    /// epoch-guarded query memo; `0` disables memoization entirely.
+    ///
+    /// The memo is transparent — answers are identical with any
+    /// capacity (the property tests pin this) — so the knob exists for
+    /// benchmarking and for workloads known to never repeat a source
+    /// node between updates. Changing the capacity drops all cached
+    /// closures.
+    pub fn set_query_memo_capacity(&mut self, cap: usize) {
+        *self.memo.borrow_mut() = QueryMemo::new(cap);
+    }
+
+    /// The forward crossing-path fixpoint of Algorithm 2, as a sparse
+    /// worklist: returns a position of chain `t2` reachable from
+    /// `⟨t1, j1⟩` via at least one cross-chain edge ([`INF`] if none) —
+    /// the *earliest* one when `exact` is set, any one `≤ stop_at`
+    /// otherwise (callers that only test reachability against a bound
+    /// pass `exact = false`, `stop_at = pos`; exact callers pass
+    /// `stop_at = 0`, below which no bound can improve).
+    ///
+    /// Relaxations run only along live chain pairs
+    /// ([`EdgeHeapStore::out_neighbors`]) and only from chains whose
+    /// bound improved, so convergence costs `O(r·δ_out)` suffix-minima
+    /// queries where `r` is the number of bound improvements (≤ `k²`,
+    /// Lemma 4; a handful in practice) and `δ_out` the live
+    /// out-degree. The worklist pops the smallest bound first; while
+    /// the index holds no backward edge (`to.pos < from.pos` — see
+    /// [`Self::backward_edges`]) every relaxation yields a bound `≥`
+    /// the popped one, so the pop order is Dijkstra's and two stronger
+    /// exits apply, both without visiting the rest of the graph:
+    ///
+    /// * a popped chain's bound is **final** — popping `t2` answers an
+    ///   exact query immediately;
+    /// * once the smallest queued bound exceeds `stop_at`, no chain —
+    ///   in particular `t2` — can ever reach a bound `≤ stop_at`,
+    ///   answering a reachability query negatively.
+    ///
+    /// Only complete runs (worklist drained, no early exit) are
+    /// memoized, since an interrupted run leaves other chains'
+    /// bounds unconverged.
+    fn forward_fixpoint(&self, t1: usize, j1: Pos, t2: usize, stop_at: Pos, exact: bool) -> Pos {
+        let epoch = self.epoch;
+        if let Some(v) = self.memo.borrow().lookup(epoch, Dir::Fwd, t1, j1, t2) {
+            return v;
+        }
+        let k = self.k();
+        let mut s = self.scratch.borrow_mut();
+        s.begin(k);
+        for &t in self.heaps.out_neighbors(t1) {
+            let t = t as usize;
+            let v = self.arrays.get(t1, t).suffix_min(j1 as usize);
+            if v != INF {
+                if t == t2 && v <= stop_at {
+                    return v; // a direct edge already satisfies the bound
+                }
+                s.set(t, v);
+                s.push(t);
+            }
+        }
+        let dijkstra = self.backward_edges == 0;
+        while let Some(t) = s.pop_min() {
+            let base = s.vals[t];
+            if dijkstra {
+                if exact && t == t2 {
+                    return base; // popped bounds are final
+                }
+                if !exact && base > stop_at {
+                    return s.get(t2).unwrap_or(INF); // nothing can land ≤ stop_at anymore
+                }
+            }
+            for &tp in self.heaps.out_neighbors(t) {
+                let tp = tp as usize;
+                if tp == t1 {
+                    continue;
+                }
+                let cur = s.get(tp).unwrap_or(INF);
+                if cur == 0 {
+                    continue; // already minimal
+                }
+                let v = self.arrays.get(t, tp).suffix_min(base as usize);
+                if v < cur {
+                    if tp == t2 && v <= stop_at {
+                        return v;
+                    }
+                    s.set(tp, v);
+                    s.push(tp);
+                }
+            }
+        }
+        let result = s.get(t2).unwrap_or(INF);
+        self.memo.borrow_mut().store(epoch, Dir::Fwd, t1, j1, k, &s);
+        result
+    }
+
     /// Earliest node of chain `t2` reachable from `⟨t1, j1⟩` via at
-    /// least one cross-chain edge ([`INF`] if none): the crossing-path
-    /// fixpoint of Algorithm 2.
+    /// least one cross-chain edge ([`INF`] if none).
+    #[inline]
     fn successor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Pos {
+        self.forward_fixpoint(t1, j1, t2, 0, true)
+    }
+
+    /// Latest node of chain `t2` that reaches `⟨t1, j1⟩` via at least
+    /// one cross-chain edge (`None` if there is none): the symmetric
+    /// backward worklist over [`EdgeHeapStore::in_neighbors`], using
+    /// `argleq` and maximizing bounds instead of minimizing. Pops the
+    /// largest bound first; with no backward edges the popped bound is
+    /// final (the backward dual of the Dijkstra argument in
+    /// [`forward_fixpoint`](Self::forward_fixpoint)), so popping `t2`
+    /// answers immediately.
+    fn predecessor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Option<Pos> {
+        let epoch = self.epoch;
+        if let Some(v) = self.memo.borrow().lookup(epoch, Dir::Bwd, t1, j1, t2) {
+            return (v != INF).then_some(v);
+        }
+        let k = self.k();
+        let mut s = self.scratch.borrow_mut();
+        s.begin(k);
+        for &t in self.heaps.in_neighbors(t1) {
+            let t = t as usize;
+            if let Some(v) = self.arrays.get(t, t1).argleq(j1) {
+                s.set(t, v as Pos);
+                s.push(t);
+            }
+        }
+        let dijkstra = self.backward_edges == 0;
+        while let Some(t) = s.pop_max() {
+            let base = s.vals[t];
+            if dijkstra && t == t2 {
+                return Some(base); // popped bounds are final
+            }
+            for &tp in self.heaps.in_neighbors(t) {
+                let tp = tp as usize;
+                if tp == t1 {
+                    continue;
+                }
+                let Some(v) = self.arrays.get(tp, t).argleq(base) else {
+                    continue;
+                };
+                let v = v as Pos;
+                if s.get(tp).is_none_or(|cur| v > cur) {
+                    s.set(tp, v);
+                    s.push(tp);
+                }
+            }
+        }
+        let result = s.get(t2);
+        self.memo.borrow_mut().store(epoch, Dir::Bwd, t1, j1, k, &s);
+        result
+    }
+
+    /// The original dense `O(k³)` Bellman–Ford fixpoint of Algorithm 2,
+    /// kept as a reference implementation: the property tests pin the
+    /// worklist engine against it under random scripts.
+    #[cfg(test)]
+    fn dense_successor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Pos {
         let k = self.k();
         let mut closure = vec![INF; k];
         for (t, slot) in closure.iter_mut().enumerate() {
@@ -97,10 +474,10 @@ impl<S: SuffixMinima> DynamicPo<S> {
         closure[t2]
     }
 
-    /// Latest node of chain `t2` that reaches `⟨t1, j1⟩` via at least
-    /// one cross-chain edge (`None` if there is none): the symmetric
-    /// backward fixpoint using `argleq`.
-    fn predecessor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Option<Pos> {
+    /// Dense counterpart of [`predecessor_raw`](Self::predecessor_raw);
+    /// see [`dense_successor_raw`](Self::dense_successor_raw).
+    #[cfg(test)]
+    fn dense_predecessor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Option<Pos> {
         let k = self.k();
         let mut closure: Vec<Option<Pos>> = vec![None; k];
         for (t, slot) in closure.iter_mut().enumerate() {
@@ -140,6 +517,10 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
             arrays: PairMatrix::new(),
             heaps: EdgeHeapStore::new(),
             edges: 0,
+            epoch: 0,
+            backward_edges: 0,
+            scratch: RefCell::new(QueryScratch::default()),
+            memo: RefCell::new(QueryMemo::new(DEFAULT_MEMO_CAPACITY)),
         }
     }
 
@@ -151,6 +532,10 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
             arrays,
             heaps,
             edges: 0,
+            epoch: 0,
+            backward_edges: 0,
+            scratch: RefCell::new(QueryScratch::default()),
+            memo: RefCell::new(QueryMemo::new(DEFAULT_MEMO_CAPACITY)),
         }
     }
 
@@ -179,43 +564,42 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
     fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
         let (t1, j1) = (from.thread.index(), from.pos);
         let (t2, j2) = (to.thread.index(), to.pos);
-        if self.heaps.pair_mut(t1, t2).insert(j1, j2) {
+        if self.heaps.insert(t1, t2, j1, j2) {
             self.arrays.get_mut(t1, t2).update(j1 as usize, j2);
         }
+        if j2 < j1 {
+            self.backward_edges += 1;
+        }
         self.edges += 1;
+        self.epoch += 1;
     }
 
     fn insert_edges_raw(&mut self, edges: &[(NodeId, NodeId)]) {
         // Visit the batch grouped by chain pair (stable sort, so the
         // per-pair insertion order — and therefore every heap and
-        // array state — matches the sequential path exactly): one slot
-        // resolution and one warm pair/array working set per group.
+        // array state — matches the sequential path exactly): one warm
+        // pair/array working set per group.
         let kslots = self.arrays.kslots();
         let mut order: Vec<u32> = (0..edges.len() as u32).collect();
         order.sort_by_key(|&i| {
             let (from, to) = edges[i as usize];
             from.thread.index() * kslots + to.thread.index()
         });
-        let mut i = 0;
-        while i < order.len() {
-            let (ft, tt) = {
-                let (from, to) = edges[order[i] as usize];
-                (from.thread.index(), to.thread.index())
-            };
-            let pair = self.heaps.pair_mut(ft, tt);
-            while i < order.len() {
-                let (from, to) = edges[order[i] as usize];
-                if from.thread.index() != ft || to.thread.index() != tt {
-                    break;
-                }
-                if pair.insert(from.pos, to.pos) {
-                    self.arrays
-                        .get_mut(ft, tt)
-                        .update(from.pos as usize, to.pos);
-                }
-                self.edges += 1;
-                i += 1;
+        for &i in &order {
+            let (from, to) = edges[i as usize];
+            let (ft, tt) = (from.thread.index(), to.thread.index());
+            if self.heaps.insert(ft, tt, from.pos, to.pos) {
+                self.arrays
+                    .get_mut(ft, tt)
+                    .update(from.pos as usize, to.pos);
             }
+            if to.pos < from.pos {
+                self.backward_edges += 1;
+            }
+            self.edges += 1;
+        }
+        if !edges.is_empty() {
+            self.epoch += 1;
         }
     }
 
@@ -225,7 +609,7 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
         if t1 >= self.k() || t2 >= self.k() {
             return Err(PoError::EdgeNotFound { from, to });
         }
-        let Some((old_min, new_min)) = self.heaps.pair_mut(t1, t2).remove(j1, j2) else {
+        let Some((old_min, new_min)) = self.heaps.remove(t1, t2, j1, j2) else {
             return Err(PoError::EdgeNotFound { from, to });
         };
         if old_min == Some(j2) && new_min != Some(j2) {
@@ -233,8 +617,28 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
                 .get_mut(t1, t2)
                 .update(j1 as usize, new_min.unwrap_or(INF));
         }
+        if j2 < j1 {
+            self.backward_edges -= 1;
+        }
         self.edges -= 1;
+        self.epoch += 1;
         Ok(())
+    }
+
+    /// Bound-aware reachability: runs the forward worklist with the
+    /// target position as the stop bound, so propagation halts as soon
+    /// as *any* path lands at or before `to` — no need to find the
+    /// earliest one.
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from.thread == to.thread {
+            return from.pos <= to.pos;
+        }
+        let t1 = from.thread.index();
+        let t2 = to.thread.index();
+        if t1 >= self.k() || t2 >= self.k() {
+            return false; // unwitnessed chains carry no edges
+        }
+        self.forward_fixpoint(t1, from.pos, t2, to.pos, false) <= to.pos
     }
 
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
@@ -272,8 +676,13 @@ impl<S: SuffixMinima> PartialOrderIndex for DynamicPo<S> {
         // The store accounts for itself exactly: the flat slot vector
         // (the analogue of the outer hash map this layout replaced,
         // whose bucket overhead the old accounting missed) plus every
-        // pair's entry vector and spilled heap.
-        std::mem::size_of::<Self>() + self.arrays.memory_bytes() + self.heaps.memory_bytes()
+        // pair's entry vector and spilled heap. The query engine's
+        // scratch and memo are O(k) side buffers but are charged too.
+        std::mem::size_of::<Self>()
+            + self.arrays.memory_bytes()
+            + self.heaps.memory_bytes()
+            + self.scratch.borrow().memory_bytes()
+            + self.memo.borrow().memory_bytes()
     }
 }
 
@@ -525,5 +934,188 @@ mod tests {
         let po = Csst::with_capacity(2, 4);
         assert!(po.supports_deletion());
         assert_eq!(po.name(), "CSSTs");
+    }
+
+    #[test]
+    fn memo_serves_bursts_and_rolls_with_the_epoch() {
+        let mut po = Csst::with_capacity(3, 50);
+        po.insert_edge(n(0, 10), n(1, 20)).unwrap();
+        po.insert_edge(n(1, 25), n(2, 30)).unwrap();
+        // A burst of queries from one source node: the second call is
+        // served from the memo and must agree with the first.
+        let first = po.successor(n(0, 5), ThreadId(2));
+        assert_eq!(first, Some(30));
+        assert_eq!(po.successor(n(0, 5), ThreadId(2)), first);
+        assert_eq!(po.successor(n(0, 5), ThreadId(1)), Some(20));
+        // An update rolls the epoch: the cached closure must not leak.
+        po.delete_edge(n(1, 25), n(2, 30)).unwrap();
+        assert_eq!(po.successor(n(0, 5), ThreadId(2)), None);
+        assert_eq!(po.successor(n(0, 5), ThreadId(1)), Some(20));
+        po.insert_edge(n(1, 21), n(2, 40)).unwrap();
+        assert_eq!(po.successor(n(0, 5), ThreadId(2)), Some(40));
+        // Backward closures roll identically.
+        assert_eq!(po.predecessor(n(2, 45), ThreadId(0)), Some(10));
+        po.delete_edge(n(0, 10), n(1, 20)).unwrap();
+        assert_eq!(po.predecessor(n(2, 45), ThreadId(0)), None);
+    }
+
+    #[test]
+    fn memo_survives_pure_domain_growth() {
+        // Pure growth never changes answers, so it must not invalidate
+        // cached closures — and cached closures must answer queries
+        // about chains younger than the cache entry as "unconnected".
+        let mut po = Csst::with_capacity(2, 10);
+        po.insert_edge(n(0, 3), n(1, 4)).unwrap();
+        assert_eq!(po.successor(n(0, 0), ThreadId(1)), Some(4));
+        po.ensure_chain(ThreadId(7));
+        po.ensure_len(ThreadId(1), 1 << 16);
+        assert_eq!(po.successor(n(0, 0), ThreadId(1)), Some(4));
+        assert_eq!(po.successor(n(0, 0), ThreadId(7)), None);
+        assert_eq!(po.predecessor(n(1, 9), ThreadId(7)), None);
+    }
+
+    #[test]
+    fn disabling_the_memo_changes_no_answers() {
+        let mut with = Csst::with_capacity(4, 30);
+        let mut without = Csst::with_capacity(4, 30);
+        without.set_query_memo_capacity(0);
+        let edges = [
+            (n(0, 2), n(1, 4)),
+            (n(1, 6), n(2, 3)),
+            (n(2, 5), n(3, 9)),
+            (n(3, 1), n(0, 8)),
+        ];
+        for (u, v) in edges {
+            with.insert_edge(u, v).unwrap();
+            without.insert_edge(u, v).unwrap();
+        }
+        for t1 in 0..4u32 {
+            for j1 in 0..30u32 {
+                let u = n(t1, j1);
+                for t2 in 0..4u32 {
+                    let c = ThreadId(t2);
+                    // Repeat so the memoized index actually hits.
+                    for _ in 0..2 {
+                        assert_eq!(with.successor(u, c), without.successor(u, c));
+                        assert_eq!(with.predecessor(u, c), without.predecessor(u, c));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod worklist_engine {
+    //! The worklist + memo query engine against the paper's dense
+    //! `O(k³)` fixpoint (kept above behind `#[cfg(test)]`), under
+    //! random insert/delete/query scripts so epochs genuinely roll.
+
+    use super::*;
+    use crate::naive::NaiveIndex;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Insert(u32, u32, u32, u32),
+        Delete(usize),
+    }
+
+    fn scripts(k: u32, cap: u32) -> impl Strategy<Value = Vec<Op>> {
+        let ins =
+            (0..k, 0..cap, 0..k, 0..cap).prop_map(|(t1, j1, t2, j2)| Op::Insert(t1, j1, t2, j2));
+        let op = prop_oneof![3 => ins, 1 => (0usize..64).prop_map(Op::Delete)];
+        prop::collection::vec(op, 1..40)
+    }
+
+    /// Runs one script on a memoized and a memo-free index, checking
+    /// both against the dense fixpoint after every update. With
+    /// `forward_only`, targets are rewritten to `to.pos ≥ from.pos`, so
+    /// the index never holds a backward edge and the Dijkstra mode
+    /// (single-pop finalization + bounded early exit) is what answers;
+    /// otherwise backward edges force the chaotic-iteration fallback.
+    fn run_script(ops: &[Op], cap: u32, forward_only: bool) -> Result<(), TestCaseError> {
+        let mut memoized = Csst::new();
+        let mut bare = Csst::new();
+        bare.set_query_memo_capacity(0);
+        let mut planner = NaiveIndex::new();
+        let mut live: Vec<(NodeId, NodeId)> = Vec::new();
+        for &op in ops {
+            match op {
+                Op::Insert(t1, j1, t2, j2) => {
+                    if t1 == t2 {
+                        continue;
+                    }
+                    let j2 = if forward_only { j1 + 1 + j2 % 6 } else { j2 };
+                    let (u, v) = (NodeId::new(t1, j1), NodeId::new(t2, j2));
+                    if planner.reachable(v, u) {
+                        continue; // keep the relation acyclic
+                    }
+                    planner.insert_edge(u, v).unwrap();
+                    memoized.insert_edge(u, v).unwrap();
+                    bare.insert_edge(u, v).unwrap();
+                    live.push((u, v));
+                }
+                Op::Delete(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (u, v) = live.swap_remove(i % live.len());
+                    planner.delete_edge(u, v).unwrap();
+                    memoized.delete_edge(u, v).unwrap();
+                    bare.delete_edge(u, v).unwrap();
+                }
+            }
+            // Query in between every update, twice per node so the
+            // memo path (second call hits the cache) is exercised
+            // at every epoch.
+            let kk = memoized.chains();
+            for t1 in 0..kk {
+                for j1 in (0..cap).step_by(3) {
+                    for t2 in 0..kk {
+                        if t1 == t2 {
+                            continue;
+                        }
+                        let ds = memoized.dense_successor_raw(t1, j1, t2);
+                        let dp = memoized.dense_predecessor_raw(t1, j1, t2);
+                        for po in [&memoized, &bare] {
+                            prop_assert_eq!(po.successor_raw(t1, j1, t2), ds);
+                            prop_assert_eq!(po.predecessor_raw(t1, j1, t2), dp);
+                        }
+                        // The bound-aware reachable must agree with
+                        // the successor-derived default semantics.
+                        for j2 in (0..cap).step_by(4) {
+                            let u = NodeId::new(t1 as u32, j1);
+                            let v = NodeId::new(t2 as u32, j2);
+                            let expect = ds != INF && ds <= j2;
+                            prop_assert_eq!(memoized.reachable(u, v), expect);
+                            prop_assert_eq!(bare.reachable(u, v), expect);
+                        }
+                    }
+                }
+            }
+        }
+        if forward_only {
+            prop_assert_eq!(
+                memoized.backward_edges,
+                0,
+                "forward-only script grew a backward edge"
+            );
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn worklist_matches_dense_fixpoint(ops in scripts(5, 12)) {
+            run_script(&ops, 12, false)?;
+        }
+
+        #[test]
+        fn dijkstra_mode_matches_dense_fixpoint(ops in scripts(5, 12)) {
+            run_script(&ops, 12, true)?;
+        }
     }
 }

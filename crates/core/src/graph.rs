@@ -10,12 +10,28 @@
 //! The traversal exploits the chain structure the same way a careful
 //! implementation over an event graph would: it tracks, per chain, the
 //! earliest (resp. latest) position already known reachable and scans
-//! each edge at most once per query, i.e. `O(m + k)` per query.
+//! each edge at most once per query, i.e. `O(m + k)` per query. The
+//! per-chain tracking arrays are reusable scratch buffers (refreshed in
+//! `O(k)`, behind a `RefCell`), so steady-state queries allocate
+//! nothing.
 
 use crate::error::PoError;
 use crate::index::{NodeId, Pos, ThreadId, INF};
 use crate::reach::{Domain, PartialOrderIndex};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+/// Reusable per-query buffers of the chain-aware BFS: the
+/// earliest/latest known reachable position per chain, the already
+/// scanned range per chain, and the worklist of chains to expand.
+#[derive(Debug, Clone, Default)]
+struct TraversalScratch {
+    earliest: Vec<Pos>,
+    scanned_lo: Vec<Pos>,
+    latest: Vec<i64>,
+    scanned_hi: Vec<i64>,
+    work: Vec<usize>,
+}
 
 /// Plain graph representation of a chain-DAG partial order, supporting
 /// both insertions and deletions.
@@ -40,6 +56,7 @@ pub struct GraphIndex {
     /// Per target chain: target position → edge sources.
     inc: Vec<BTreeMap<Pos, Vec<NodeId>>>,
     edges: usize,
+    scratch: RefCell<TraversalScratch>,
 }
 
 fn remove_one(map: &mut BTreeMap<Pos, Vec<NodeId>>, key: Pos, value: NodeId) -> bool {
@@ -67,61 +84,75 @@ impl GraphIndex {
         self.edges
     }
 
-    /// Forward closure: earliest reachable position per chain.
-    fn forward_closure(&self, t1: usize, j1: Pos) -> Vec<Pos> {
-        let mut earliest = vec![INF; self.k()];
-        let mut scanned_lo = vec![INF; self.k()];
-        earliest[t1] = j1;
-        let mut work = vec![t1];
-        while let Some(t) = work.pop() {
-            let from = earliest[t];
-            let hi = scanned_lo[t];
+    /// Forward closure: earliest reachable position of chain `target`
+    /// ([`INF`] if unreachable). Runs in the reusable scratch.
+    fn forward_closure(&self, t1: usize, j1: Pos, target: usize) -> Pos {
+        let mut s = self.scratch.borrow_mut();
+        let s = &mut *s;
+        let k = self.k();
+        s.earliest.clear();
+        s.earliest.resize(k, INF);
+        s.scanned_lo.clear();
+        s.scanned_lo.resize(k, INF);
+        s.earliest[t1] = j1;
+        s.work.clear();
+        s.work.push(t1);
+        while let Some(t) = s.work.pop() {
+            let from = s.earliest[t];
+            let hi = s.scanned_lo[t];
             if from >= hi {
                 continue;
             }
-            scanned_lo[t] = from;
+            s.scanned_lo[t] = from;
             for (_, targets) in self.out[t].range(from..hi) {
                 for &w in targets {
                     let wt = w.thread.index();
-                    if w.pos < earliest[wt] {
-                        earliest[wt] = w.pos;
-                        if earliest[wt] < scanned_lo[wt] {
-                            work.push(wt);
+                    if w.pos < s.earliest[wt] {
+                        s.earliest[wt] = w.pos;
+                        if s.earliest[wt] < s.scanned_lo[wt] {
+                            s.work.push(wt);
                         }
                     }
                 }
             }
         }
-        earliest
+        s.earliest[target]
     }
 
-    /// Backward closure: latest position per chain that reaches the
-    /// query node (`-1` encodes "none").
-    fn backward_closure(&self, t1: usize, j1: Pos) -> Vec<i64> {
-        let mut latest = vec![-1i64; self.k()];
-        let mut scanned_hi = vec![-1i64; self.k()];
-        latest[t1] = j1 as i64;
-        let mut work = vec![t1];
-        while let Some(t) = work.pop() {
-            let upto = latest[t];
-            let lo = scanned_hi[t];
+    /// Backward closure: latest position of chain `target` that reaches
+    /// the query node (`-1` encodes "none"). Runs in the reusable
+    /// scratch.
+    fn backward_closure(&self, t1: usize, j1: Pos, target: usize) -> i64 {
+        let mut s = self.scratch.borrow_mut();
+        let s = &mut *s;
+        let k = self.k();
+        s.latest.clear();
+        s.latest.resize(k, -1i64);
+        s.scanned_hi.clear();
+        s.scanned_hi.resize(k, -1i64);
+        s.latest[t1] = j1 as i64;
+        s.work.clear();
+        s.work.push(t1);
+        while let Some(t) = s.work.pop() {
+            let upto = s.latest[t];
+            let lo = s.scanned_hi[t];
             if upto <= lo {
                 continue;
             }
-            scanned_hi[t] = upto;
+            s.scanned_hi[t] = upto;
             for (_, sources) in self.inc[t].range((lo + 1) as Pos..=upto as Pos) {
                 for &w in sources {
                     let wt = w.thread.index();
-                    if (w.pos as i64) > latest[wt] {
-                        latest[wt] = w.pos as i64;
-                        if latest[wt] > scanned_hi[wt] {
-                            work.push(wt);
+                    if (w.pos as i64) > s.latest[wt] {
+                        s.latest[wt] = w.pos as i64;
+                        if s.latest[wt] > s.scanned_hi[wt] {
+                            s.work.push(wt);
                         }
                     }
                 }
             }
         }
-        latest
+        s.latest[target]
     }
 }
 
@@ -189,7 +220,7 @@ impl PartialOrderIndex for GraphIndex {
         if from.thread.index() >= self.k() || to.thread.index() >= self.k() {
             return false;
         }
-        self.forward_closure(from.thread.index(), from.pos)[to.thread.index()] <= to.pos
+        self.forward_closure(from.thread.index(), from.pos, to.thread.index()) <= to.pos
     }
 
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
@@ -199,7 +230,7 @@ impl PartialOrderIndex for GraphIndex {
         if from.thread.index() >= self.k() || chain.index() >= self.k() {
             return None;
         }
-        match self.forward_closure(from.thread.index(), from.pos)[chain.index()] {
+        match self.forward_closure(from.thread.index(), from.pos, chain.index()) {
             INF => None,
             v => Some(v),
         }
@@ -212,7 +243,7 @@ impl PartialOrderIndex for GraphIndex {
         if from.thread.index() >= self.k() || chain.index() >= self.k() {
             return None;
         }
-        match self.backward_closure(from.thread.index(), from.pos)[chain.index()] {
+        match self.backward_closure(from.thread.index(), from.pos, chain.index()) {
             -1 => None,
             v => Some(v as Pos),
         }
@@ -237,7 +268,12 @@ impl PartialOrderIndex for GraphIndex {
                     .sum::<usize>()
             })
             .sum();
-        std::mem::size_of::<Self>() + self.dom.memory_bytes() + sides
+        let s = self.scratch.borrow();
+        let scratch = (s.earliest.capacity() + s.scanned_lo.capacity())
+            * std::mem::size_of::<Pos>()
+            + (s.latest.capacity() + s.scanned_hi.capacity()) * std::mem::size_of::<i64>()
+            + s.work.capacity() * std::mem::size_of::<usize>();
+        std::mem::size_of::<Self>() + self.dom.memory_bytes() + sides + scratch
     }
 }
 

@@ -3,10 +3,19 @@
 //! Most dynamic analyses only ever *insert* orderings. The incremental
 //! specialization stores **transitive** reachability in the per-pair
 //! suffix-minima arrays (Lemmas 5–6): each `insertEdge` performs a
-//! `O(k²)` closure over chain pairs, after which every query is a
-//! single suffix-minima operation. Compared to the fully dynamic
-//! variant this moves the `k` dependency from queries to updates while
-//! shaving a factor `k` (Theorem 2 vs Theorem 1).
+//! closure over chain pairs, after which every query is a single
+//! suffix-minima operation. Compared to the fully dynamic variant this
+//! moves the `k` dependency from queries to updates while shaving a
+//! factor `k` (Theorem 2 vs Theorem 1).
+//!
+//! The paper states the closure as a dense `O(k²)` sweep; the
+//! implementation walks only the **non-empty** chain pairs (the same
+//! sparsity idea as the fully dynamic worklist engine in
+//! [`crate::dynamic`]): a chain can contribute a predecessor of `from`
+//! only if some array *into* `from`'s chain is non-empty, and a
+//! successor of `to` only if some array *out of* `to`'s chain is. The
+//! frontier lists are reusable scratch buffers, so steady-state inserts
+//! allocate nothing.
 //!
 //! Despite storing transitive edges, the density of every array remains
 //! bounded by the cross-chain density `d` of the underlying graph
@@ -34,6 +43,20 @@ pub struct IncrementalPo<S> {
     /// `A_{t1}^{t2}`).
     arrays: PairMatrix<S>,
     edges: usize,
+    /// Stride of `pair_live` (kept equal to the matrix's `kslots`).
+    adj_stride: usize,
+    /// `pair_live[t1 * adj_stride + t2]`: array `A_{t1}^{t2}` has at
+    /// least one entry. Insert-only, so pairs never go dead again.
+    pair_live: Vec<bool>,
+    /// Per target chain `t2`: every `t1` with a live `A_{t1}^{t2}`.
+    src_adj: Vec<Vec<u32>>,
+    /// Per source chain `t1`: every `t2` with a live `A_{t1}^{t2}`.
+    tgt_adj: Vec<Vec<u32>>,
+    /// Reusable closure frontiers: `(chain, position)` lists of the
+    /// predecessors of `from` / successors of `to`, rebuilt per insert
+    /// without allocating.
+    preds_scratch: Vec<(u32, Pos)>,
+    succs_scratch: Vec<(u32, Pos)>,
 }
 
 /// The paper's incremental CSST: [`IncrementalPo`] over
@@ -74,6 +97,37 @@ impl<S: SuffixMinima> IncrementalPo<S> {
     fn predecessor_raw(&self, t1: usize, j1: Pos, t2: usize) -> Option<Pos> {
         self.arrays.get(t2, t1).argleq(j1).map(|p| p as Pos)
     }
+
+    /// Re-sizes the pair adjacency after the matrix grew (amortized
+    /// doubling, mirroring the matrix stride). No-op otherwise.
+    fn sync_adj(&mut self) {
+        let kslots = self.arrays.kslots();
+        if kslots <= self.adj_stride {
+            return;
+        }
+        let old = self.adj_stride;
+        let mut live = vec![false; kslots * kslots];
+        for (i, &l) in self.pair_live.iter().enumerate() {
+            if l {
+                live[(i / old) * kslots + (i % old)] = true;
+            }
+        }
+        self.pair_live = live;
+        self.src_adj.resize_with(kslots, Vec::new);
+        self.tgt_adj.resize_with(kslots, Vec::new);
+        self.adj_stride = kslots;
+    }
+
+    /// Records that `A_{t1}^{t2}` gained its first entry.
+    #[inline]
+    fn mark_pair(&mut self, t1: usize, t2: usize) {
+        let slot = &mut self.pair_live[t1 * self.adj_stride + t2];
+        if !*slot {
+            *slot = true;
+            self.src_adj[t2].push(t1 as u32);
+            self.tgt_adj[t1].push(t2 as u32);
+        }
+    }
 }
 
 impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
@@ -81,14 +135,28 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
         IncrementalPo {
             arrays: PairMatrix::new(),
             edges: 0,
+            adj_stride: 0,
+            pair_live: Vec::new(),
+            src_adj: Vec::new(),
+            tgt_adj: Vec::new(),
+            preds_scratch: Vec::new(),
+            succs_scratch: Vec::new(),
         }
     }
 
     fn with_capacity(chains: usize, chain_capacity: usize) -> Self {
-        IncrementalPo {
+        let mut po = IncrementalPo {
             arrays: PairMatrix::with_capacity(chains, chain_capacity),
             edges: 0,
-        }
+            adj_stride: 0,
+            pair_live: Vec::new(),
+            src_adj: Vec::new(),
+            tgt_adj: Vec::new(),
+            preds_scratch: Vec::new(),
+            succs_scratch: Vec::new(),
+        };
+        po.sync_adj();
+        po
     }
 
     fn name(&self) -> &'static str {
@@ -110,16 +178,27 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
 
     fn ensure_chain(&mut self, chain: ThreadId) {
         self.arrays.ensure_chain(chain);
+        self.sync_adj();
     }
 
     fn ensure_len(&mut self, chain: ThreadId, len: usize) {
         self.arrays.ensure_len(chain, len);
+        self.sync_adj();
     }
 
     /// Inserts `from → to` and closes the arrays transitively
     /// (Algorithm 3): for every chain pair `(t1', t2')`, the latest
     /// predecessor of `from` in `t1'` gets connected to the earliest
     /// successor of `to` in `t2'` unless a path already exists.
+    ///
+    /// The frontiers are computed over *live* pairs only — a chain can
+    /// hold a predecessor of `from` only if its array into `from`'s
+    /// chain is non-empty, and a successor of `to` only if `to`'s
+    /// chain has an array into it — and are built in reusable scratch
+    /// buffers, so the insert allocates nothing in steady state. The
+    /// relaxation set (and therefore every array state) is identical
+    /// to the dense sweep's: pairs it skips could only have produced
+    /// `None`/[`INF`] frontier entries, which the dense loop skips too.
     ///
     /// The caller must keep the relation acyclic (use
     /// [`PartialOrderIndex::insert_edge_checked`] when unsure); an
@@ -132,42 +211,44 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
     /// redundant entries get written, breaking the batch-equals-
     /// sequential contract the property tests pin.
     fn insert_edge_raw(&mut self, from: NodeId, to: NodeId) {
-        let k = self.k();
         let (t1, j1) = (from.thread.index(), from.pos);
         let (t2, j2) = (to.thread.index(), to.pos);
         // Pre-compute, from the pre-insert state, the frontier of
         // predecessors of `from` (lines 10–11) and successors of `to`
-        // (lines 12–13) in every chain.
-        let preds: Vec<Option<Pos>> = (0..k)
-            .map(|t| {
-                if t == t1 {
-                    Some(j1)
-                } else {
-                    self.predecessor_raw(t1, j1, t)
-                }
-            })
-            .collect();
-        let succs: Vec<Pos> = (0..k)
-            .map(|t| {
-                if t == t2 {
-                    j2
-                } else {
-                    self.successor_raw(t2, j2, t)
-                }
-            })
-            .collect();
-        for (tp1, pred) in preds.iter().enumerate() {
-            let Some(jp1) = *pred else { continue };
-            for (tp2, &jp2) in succs.iter().enumerate() {
-                if tp1 == tp2 || jp2 == INF {
+        // (lines 12–13), walking live pairs only.
+        let mut preds = std::mem::take(&mut self.preds_scratch);
+        preds.clear();
+        preds.push((t1 as u32, j1));
+        for &t in &self.src_adj[t1] {
+            if let Some(p) = self.arrays.get(t as usize, t1).argleq(j1) {
+                preds.push((t, p as Pos));
+            }
+        }
+        let mut succs = std::mem::take(&mut self.succs_scratch);
+        succs.clear();
+        succs.push((t2 as u32, j2));
+        for &t in &self.tgt_adj[t2] {
+            let v = self.arrays.get(t2, t as usize).suffix_min(j2 as usize);
+            if v != INF {
+                succs.push((t, v));
+            }
+        }
+        for &(tp1, jp1) in &preds {
+            let tp1 = tp1 as usize;
+            for &(tp2, jp2) in &succs {
+                let tp2 = tp2 as usize;
+                if tp1 == tp2 {
                     continue;
                 }
                 if self.successor_raw(tp1, jp1, tp2) > jp2 {
                     self.arrays.get_mut(tp1, tp2).update(jp1 as usize, jp2);
+                    self.mark_pair(tp1, tp2);
                 }
             }
         }
         self.edges += 1;
+        self.preds_scratch = preds;
+        self.succs_scratch = succs;
     }
 
     fn delete_edge_raw(&mut self, _from: NodeId, _to: NodeId) -> Result<(), PoError> {
@@ -204,7 +285,18 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.arrays.memory_bytes()
+        let adj = self.pair_live.capacity()
+            + self
+                .src_adj
+                .iter()
+                .chain(self.tgt_adj.iter())
+                .map(|a| {
+                    std::mem::size_of::<Vec<u32>>() + a.capacity() * std::mem::size_of::<u32>()
+                })
+                .sum::<usize>()
+            + (self.preds_scratch.capacity() + self.succs_scratch.capacity())
+                * std::mem::size_of::<(u32, Pos)>();
+        std::mem::size_of::<Self>() + self.arrays.memory_bytes() + adj
     }
 }
 

@@ -16,7 +16,11 @@
 //!
 //! * [`Csst`] — the paper's fully dynamic Collective Sparse Segment
 //!   Trees (Algorithm 2): `O(max(log δ, min(log n, d)))` updates and
-//!   `O(k³ min(log n, d))` queries, supporting edge deletion.
+//!   supports edge deletion. Queries run the paper's
+//!   `O(k³ min(log n, d))` crossing-path fixpoint as a sparse worklist
+//!   over the chain pairs that actually hold edges, with an
+//!   epoch-guarded memo for query bursts (see the module docs of
+//!   `dynamic`).
 //! * [`IncrementalCsst`] — the purely incremental specialization
 //!   (Algorithm 3): `O(k² min(log n, d))` inserts and
 //!   `O(min(log n, d))` queries.

@@ -286,6 +286,16 @@ pub trait PartialOrderIndex {
 
     /// `true` iff `from` reaches `to` through program order and inserted
     /// edges (reflexively: every node reaches itself).
+    ///
+    /// # Complexity
+    ///
+    /// The default delegates to [`successor`](Self::successor) and
+    /// inherits its cost. Representations override it when a bound
+    /// check is cheaper than the exact frontier: vector clocks answer
+    /// in `O(1)` (one clock entry), and the fully dynamic CSST's
+    /// worklist engine stops as soon as *any* crossing path lands at
+    /// or before `to` — or provably none can — rather than finding the
+    /// earliest one (see `csst_core::dynamic`).
     fn reachable(&self, from: NodeId, to: NodeId) -> bool {
         if from.thread == to.thread {
             return from.pos <= to.pos;
@@ -298,12 +308,37 @@ pub trait PartialOrderIndex {
     /// own chain this is `from.pos` (reflexivity). Querying nodes or
     /// chains beyond the witnessed domain is legal and treats them as
     /// unconnected.
+    ///
+    /// # Complexity
+    ///
+    /// Per representation (`k` chains, `n` events/chain, `m` edges,
+    /// `d` cross-chain density, `p` live chain pairs reached from
+    /// `from`):
+    ///
+    /// * fully dynamic CSSTs: `O(p·min(log n, d))` sparse-worklist
+    ///   propagation (`p ≤ k²`; the paper's dense bound is
+    ///   `O(k³·min(log n, d))`), amortized to `O(1)` for repeated
+    ///   sources between updates by the epoch memo;
+    /// * incremental CSSTs / STs: one suffix-minima query,
+    ///   `O(min(log n, d))` resp. `O(log n)`;
+    /// * VCs / aVCs: `O(log n)` binary search over materialized
+    ///   clock rows resp. anchors;
+    /// * Graphs: `O(m + k)` chain-aware traversal.
+    ///
+    /// All implementations answer without allocating in steady state.
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos>;
 
     /// Position of the latest node of `chain` that reaches `from`, or
     /// `None` if no node of that chain does. On `from`'s own chain this
     /// is `from.pos` (reflexivity). Querying nodes or chains beyond the
     /// witnessed domain is legal and treats them as unconnected.
+    ///
+    /// # Complexity
+    ///
+    /// The backward dual of [`successor`](Self::successor): identical
+    /// bounds per representation, with `argleq` taking the place of
+    /// the suffix-minimum (vector clocks answer from one clock entry,
+    /// `O(1)`).
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos>;
 
     /// Whether [`delete_edge`](Self::delete_edge) is supported.

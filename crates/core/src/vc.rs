@@ -35,6 +35,13 @@
 //! Neither variant supports deletion: a clock merges its inputs
 //! irreversibly, which is precisely why fully dynamic analyses cannot
 //! use VCs (§1.1).
+//!
+//! Query paths in both variants are **allocation-free** by
+//! construction (audited alongside the worklist query engine of
+//! [`DynamicPo`](crate::DynamicPo)): `reachable`/`predecessor` read one clock entry
+//! and `successor` binary-searches the materialized rows (dense) or
+//! anchors (anchored) in place. Only *updates* build owned clocks
+//! (`full_clock`), which is inherent to clock propagation.
 
 use crate::error::PoError;
 use crate::index::{NodeId, Pos, ThreadId};

@@ -621,6 +621,106 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// The worklist query engine: memoized and memo-free CSSTs against the
+// naive and graph oracles, with epochs rolling mid-script.
+// ---------------------------------------------------------------------------
+
+/// Runs one insert/delete script on a memoized CSST, a memo-disabled
+/// CSST, and both oracles, interleaving a query grid after every
+/// update. Every query is issued **twice** per index so the memoized
+/// one answers the repeat from its closure cache at that exact epoch —
+/// inserts and deletes in the script then genuinely roll the epoch
+/// between bursts. With `forward_only`, target positions are rewritten
+/// past their sources so the engine's Dijkstra mode (single-pop
+/// finalization, bounded early exit) answers; otherwise backward edges
+/// keep it on the chaotic-iteration fallback.
+fn run_query_engine_script(k: u32, cap: u32, ops: &[PoOp], forward_only: bool) {
+    let mut memoized = Csst::new();
+    let mut bare = Csst::new();
+    bare.set_query_memo_capacity(0);
+    let mut naive = NaiveIndex::new();
+    let mut graph = GraphIndex::new();
+    let mut live: Vec<(NodeId, NodeId)> = Vec::new();
+    for &op in ops {
+        match op {
+            PoOp::Insert(t1, j1, t2, j2) => {
+                let (t1, t2) = (t1 % k, t2 % k);
+                if t1 == t2 {
+                    continue;
+                }
+                let j2 = if forward_only { j1 + 1 + j2 % 5 } else { j2 };
+                let (u, v) = (NodeId::new(t1, j1), NodeId::new(t2, j2));
+                if naive.reachable(v, u) {
+                    continue; // keep the relation acyclic
+                }
+                for po in [&mut memoized, &mut bare] {
+                    po.insert_edge(u, v).unwrap();
+                }
+                naive.insert_edge(u, v).unwrap();
+                graph.insert_edge(u, v).unwrap();
+                live.push((u, v));
+            }
+            PoOp::Delete(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (u, v) = live.swap_remove(i % live.len());
+                for po in [&mut memoized, &mut bare] {
+                    po.delete_edge(u, v).unwrap();
+                }
+                naive.delete_edge(u, v).unwrap();
+                graph.delete_edge(u, v).unwrap();
+            }
+        }
+        for t1 in 0..k {
+            for j1 in (0..cap).step_by(3) {
+                let u = NodeId::new(t1, j1);
+                for t2 in 0..=k {
+                    let c = ThreadId(t2);
+                    let exp_s = naive.successor(u, c);
+                    let exp_p = naive.predecessor(u, c);
+                    assert_eq!(graph.successor(u, c), exp_s, "graph successor({u}, {c})");
+                    assert_eq!(graph.predecessor(u, c), exp_p);
+                    for _ in 0..2 {
+                        assert_eq!(memoized.successor(u, c), exp_s, "memo successor({u}, {c})");
+                        assert_eq!(bare.successor(u, c), exp_s, "bare successor({u}, {c})");
+                        assert_eq!(memoized.predecessor(u, c), exp_p);
+                        assert_eq!(bare.predecessor(u, c), exp_p);
+                    }
+                    let v = NodeId::new(t2, (j1 * 7 + t2) % cap);
+                    let exp_r = naive.reachable(u, v);
+                    assert_eq!(graph.reachable(u, v), exp_r);
+                    for _ in 0..2 {
+                        assert_eq!(memoized.reachable(u, v), exp_r, "memo reachable({u}, {v})");
+                        assert_eq!(bare.reachable(u, v), exp_r);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn query_engine_matches_oracles_with_and_without_memo(
+        k in 2u32..5,
+        ops in po_ops(5, 12, true)
+    ) {
+        run_query_engine_script(k, 12, &ops, false);
+    }
+
+    #[test]
+    fn query_engine_dijkstra_mode_matches_oracles(
+        k in 2u32..5,
+        ops in po_ops(5, 12, true)
+    ) {
+        run_query_engine_script(k, 12, &ops, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Batched insertion: insert_edges(batch) == sequential insert_edge.
 // ---------------------------------------------------------------------------
 

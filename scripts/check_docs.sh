@@ -2,8 +2,9 @@
 # Checks the markdown "book" (docs/ARCHITECTURE.md, README.md) for rot:
 # every relative link must point at an existing file, and every
 # intra-document #anchor must match a real heading (GitHub slug rules).
-# Also validates the checked-in perf baseline (BENCH_PR4.json):
-# parseable JSON with the expected schema, keys, and coverage.
+# Also validates the checked-in perf baselines (BENCH_PR4.json and
+# BENCH_PR5.json): parseable JSON with the expected schema, keys, and
+# coverage.
 # Run from the repository root; CI runs it as a dedicated step.
 set -euo pipefail
 
@@ -67,14 +68,25 @@ for path in FILES:
 
 import json
 
-BENCH = "BENCH_PR4.json"
 ROW_KEYS = {
     "workload", "representation", "display", "supported", "ops",
     "elapsed_ns", "ops_per_sec", "memory_bytes_peak", "memory_bytes_final",
 }
-if not os.path.exists(BENCH):
-    errors.append(f"{BENCH}: perf baseline missing (run scripts/bench.sh)")
-else:
+BASE_WORKLOADS = ("streaming_insert", "bulk_delete", "delete_churn",
+                  "query_mix")
+# BENCH_PR4.json is the frozen PR 4 baseline scripts/bench.sh --compare
+# diffs against; BENCH_PR5.json is the current trajectory and must also
+# cover the query-engine sweeps added in PR 5.
+BENCHES = [
+    ("BENCH_PR4.json", BASE_WORKLOADS),
+    ("BENCH_PR5.json", BASE_WORKLOADS + (
+        "query_k4", "query_k16", "query_k64",
+        "query_update_r1", "query_update_r16", "query_update_r256")),
+]
+for BENCH, wanted_workloads in BENCHES:
+    if not os.path.exists(BENCH):
+        errors.append(f"{BENCH}: perf baseline missing (run scripts/bench.sh)")
+        continue
     try:
         bench = json.load(open(BENCH, encoding="utf-8"))
         if bench.get("schema") != "csst-bench/v1":
@@ -94,8 +106,7 @@ else:
             if want not in reprs:
                 errors.append(f"{BENCH}: representation `{want}` absent")
         workloads = {r.get("workload") for r in rows}
-        for want in ("streaming_insert", "bulk_delete", "delete_churn",
-                     "query_mix"):
+        for want in wanted_workloads:
             if want not in workloads:
                 errors.append(f"{BENCH}: workload `{want}` absent")
     except json.JSONDecodeError as e:
@@ -106,5 +117,5 @@ if errors:
     for e in errors:
         print(f"  {e}", file=sys.stderr)
     sys.exit(1)
-print(f"docs OK: {', '.join(FILES)} + {BENCH}")
+print(f"docs OK: {', '.join(FILES)} + " + ", ".join(b for b, _ in BENCHES))
 EOF
