@@ -527,15 +527,71 @@ impl<P: PartialOrderIndex> PartialOrderIndex for WindowIndex<'_, P> {
     fn successor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
         let p = self.po.successor(self.to_global(from), chain)?;
         let off = self.offset(chain);
-        debug_assert!(p >= off, "successor escaped the live window");
-        Some(p.saturating_sub(off))
+        // A pre-window answer names a retired event the view cannot
+        // represent; report "no in-window successor" instead of
+        // clamping to local position 0 (which would alias a live
+        // event). Stale base-order edges can produce these in release
+        // builds where the old `debug_assert` compiled away.
+        if p < off {
+            return None;
+        }
+        Some(p - off)
     }
 
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos> {
         let p = self.po.predecessor(self.to_global(from), chain)?;
         let off = self.offset(chain);
-        debug_assert!(p >= off, "predecessor escaped the live window");
-        Some(p.saturating_sub(off))
+        // Same retired-position guard as `successor`: clamping a
+        // pre-window predecessor to 0 would fabricate an ordering from
+        // a live event that does not have one.
+        if p < off {
+            return None;
+        }
+        Some(p - off)
+    }
+
+    fn reachable_batch(&self, probes: &[(NodeId, NodeId)], out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(probes.len(), false);
+        let mut fwd = Vec::with_capacity(probes.len());
+        let mut idx = Vec::with_capacity(probes.len());
+        for (i, &(from, to)) in probes.iter().enumerate() {
+            if from.thread == to.thread {
+                out[i] = from.pos <= to.pos;
+            } else {
+                fwd.push((self.to_global(from), self.to_global(to)));
+                idx.push(i);
+            }
+        }
+        let mut inner = Vec::new();
+        self.po.reachable_batch(&fwd, &mut inner);
+        for (&i, v) in idx.iter().zip(inner) {
+            out[i] = v;
+        }
+    }
+
+    fn successor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        let fwd: Vec<(NodeId, ThreadId)> = probes
+            .iter()
+            .map(|&(from, chain)| (self.to_global(from), chain))
+            .collect();
+        self.po.successor_batch(&fwd, out);
+        for (o, &(_, chain)) in out.iter_mut().zip(probes) {
+            let off = self.offset(chain);
+            *o = o.filter(|&p| p >= off).map(|p| p - off);
+        }
+    }
+
+    fn predecessor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        let fwd: Vec<(NodeId, ThreadId)> = probes
+            .iter()
+            .map(|&(from, chain)| (self.to_global(from), chain))
+            .collect();
+        self.po.predecessor_batch(&fwd, out);
+        for (o, &(_, chain)) in out.iter_mut().zip(probes) {
+            let off = self.offset(chain);
+            *o = o.filter(|&p| p >= off).map(|p| p - off);
+        }
     }
 
     fn supports_deletion(&self) -> bool {
@@ -685,6 +741,27 @@ impl<P: PartialOrderIndex> PartialOrderIndex for CountingIndex<P> {
         self.inner.predecessor(from, chain)
     }
 
+    fn reachable_batch(&self, probes: &[(NodeId, NodeId)], out: &mut Vec<bool>) {
+        self.counters
+            .reachables
+            .set(self.counters.reachables.get() + probes.len() as u64);
+        self.inner.reachable_batch(probes, out)
+    }
+
+    fn successor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        self.counters
+            .successors
+            .set(self.counters.successors.get() + probes.len() as u64);
+        self.inner.successor_batch(probes, out)
+    }
+
+    fn predecessor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        self.counters
+            .predecessors
+            .set(self.counters.predecessors.get() + probes.len() as u64);
+        self.inner.predecessor_batch(probes, out)
+    }
+
     fn supports_deletion(&self) -> bool {
         self.inner.supports_deletion()
     }
@@ -759,5 +836,70 @@ mod tests {
         assert_eq!(c.queries(), 3);
         assert_eq!(po.name(), "CSSTs");
         assert!(po.supports_deletion());
+    }
+
+    #[test]
+    fn counting_index_counts_batches() {
+        let mut po: CountingIndex<Csst> = CountingIndex::with_capacity(2, 10);
+        po.insert_edge(NodeId::new(0, 0), NodeId::new(1, 1))
+            .unwrap();
+        let reach = [(NodeId::new(0, 0), NodeId::new(1, 5)); 3];
+        let node = [(NodeId::new(0, 0), ThreadId(1)); 4];
+        let (mut r, mut s, mut p) = (vec![], vec![], vec![]);
+        po.reachable_batch(&reach, &mut r);
+        po.successor_batch(&node, &mut s);
+        po.predecessor_batch(&node, &mut p);
+        assert_eq!(po.counters().reachables.get(), 3);
+        assert_eq!(po.counters().successors.get(), 4);
+        assert_eq!(po.counters().predecessors.get(), 4);
+        assert_eq!(po.counters().queries(), 11);
+    }
+
+    #[test]
+    fn window_index_hides_retired_answers() {
+        // Global picture: chain 0's first 3 positions are retired;
+        // stale base-order edges still land on them.
+        let mut po = Csst::with_capacity(2, 16);
+        po.insert_edge(NodeId::new(0, 1), NodeId::new(1, 5))
+            .unwrap(); // both ends pre-window on chain 0
+        po.insert_edge(NodeId::new(1, 2), NodeId::new(0, 3))
+            .unwrap(); // lands exactly on the boundary
+        let retired = vec![3, 0];
+        let mut edges = vec![];
+        let win = WindowIndex {
+            po: &mut po,
+            retired: &retired,
+            window_edges: &mut edges,
+        };
+        // The latest chain-0 predecessor of ⟨1,5⟩ is the retired ⟨0,1⟩:
+        // the view must report None, not clamp to live local 0.
+        assert_eq!(win.predecessor(NodeId::new(1, 5), ThreadId(0)), None);
+        // The earliest chain-0 successor of ⟨1,2⟩ is global 3 == the
+        // offset: first live position, local 0.
+        assert_eq!(win.successor(NodeId::new(1, 2), ThreadId(0)), Some(0));
+        // Batched answers agree with the sequential ones, including the
+        // retired→None translation.
+        let node_probes = [
+            (NodeId::new(1, 5), ThreadId(0)),
+            (NodeId::new(1, 2), ThreadId(0)),
+            (NodeId::new(1, 1), ThreadId(1)),
+        ];
+        let (mut s, mut p) = (vec![], vec![]);
+        win.successor_batch(&node_probes, &mut s);
+        win.predecessor_batch(&node_probes, &mut p);
+        for (i, &(u, c)) in node_probes.iter().enumerate() {
+            assert_eq!(s[i], win.successor(u, c), "successor probe {i}");
+            assert_eq!(p[i], win.predecessor(u, c), "predecessor probe {i}");
+        }
+        let reach_probes = [
+            (NodeId::new(1, 2), NodeId::new(0, 0)),
+            (NodeId::new(0, 0), NodeId::new(1, 5)),
+            (NodeId::new(1, 1), NodeId::new(1, 4)),
+        ];
+        let mut r = vec![];
+        win.reachable_batch(&reach_probes, &mut r);
+        for (i, &(u, v)) in reach_probes.iter().enumerate() {
+            assert_eq!(r[i], win.reachable(u, v), "reachable probe {i}");
+        }
     }
 }

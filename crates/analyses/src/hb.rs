@@ -80,6 +80,11 @@ pub struct HbDetector<P> {
     vars: HashMap<VarId, VarState>,
     races: Vec<(NodeId, NodeId)>,
     sync_edges: usize,
+    /// Scratch for the write-case frontier check: the last write plus
+    /// every thread's last read, probed in one
+    /// [`reachable_batch`](PartialOrderIndex::reachable_batch) call.
+    probe_buf: Vec<(NodeId, NodeId)>,
+    reach_buf: Vec<bool>,
 }
 
 impl<P: PartialOrderIndex> HbDetector<P> {
@@ -103,6 +108,8 @@ impl<P: PartialOrderIndex> Analysis for HbDetector<P> {
             vars: HashMap::new(),
             races: Vec::new(),
             sync_edges: 0,
+            probe_buf: Vec::new(),
+            reach_buf: Vec::new(),
         }
     }
 
@@ -163,14 +170,26 @@ impl<P: PartialOrderIndex> Analysis for HbDetector<P> {
                     last_write: None,
                     last_read: Vec::new(),
                 });
+                // The write conflicts with the whole access frontier
+                // (last write + last read of every thread); probe it in
+                // one batched sweep so closure-based indexes amortize
+                // the propagation from shared sources.
+                self.probe_buf.clear();
                 if let Some(w) = st.last_write {
-                    if w.thread != thread && !self.hb.reachable(w, id) {
-                        self.races.push((w, id));
+                    if w.thread != thread {
+                        self.probe_buf.push((w, id));
                     }
                 }
                 for r in st.last_read.iter().flatten() {
-                    if r.thread != thread && !self.hb.reachable(*r, id) {
-                        self.races.push((*r, id));
+                    if r.thread != thread {
+                        self.probe_buf.push((*r, id));
+                    }
+                }
+                self.hb
+                    .reachable_batch(&self.probe_buf, &mut self.reach_buf);
+                for (&(src, _), &ordered) in self.probe_buf.iter().zip(&self.reach_buf) {
+                    if !ordered {
+                        self.races.push((src, id));
                     }
                 }
                 st.last_write = Some(id);

@@ -132,17 +132,38 @@ impl<P: PartialOrderIndex> MemBugPredictor<P> {
         let mut objs: Vec<(&ObjId, &Life)> = lives.iter().collect();
         objs.sort_unstable_by_key(|(o, _)| **o);
 
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut probes: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut ordered: Vec<bool> = Vec::new();
         'outer: for (&obj, life) in objs {
-            // Use-after-free: use vs free co-enabled.
+            // Use-after-free: use vs free co-enabled. Cross-thread
+            // pairs are enumerated up front so the ordered-pair filter
+            // can prefetch both reachability directions per chunk
+            // through the batched API (one closure sweep per chunk
+            // instead of two probes per pair).
+            pairs.clear();
             for &f in &life.frees {
                 for &u in &life.uses {
+                    if u.thread != f.thread {
+                        pairs.push((u, f)); // cross-thread: PO can't decide
+                    }
+                }
+            }
+            for chunk in pairs.chunks(64) {
+                if self.candidates >= self.cfg.max_candidates {
+                    break 'outer;
+                }
+                probes.clear();
+                for &(u, f) in chunk {
+                    probes.push((u, f));
+                    probes.push((f, u));
+                }
+                win.reachable_batch(&probes, &mut ordered);
+                for (ci, &(u, f)) in chunk.iter().enumerate() {
                     if self.candidates >= self.cfg.max_candidates {
                         break 'outer;
                     }
-                    if u.thread == f.thread {
-                        continue; // program order decides
-                    }
-                    if win.reachable(u, f) || win.reachable(f, u) {
+                    if ordered[2 * ci] || ordered[2 * ci + 1] {
                         continue;
                     }
                     if common_lock(trace, u, f) {

@@ -133,19 +133,38 @@ impl<P: PartialOrderIndex> RacePredictor<P> {
             }
         }
 
-        for (e1, e2) in candidates {
+        // The ordered-pair filter needs both directions per candidate;
+        // prefetch them in chunks through the batched API so the base
+        // order answers 128 probes per closure sweep instead of two.
+        // The cap counts only pairs that reach the witness check, so
+        // prefetching reachability (a pure query) cannot change which
+        // candidates are examined.
+        let mut probes: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut ordered: Vec<bool> = Vec::new();
+        'chunks: for chunk in candidates.chunks(64) {
             if self.candidates >= self.cfg.max_candidates {
                 break;
             }
-            if win.reachable(e1, e2) || win.reachable(e2, e1) {
-                continue; // ordered: not a candidate
+            probes.clear();
+            for &(e1, e2) in chunk {
+                probes.push((e1, e2));
+                probes.push((e2, e1));
             }
-            if common_lock(trace, e1, e2) {
-                continue; // protected: cannot be co-enabled
-            }
-            self.candidates += 1;
-            if witness_co_enabled::<P>(&ctx, &self.cfg.saturation, &[e1, e2]) {
-                self.races.push((win.to_global(e1), win.to_global(e2)));
+            win.reachable_batch(&probes, &mut ordered);
+            for (ci, &(e1, e2)) in chunk.iter().enumerate() {
+                if self.candidates >= self.cfg.max_candidates {
+                    break 'chunks;
+                }
+                if ordered[2 * ci] || ordered[2 * ci + 1] {
+                    continue; // ordered: not a candidate
+                }
+                if common_lock(trace, e1, e2) {
+                    continue; // protected: cannot be co-enabled
+                }
+                self.candidates += 1;
+                if witness_co_enabled::<P>(&ctx, &self.cfg.saturation, &[e1, e2]) {
+                    self.races.push((win.to_global(e1), win.to_global(e2)));
+                }
             }
         }
     }

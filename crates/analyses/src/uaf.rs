@@ -126,30 +126,61 @@ impl<P: PartialOrderIndex> UafGenerator<P> {
         let mut objs: Vec<(&ObjId, &Life)> = lives.iter().collect();
         objs.sort_unstable_by_key(|(o, _)| **o);
 
+        // This phase is query-dominated (the paper's Table 5 point), so
+        // all of it goes through the batched API: reachability pruning
+        // prefetches both directions per chunk, and the surviving
+        // pairs' 2k-per-pair predecessor frontiers are fetched in one
+        // batch per chunk.
         let k = trace.num_threads();
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut probes: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut ordered: Vec<bool> = Vec::new();
+        let mut pred_probes: Vec<(NodeId, ThreadId)> = Vec::new();
+        let mut preds = Vec::new();
+        let mut survivors: Vec<usize> = Vec::new();
         for (&obj, life) in objs {
+            pairs.clear();
             for &f in &life.frees {
                 for &u in &life.uses {
-                    if u.thread == f.thread || win.reachable(u, f) || win.reachable(f, u) {
+                    if u.thread == f.thread {
+                        self.pruned += 1; // program order decides
+                    } else {
+                        pairs.push((u, f));
+                    }
+                }
+            }
+            for chunk in pairs.chunks(64) {
+                probes.clear();
+                for &(u, f) in chunk {
+                    probes.push((u, f));
+                    probes.push((f, u));
+                }
+                win.reachable_batch(&probes, &mut ordered);
+                // Constraint counting: the encoding relates the
+                // per-thread frontiers of the two events — for every
+                // thread, the latest event that must precede `u` and
+                // the latest that must precede `f` (predecessor
+                // queries), each becoming an ordering constraint.
+                pred_probes.clear();
+                survivors.clear();
+                for (ci, &(u, f)) in chunk.iter().enumerate() {
+                    if ordered[2 * ci] || ordered[2 * ci + 1] {
                         self.pruned += 1;
                         continue;
                     }
-                    // Constraint counting: the encoding relates the
-                    // per-thread frontiers of the two events — for
-                    // every thread, the latest event that must precede
-                    // `u` and the latest that must precede `f`
-                    // (predecessor queries), each becoming an ordering
-                    // constraint.
-                    let mut constraints = 0usize;
+                    survivors.push(ci);
                     for t in 0..k {
-                        let tid = ThreadId(t as u32);
-                        if win.predecessor(u, tid).is_some() {
-                            constraints += 1;
-                        }
-                        if win.predecessor(f, tid).is_some() {
-                            constraints += 1;
-                        }
+                        pred_probes.push((u, ThreadId(t as u32)));
+                        pred_probes.push((f, ThreadId(t as u32)));
                     }
+                }
+                win.predecessor_batch(&pred_probes, &mut preds);
+                for (si, &ci) in survivors.iter().enumerate() {
+                    let (u, f) = chunk[ci];
+                    let constraints = preds[si * 2 * k..(si + 1) * 2 * k]
+                        .iter()
+                        .filter(|p| p.is_some())
+                        .count();
                     self.total_constraints += constraints;
                     self.candidates.push(UafCandidate {
                         obj,

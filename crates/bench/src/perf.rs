@@ -2,12 +2,18 @@
 //!
 //! Runs the hot-path workloads of the criterion suites (streaming
 //! inserts, bulk deletion, per-event sliding retirement, query mix,
-//! the chain-count sweep `query_k{4,16,64}`, and the query/update
-//! ratio sweep `query_update_r{1,16,256}`) over every partial-order
+//! the chain-count sweep `query_k{4,16,64}`, the query/update
+//! ratio sweep `query_update_r{1,16,256}`, and the batch-size sweep
+//! `query_batch{1,16,256}`) over every partial-order
 //! representation and reports ops/sec plus peak
 //! [`memory_bytes`](csst_core::PartialOrderIndex::memory_bytes)
-//! per representation × workload. The machine-readable JSON this
-//! module emits (`BENCH_PR5.json` via `scripts/bench.sh`) is the perf
+//! per representation × workload. The chain-count sweep issues its
+//! probes through the batched query API (`reachable_batch` and
+//! friends) — the hot path the analyses use — while the batch-size
+//! sweep varies the probes-per-call count to expose the amortization
+//! curve from per-call overhead (`query_batch1`) to full group sweeps
+//! (`query_batch256`). The machine-readable JSON this
+//! module emits (`BENCH_PR6.json` via `scripts/bench.sh`) is the perf
 //! trajectory future PRs are compared against
 //! (`scripts/bench.sh --compare OLD.json NEW.json` diffs two runs and
 //! fails on regressions).
@@ -333,9 +339,15 @@ fn run_query_mix<P: PartialOrderIndex>(
 
 /// One point of the chain-count sweep (`query_k{4,16,64}`): the
 /// `query_mix` probe pattern extended with predecessor probes, over a
-/// smaller edge set prefilled on `k` chains. Dense segment trees are
-/// excluded (reported unsupported): their `O(k²·n)` storage at the
-/// k = 64 point would swamp the harness without saying anything new.
+/// smaller edge set prefilled on `k` chains. The probes go through the
+/// batched query API — split by kind (the historical `i % 3` cycling)
+/// into one `reachable_batch`, one `successor_batch`, and one
+/// `predecessor_batch` call — matching how the analyses issue their
+/// per-event probe sets and letting closure-based structures amortize
+/// one group sweep per source chain across the whole stream. Dense
+/// segment trees are excluded (reported unsupported): their
+/// `O(k²·n)` storage at the k = 64 point would swamp the harness
+/// without saying anything new.
 fn run_query_sweep<P: PartialOrderIndex>(
     cfg: &BenchCfg,
     repr: &'static str,
@@ -363,16 +375,83 @@ fn run_query_sweep<P: PartialOrderIndex>(
             )
         })
         .collect();
-    let mut hits = 0usize;
-    let start = Instant::now();
+    let mut reach: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut succ: Vec<(NodeId, csst_core::ThreadId)> = Vec::new();
+    let mut pred: Vec<(NodeId, csst_core::ThreadId)> = Vec::new();
     for (i, &(u, v)) in probes.iter().enumerate() {
-        let got = match i % 3 {
-            0 => po.reachable(u, v),
-            1 => po.successor(u, v.thread).is_some(),
-            _ => po.predecessor(u, v.thread).is_some(),
-        };
-        if got {
-            hits += 1;
+        match i % 3 {
+            0 => reach.push((u, v)),
+            1 => succ.push((u, v.thread)),
+            _ => pred.push((u, v.thread)),
+        }
+    }
+    let (mut r_out, mut s_out, mut p_out) = (Vec::new(), Vec::new(), Vec::new());
+    let start = Instant::now();
+    po.reachable_batch(&reach, &mut r_out);
+    po.successor_batch(&succ, &mut s_out);
+    po.predecessor_batch(&pred, &mut p_out);
+    let elapsed = start.elapsed().as_nanos();
+    let hits = r_out.iter().filter(|&&b| b).count()
+        + s_out.iter().flatten().count()
+        + p_out.iter().flatten().count();
+    std::hint::black_box(hits);
+    let fin = po.memory_bytes();
+    measurement(workload, repr, display, probes.len(), elapsed, fin, fin)
+}
+
+/// One point of the batch-size sweep (`query_batch{1,16,256}`): the
+/// chain-count sweep's probe stream at the default `k`, issued through
+/// the batched API in calls of exactly `batch` probes (cycling the
+/// query kind per call). `query_batch1` is the per-call overhead floor
+/// — every probe pays worklist setup alone, like the sequential API —
+/// while `query_batch256` realizes the full group-sweep amortization.
+fn run_query_batch<P: PartialOrderIndex>(
+    cfg: &BenchCfg,
+    repr: &'static str,
+    display: &'static str,
+    batch: usize,
+    workload: &'static str,
+) -> Measurement {
+    let edges = streaming_edges(cfg.k, cfg.sweep_inserts, cfg.gap, 0xBA7C);
+    let mut po = P::with_capacity(cfg.k as usize, cfg.sweep_inserts + cfg.gap as usize);
+    for &(u, v) in &edges {
+        po.insert_edge(u, v).expect("sweep edge is valid");
+    }
+    let span = (cfg.sweep_inserts + cfg.gap as usize) as u32;
+    let mut rng = SmallRng::seed_from_u64(0xBA7C ^ batch as u64);
+    let probes: Vec<(NodeId, NodeId)> = (0..cfg.sweep_queries)
+        .map(|_| {
+            let t1 = rng.gen_range(0..cfg.k);
+            let t2 = rng.gen_range(0..cfg.k);
+            (
+                NodeId::new(t1, rng.gen_range(0..span)),
+                NodeId::new(t2, rng.gen_range(0..span)),
+            )
+        })
+        .collect();
+    let node_probes: Vec<(NodeId, csst_core::ThreadId)> =
+        probes.iter().map(|&(u, v)| (u, v.thread)).collect();
+    let mut hits = 0usize;
+    let (mut r_out, mut n_out) = (Vec::new(), Vec::new());
+    let start = Instant::now();
+    for (ci, (rc, nc)) in probes
+        .chunks(batch)
+        .zip(node_probes.chunks(batch))
+        .enumerate()
+    {
+        match ci % 3 {
+            0 => {
+                po.reachable_batch(rc, &mut r_out);
+                hits += r_out.iter().filter(|&&b| b).count();
+            }
+            1 => {
+                po.successor_batch(nc, &mut n_out);
+                hits += n_out.iter().flatten().count();
+            }
+            _ => {
+                po.predecessor_batch(nc, &mut n_out);
+                hits += n_out.iter().flatten().count();
+            }
         }
     }
     let elapsed = start.elapsed().as_nanos();
@@ -487,6 +566,17 @@ pub fn run(cfg: &BenchCfg) -> Vec<Measurement> {
         eprintln!("# bench: {name} (1 insert per {r} queries)…");
         out.extend(all_reprs!(run_query_update, r, name));
     }
+    for (b, name) in [
+        (1usize, "query_batch1"),
+        (16, "query_batch16"),
+        (256, "query_batch256"),
+    ] {
+        eprintln!(
+            "# bench: {name} ({} probes in calls of {b})…",
+            cfg.sweep_queries
+        );
+        out.extend(all_reprs!(run_query_batch, b, name));
+    }
     out
 }
 
@@ -596,8 +686,8 @@ mod tests {
             smoke: true,
         };
         let ms = run(&cfg);
-        // 10 workloads × 6 representations.
-        assert_eq!(ms.len(), 60);
+        // 13 workloads × 6 representations.
+        assert_eq!(ms.len(), 78);
         for m in &ms {
             if m.supported {
                 assert!(
@@ -620,6 +710,9 @@ mod tests {
             "query_update_r1",
             "query_update_r16",
             "query_update_r256",
+            "query_batch1",
+            "query_batch16",
+            "query_batch256",
         ] {
             assert!(
                 ms.iter().any(|m| m.workload == name && m.supported),

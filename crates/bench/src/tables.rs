@@ -202,6 +202,7 @@ pub fn table3(scale: f64) -> Table {
             remote_free_frac: 0.5,
             locks: 3,
             seed: 0xA110C ^ name.len() as u64,
+            max_events: None,
         });
         let cfg = membug::MemBugCfg {
             max_candidates: 12,
@@ -355,6 +356,7 @@ pub fn table5(scale: f64) -> Table {
             remote_free_frac: 0.6,
             locks: 3,
             seed: 0x0F0 ^ name.len() as u64,
+            max_events: None,
         });
         let cfg = uaf::UafCfg::default();
         let (rep_csst, t_csst) = timed(|| uaf::generate::<IncrementalCsst>(&trace, &cfg));

@@ -88,7 +88,15 @@ impl GraphIndex {
     /// ([`INF`] if unreachable). Runs in the reusable scratch.
     fn forward_closure(&self, t1: usize, j1: Pos, target: usize) -> Pos {
         let mut s = self.scratch.borrow_mut();
-        let s = &mut *s;
+        self.run_forward(&mut s, t1, j1);
+        s.earliest[target]
+    }
+
+    /// The forward traversal behind [`forward_closure`]
+    /// (Self::forward_closure), leaving the full `earliest` row in the
+    /// scratch so batched queries can answer every probe of one source
+    /// from a single walk.
+    fn run_forward(&self, s: &mut TraversalScratch, t1: usize, j1: Pos) {
         let k = self.k();
         s.earliest.clear();
         s.earliest.resize(k, INF);
@@ -116,7 +124,6 @@ impl GraphIndex {
                 }
             }
         }
-        s.earliest[target]
     }
 
     /// Backward closure: latest position of chain `target` that reaches
@@ -124,7 +131,12 @@ impl GraphIndex {
     /// scratch.
     fn backward_closure(&self, t1: usize, j1: Pos, target: usize) -> i64 {
         let mut s = self.scratch.borrow_mut();
-        let s = &mut *s;
+        self.run_backward(&mut s, t1, j1);
+        s.latest[target]
+    }
+
+    /// The backward dual of [`run_forward`](Self::run_forward).
+    fn run_backward(&self, s: &mut TraversalScratch, t1: usize, j1: Pos) {
         let k = self.k();
         s.latest.clear();
         s.latest.resize(k, -1i64);
@@ -152,7 +164,30 @@ impl GraphIndex {
                 }
             }
         }
-        s.latest[target]
+    }
+
+    /// Nontrivial probes as `(t1, j1, probe index)` sorted by source
+    /// node, so the batched overrides walk each distinct source once.
+    /// Trivial probes (same chain, unwitnessed chains) are answered
+    /// into `out` by `trivial` immediately.
+    fn batch_order<P: Copy>(
+        &self,
+        probes: &[P],
+        source: impl Fn(P) -> (ThreadId, Pos, ThreadId),
+        mut trivial: impl FnMut(usize, P),
+    ) -> Vec<(u32, Pos, u32)> {
+        let k = self.k();
+        let mut work = Vec::new();
+        for (i, &p) in probes.iter().enumerate() {
+            let (from, pos, target) = source(p);
+            if from == target || from.index() >= k || target.index() >= k {
+                trivial(i, p);
+            } else {
+                work.push((from.0, pos, i as u32));
+            }
+        }
+        work.sort_unstable_by_key(|&(t1, j1, _)| (t1, j1));
+        work
     }
 }
 
@@ -249,6 +284,86 @@ impl PartialOrderIndex for GraphIndex {
         }
     }
 
+    /// Batched reachability: probes are sorted by source node and every
+    /// probe sharing a source is answered from one traversal's
+    /// `earliest` row — the `O(m + k)` walk is paid per distinct source
+    /// instead of per probe.
+    fn reachable_batch(&self, probes: &[(NodeId, NodeId)], out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(probes.len(), false);
+        let work = self.batch_order(
+            probes,
+            |(from, to)| (from.thread, from.pos, to.thread),
+            |i, (from, to): (NodeId, NodeId)| {
+                if from.thread == to.thread {
+                    out[i] = from.pos <= to.pos;
+                }
+            },
+        );
+        let mut s = self.scratch.borrow_mut();
+        let mut src = None;
+        for &(t1, j1, i) in &work {
+            if src != Some((t1, j1)) {
+                src = Some((t1, j1));
+                self.run_forward(&mut s, t1 as usize, j1);
+            }
+            let to = probes[i as usize].1;
+            out[i as usize] = s.earliest[to.thread.index()] <= to.pos;
+        }
+    }
+
+    /// Batched successor queries; see
+    /// [`reachable_batch`](Self::reachable_batch) for the grouping.
+    fn successor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        out.clear();
+        out.resize(probes.len(), None);
+        let work = self.batch_order(
+            probes,
+            |(from, chain)| (from.thread, from.pos, chain),
+            |i, (from, chain): (NodeId, ThreadId)| {
+                if from.thread == chain {
+                    out[i] = Some(from.pos);
+                }
+            },
+        );
+        let mut s = self.scratch.borrow_mut();
+        let mut src = None;
+        for &(t1, j1, i) in &work {
+            if src != Some((t1, j1)) {
+                src = Some((t1, j1));
+                self.run_forward(&mut s, t1 as usize, j1);
+            }
+            let v = s.earliest[probes[i as usize].1.index()];
+            out[i as usize] = (v != INF).then_some(v);
+        }
+    }
+
+    /// Batched predecessor queries over the backward traversal; see
+    /// [`reachable_batch`](Self::reachable_batch) for the grouping.
+    fn predecessor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        out.clear();
+        out.resize(probes.len(), None);
+        let work = self.batch_order(
+            probes,
+            |(from, chain)| (from.thread, from.pos, chain),
+            |i, (from, chain): (NodeId, ThreadId)| {
+                if from.thread == chain {
+                    out[i] = Some(from.pos);
+                }
+            },
+        );
+        let mut s = self.scratch.borrow_mut();
+        let mut src = None;
+        for &(t1, j1, i) in &work {
+            if src != Some((t1, j1)) {
+                src = Some((t1, j1));
+                self.run_backward(&mut s, t1 as usize, j1);
+            }
+            let v = s.latest[probes[i as usize].1.index()];
+            out[i as usize] = (v != -1).then_some(v as Pos);
+        }
+    }
+
     fn supports_deletion(&self) -> bool {
         true
     }
@@ -339,6 +454,36 @@ mod tests {
         assert_eq!(g.successor(n(1, 15), ThreadId(1)), Some(15));
         assert_eq!(g.predecessor(n(1, 50), ThreadId(0)), Some(40));
         assert_eq!(g.predecessor(n(0, 35), ThreadId(1)), Some(20));
+    }
+
+    #[test]
+    fn batched_matches_sequential() {
+        let mut g = GraphIndex::new();
+        g.insert_edge(n(0, 10), n(1, 10)).unwrap();
+        g.insert_edge(n(1, 20), n(0, 30)).unwrap();
+        g.insert_edge(n(0, 40), n(1, 50)).unwrap();
+        g.insert_edge(n(1, 5), n(2, 8)).unwrap();
+        let mut node_probes = Vec::new();
+        let mut reach_probes = Vec::new();
+        for t1 in 0..4u32 {
+            for j1 in [0, 5, 10, 25, 41] {
+                for t2 in 0..4u32 {
+                    node_probes.push((n(t1, j1), ThreadId(t2)));
+                    reach_probes.push((n(t1, j1), n(t2, 30)));
+                }
+            }
+        }
+        let (mut bs, mut bp, mut br) = (Vec::new(), Vec::new(), Vec::new());
+        g.successor_batch(&node_probes, &mut bs);
+        g.predecessor_batch(&node_probes, &mut bp);
+        g.reachable_batch(&reach_probes, &mut br);
+        for (i, &(u, c)) in node_probes.iter().enumerate() {
+            assert_eq!(bs[i], g.successor(u, c), "successor {u} → {c}");
+            assert_eq!(bp[i], g.predecessor(u, c), "predecessor {u} → {c}");
+        }
+        for (i, &(u, v)) in reach_probes.iter().enumerate() {
+            assert_eq!(br[i], g.reachable(u, v), "reachable {u} → {v}");
+        }
     }
 
     #[test]

@@ -98,6 +98,31 @@ impl<S: SuffixMinima> IncrementalPo<S> {
         self.arrays.get(t2, t1).argleq(j1).map(|p| p as Pos)
     }
 
+    /// Classifies a probe slice for the batched query overrides:
+    /// same-chain and unwitnessed probes are answered inline through
+    /// `trivial`, the rest come back as `(t1, t2, probe index)` sorted
+    /// by chain pair so consecutive lookups hit the same suffix-minima
+    /// array.
+    fn pair_order<P: Copy>(
+        &self,
+        probes: &[P],
+        chains: impl Fn(P) -> (usize, usize),
+        mut trivial: impl FnMut(usize, P),
+    ) -> Vec<(u32, u32, u32)> {
+        let k = self.k();
+        let mut work = Vec::new();
+        for (i, &p) in probes.iter().enumerate() {
+            let (t1, t2) = chains(p);
+            if t1 == t2 || t1 >= k || t2 >= k {
+                trivial(i, p);
+            } else {
+                work.push((t1 as u32, t2 as u32, i as u32));
+            }
+        }
+        work.sort_unstable_by_key(|&(t1, t2, _)| (t1, t2));
+        work
+    }
+
     /// Re-sizes the pair adjacency after the matrix grew (amortized
     /// doubling, mirroring the matrix stride). No-op otherwise.
     fn sync_adj(&mut self) {
@@ -284,6 +309,73 @@ impl<S: SuffixMinima> PartialOrderIndex for IncrementalPo<S> {
         self.predecessor_raw(t1, from.pos, t2)
     }
 
+    /// Batched reachability. Each probe is already a single
+    /// `O(log p)` suffix-minima lookup here (the closure is maintained
+    /// eagerly on insert), so unlike [`DynamicPo`](crate::DynamicPo)
+    /// there is no shared propagation to amortize; the override
+    /// answers trivial probes inline and groups the rest by chain pair
+    /// so consecutive lookups walk the same array.
+    fn reachable_batch(&self, probes: &[(NodeId, NodeId)], out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(probes.len(), false);
+        let work = self.pair_order(
+            probes,
+            |(from, to)| (from.thread.index(), to.thread.index()),
+            |i, (from, to)| {
+                if from.thread == to.thread {
+                    out[i] = from.pos <= to.pos;
+                }
+            },
+        );
+        for &(t1, t2, i) in &work {
+            let (from, to) = probes[i as usize];
+            out[i as usize] = self.successor_raw(t1 as usize, from.pos, t2 as usize) <= to.pos;
+        }
+    }
+
+    /// Batched successor probes; same locality-only story as
+    /// [`reachable_batch`](Self::reachable_batch).
+    fn successor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        out.clear();
+        out.resize(probes.len(), None);
+        let work = self.pair_order(
+            probes,
+            |(from, chain)| (from.thread.index(), chain.index()),
+            |i, (from, chain)| {
+                if from.thread == chain {
+                    out[i] = Some(from.pos);
+                }
+            },
+        );
+        for &(t1, t2, i) in &work {
+            let (from, _) = probes[i as usize];
+            out[i as usize] = match self.successor_raw(t1 as usize, from.pos, t2 as usize) {
+                INF => None,
+                v => Some(v),
+            };
+        }
+    }
+
+    /// Batched predecessor probes; same locality-only story as
+    /// [`reachable_batch`](Self::reachable_batch).
+    fn predecessor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        out.clear();
+        out.resize(probes.len(), None);
+        let work = self.pair_order(
+            probes,
+            |(from, chain)| (from.thread.index(), chain.index()),
+            |i, (from, chain)| {
+                if from.thread == chain {
+                    out[i] = Some(from.pos);
+                }
+            },
+        );
+        for &(t1, t2, i) in &work {
+            let (from, _) = probes[i as usize];
+            out[i as usize] = self.predecessor_raw(t1 as usize, from.pos, t2 as usize);
+        }
+    }
+
     fn memory_bytes(&self) -> usize {
         let adj = self.pair_live.capacity()
             + self
@@ -415,6 +507,42 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn batched_matches_sequential() {
+        let mut po = IncrementalCsst::with_capacity(4, 30);
+        for (u, v) in [
+            (n(0, 5), n(1, 7)),
+            (n(1, 8), n(2, 2)),
+            (n(2, 9), n(3, 1)),
+            (n(3, 3), n(0, 20)),
+            (n(0, 25), n(2, 29)),
+        ] {
+            po.insert_edge(u, v).unwrap();
+        }
+        let mut reach_probes = vec![];
+        let mut node_probes = vec![];
+        for t1 in 0..5u32 {
+            // t = 4 exercises the unwitnessed-chain path
+            for i in [0u32, 5, 9, 26] {
+                for t2 in 0..5u32 {
+                    reach_probes.push((n(t1, i), n(t2, i + 2)));
+                    node_probes.push((n(t1, i), ThreadId(t2)));
+                }
+            }
+        }
+        let (mut r, mut s, mut p) = (vec![], vec![], vec![]);
+        po.reachable_batch(&reach_probes, &mut r);
+        po.successor_batch(&node_probes, &mut s);
+        po.predecessor_batch(&node_probes, &mut p);
+        for (i, &(u, v)) in reach_probes.iter().enumerate() {
+            assert_eq!(r[i], po.reachable(u, v), "reachable probe {i}");
+        }
+        for (i, &(u, c)) in node_probes.iter().enumerate() {
+            assert_eq!(s[i], po.successor(u, c), "successor probe {i}");
+            assert_eq!(p[i], po.predecessor(u, c), "predecessor probe {i}");
         }
     }
 

@@ -34,7 +34,7 @@
 //! [`insert_edge_checked`]: PartialOrderIndex::insert_edge_checked
 
 use crate::error::PoError;
-use crate::index::{NodeId, Pos, ThreadId, MAX_CHAINS, MAX_POS};
+use crate::index::{NodeId, Pos, ThreadId, MAX_BITSET_CHAINS, MAX_CHAINS, MAX_POS};
 
 /// A dynamic-reachability index over a growable chain DAG.
 ///
@@ -341,6 +341,111 @@ pub trait PartialOrderIndex {
     /// `O(1)`).
     fn predecessor(&self, from: NodeId, chain: ThreadId) -> Option<Pos>;
 
+    /// Answers a batch of [`reachable`](Self::reachable) probes,
+    /// appending one `bool` per probe to `out` (in probe order, after
+    /// clearing `out`).
+    ///
+    /// Semantically identical to issuing every probe through
+    /// `reachable` — the property tests pin batched == sequential for
+    /// every representation. Structures whose per-probe query performs
+    /// a closure override this to *group probes by source chain* and
+    /// answer a whole group from one amortized sweep (the fully
+    /// dynamic CSSTs share one worklist pass, the graph baseline one
+    /// traversal, per distinct source node).
+    ///
+    /// The out-parameter style keeps the hot path allocation-lean:
+    /// callers reuse one `Vec` across batches.
+    ///
+    /// ```
+    /// use csst_core::{Csst, NodeId, PartialOrderIndex};
+    /// # fn main() -> Result<(), csst_core::PoError> {
+    /// let mut po = Csst::new();
+    /// po.insert_edge(NodeId::new(0, 3), NodeId::new(1, 4))?;
+    /// let probes = [
+    ///     (NodeId::new(0, 0), NodeId::new(1, 9)),
+    ///     (NodeId::new(0, 4), NodeId::new(1, 9)),
+    ///     (NodeId::new(0, 1), NodeId::new(0, 2)),
+    /// ];
+    /// let mut out = Vec::new();
+    /// po.reachable_batch(&probes, &mut out);
+    /// assert_eq!(out, vec![true, false, true]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn reachable_batch(&self, probes: &[(NodeId, NodeId)], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(probes.len());
+        out.extend(probes.iter().map(|&(from, to)| self.reachable(from, to)));
+    }
+
+    /// Answers a batch of [`successor`](Self::successor) probes,
+    /// appending one `Option<Pos>` per probe to `out` (in probe order,
+    /// after clearing `out`).
+    ///
+    /// Same contract and amortization story as
+    /// [`reachable_batch`](Self::reachable_batch): batched answers are
+    /// identical to per-probe answers, and closure-based structures
+    /// share one propagation per distinct source across the batch.
+    ///
+    /// ```
+    /// use csst_core::{Csst, NodeId, PartialOrderIndex, ThreadId};
+    /// # fn main() -> Result<(), csst_core::PoError> {
+    /// let mut po = Csst::new();
+    /// po.insert_edge(NodeId::new(0, 3), NodeId::new(1, 4))?;
+    /// let probes = [
+    ///     (NodeId::new(0, 0), ThreadId(1)),
+    ///     (NodeId::new(0, 4), ThreadId(1)),
+    ///     (NodeId::new(0, 7), ThreadId(0)), // own chain: reflexive
+    /// ];
+    /// let mut out = Vec::new();
+    /// po.successor_batch(&probes, &mut out);
+    /// assert_eq!(out, vec![Some(4), None, Some(7)]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn successor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        out.clear();
+        out.reserve(probes.len());
+        out.extend(
+            probes
+                .iter()
+                .map(|&(from, chain)| self.successor(from, chain)),
+        );
+    }
+
+    /// Answers a batch of [`predecessor`](Self::predecessor) probes,
+    /// appending one `Option<Pos>` per probe to `out` (in probe order,
+    /// after clearing `out`).
+    ///
+    /// The backward dual of
+    /// [`successor_batch`](Self::successor_batch), with the same
+    /// batched == sequential contract.
+    ///
+    /// ```
+    /// use csst_core::{Csst, NodeId, PartialOrderIndex, ThreadId};
+    /// # fn main() -> Result<(), csst_core::PoError> {
+    /// let mut po = Csst::new();
+    /// po.insert_edge(NodeId::new(0, 3), NodeId::new(1, 4))?;
+    /// let probes = [
+    ///     (NodeId::new(1, 9), ThreadId(0)),
+    ///     (NodeId::new(1, 2), ThreadId(0)),
+    /// ];
+    /// let mut out = Vec::new();
+    /// po.predecessor_batch(&probes, &mut out);
+    /// assert_eq!(out, vec![Some(3), None]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn predecessor_batch(&self, probes: &[(NodeId, ThreadId)], out: &mut Vec<Option<Pos>>) {
+        out.clear();
+        out.reserve(probes.len());
+        out.extend(
+            probes
+                .iter()
+                .map(|&(from, chain)| self.predecessor(from, chain)),
+        );
+    }
+
     /// Whether [`delete_edge`](Self::delete_edge) is supported.
     fn supports_deletion(&self) -> bool {
         false
@@ -377,6 +482,61 @@ pub trait PartialOrderIndex {
             return Err(PoError::SameChain { from, to });
         }
         Ok(())
+    }
+}
+
+/// A closure frontier over at most [`MAX_BITSET_CHAINS`] chains packed
+/// into one `u64` word: bit `t` set ⇔ chain `t` is queued for
+/// relaxation.
+///
+/// The query engines keep their worklist in this word whenever
+/// `k ≤ 64` (every workload the paper evaluates) — membership updates
+/// are single bit operations and draining iterates set bits via
+/// `trailing_zeros`, with no per-chain stamp arrays to touch. Larger
+/// domains fall back to the stamped scratch lists.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct BitFrontier(u64);
+
+impl BitFrontier {
+    /// Empties the frontier.
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Queues chain `t` (idempotent).
+    #[inline]
+    pub(crate) fn insert(&mut self, t: usize) {
+        debug_assert!(t < MAX_BITSET_CHAINS);
+        self.0 |= 1u64 << t;
+    }
+
+    /// Unqueues chain `t` (idempotent).
+    #[inline]
+    pub(crate) fn remove(&mut self, t: usize) {
+        debug_assert!(t < MAX_BITSET_CHAINS);
+        self.0 &= !(1u64 << t);
+    }
+
+    /// `true` when no chain is queued.
+    #[inline]
+    #[cfg(test)]
+    pub(crate) fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the queued chains in ascending order.
+    #[inline]
+    pub(crate) fn iter(self) -> impl Iterator<Item = usize> {
+        let mut word = self.0;
+        std::iter::from_fn(move || {
+            if word == 0 {
+                return None;
+            }
+            let t = word.trailing_zeros() as usize;
+            word &= word - 1;
+            Some(t)
+        })
     }
 }
 
@@ -514,5 +674,26 @@ mod tests {
         for t in 0..4u32 {
             assert_eq!(d.chain_len(ThreadId(t)), 0);
         }
+    }
+
+    #[test]
+    fn bit_frontier_set_semantics() {
+        let mut f = BitFrontier::default();
+        assert!(f.is_empty());
+        f.insert(0);
+        f.insert(63);
+        f.insert(17);
+        f.insert(17); // idempotent
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![0, 17, 63]);
+        f.remove(17);
+        f.remove(5); // absent: no-op
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![0, 63]);
+        f.remove(0);
+        f.remove(63);
+        assert!(f.is_empty());
+        f.insert(3);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.iter().count(), 0);
     }
 }

@@ -26,7 +26,11 @@
 //! so neither structural churn nor block formation touches the global
 //! allocator. Every query and update walks the tree iteratively, and
 //! the min-heap invariant *value(parent) ≤ value(descendants)*
-//! underpins the early stopping of both queries.
+//! underpins the early stopping of both queries. Child links are a
+//! two-element slot array and descents select the slot arithmetically
+//! from the range compare (branchless binary search), so the hot walks
+//! are straight-line index chases the branch predictor never has to
+//! guess.
 
 use crate::index::{Pos, INF};
 use crate::suffix::SuffixMinima;
@@ -50,8 +54,11 @@ struct Node {
     /// Value of the entry stored at this node (for block nodes: the
     /// cached minimum).
     min: Pos,
-    left: u32,
-    right: u32,
+    /// Child links: slot 0 covers the lower half of the range, slot 1
+    /// the upper. Descents compute the slot arithmetically
+    /// (`usize::from(i > mid)`) and index this array, so the hot
+    /// search loops carry no data-dependent branch on the compare.
+    children: [u32; 2],
     /// Block-arena handle of the flattened subarray for block nodes
     /// ([`NIL`] for ordinary nodes). The extent's length is the node's
     /// range size `end - start + 1`.
@@ -72,6 +79,13 @@ impl Node {
     #[inline]
     fn is_block(&self) -> bool {
         self.block != NIL
+    }
+
+    /// The child slot whose half-range contains `i` (0 = lower half,
+    /// 1 = upper): the branchless descent step.
+    #[inline]
+    fn slot_of(&self, i: Pos) -> usize {
+        usize::from(i > self.mid())
     }
 
     #[inline]
@@ -230,7 +244,7 @@ impl SparseSegmentTree {
                 return 0;
             }
             let n = &sst.nodes[nd as usize];
-            1 + rec(sst, n.left).max(rec(sst, n.right))
+            1 + rec(sst, n.children[0]).max(rec(sst, n.children[1]))
         }
         rec(self, self.root)
     }
@@ -288,13 +302,13 @@ impl SparseSegmentTree {
                 }
                 let (bv, bp) = best.expect("live block node must be non-empty");
                 assert_eq!((n.min, n.pos), (bv, bp), "stale block cache");
-                assert!(n.left == NIL && n.right == NIL, "block node with children");
+                assert!(n.children == [NIL; 2], "block node with children");
                 return;
             }
             assert!(n.contains(n.pos), "entry index outside node range");
             assert!(seen.insert(n.pos), "index {} stored twice", n.pos);
             let mid = n.mid();
-            for (child, is_left) in [(n.left, true), (n.right, false)] {
+            for (child, is_left) in [(n.children[0], true), (n.children[1], false)] {
                 if child == NIL {
                     continue;
                 }
@@ -357,7 +371,7 @@ impl SparseSegmentTree {
             if n.pos == target {
                 return n.min;
             }
-            nd = if target <= n.mid() { n.left } else { n.right };
+            nd = n.children[n.slot_of(target)];
         }
         INF
     }
@@ -381,8 +395,8 @@ impl SparseSegmentTree {
                 continue;
             }
             out.push((n.pos as usize, n.min));
-            stack.push(n.left);
-            stack.push(n.right);
+            stack.push(n.children[0]);
+            stack.push(n.children[1]);
         }
         out
     }
@@ -423,22 +437,19 @@ impl SparseSegmentTree {
             end: pos,
             pos,
             min: v,
-            left: NIL,
-            right: NIL,
+            children: [NIL; 2],
             block: NIL,
         })
     }
 
-    /// Repoints the link through which `nd` was reached: the matching
-    /// child field of `parent`, or the root when `parent` is `NIL`.
+    /// Repoints the link through which `nd` was reached: child `slot`
+    /// of `parent`, or the root when `parent` is `NIL`.
     #[inline]
-    fn relink(&mut self, parent: u32, went_left: bool, child: u32) {
+    fn relink(&mut self, parent: u32, slot: usize, child: u32) {
         if parent == NIL {
             self.root = child;
-        } else if went_left {
-            self.nodes[parent as usize].left = child;
         } else {
-            self.nodes[parent as usize].right = child;
+            self.nodes[parent as usize].children[slot] = child;
         }
     }
 
@@ -470,7 +481,7 @@ impl SparseSegmentTree {
                 self.block_write(cur, pos, v);
                 return;
             }
-            let (go_left, child) = {
+            let (slot, child) = {
                 let n = &mut self.nodes[cur as usize];
                 debug_assert!(
                     n.pos != pos,
@@ -480,12 +491,12 @@ impl SparseSegmentTree {
                     std::mem::swap(&mut n.min, &mut v);
                     std::mem::swap(&mut n.pos, &mut pos);
                 }
-                let go_left = pos <= n.mid();
-                (go_left, if go_left { n.left } else { n.right })
+                let slot = n.slot_of(pos);
+                (slot, n.children[slot])
             };
             if child == NIL {
                 let leaf = self.new_leaf(pos, v);
-                self.relink(cur, go_left, leaf);
+                self.relink(cur, slot, leaf);
                 return;
             }
             if self.nodes[child as usize].contains(pos) {
@@ -493,7 +504,7 @@ impl SparseSegmentTree {
                 continue;
             }
             let joined = self.join_lca(child, pos, v);
-            self.relink(cur, go_left, joined);
+            self.relink(cur, slot, joined);
             return;
         }
     }
@@ -515,8 +526,7 @@ impl SparseSegmentTree {
                 end: ne,
                 pos: INF,
                 min: INF,
-                left: NIL,
-                right: NIL,
+                children: [NIL; 2],
                 block: extent,
             });
             self.flatten_into(child, block_idx);
@@ -524,7 +534,7 @@ impl SparseSegmentTree {
             return block_idx;
         }
         let mid = ns + (ne - ns) / 2;
-        let child_left = cs <= mid;
+        let child_slot = usize::from(cs > mid);
         let (cv, cp) = {
             let c = &self.nodes[child as usize];
             (c.min, c.pos)
@@ -532,39 +542,31 @@ impl SparseSegmentTree {
         if better(v, pos, cv, cp) {
             // New entry claims the LCA node; the existing subtree hangs
             // below unchanged.
-            let mut node = Node {
+            let mut children = [NIL; 2];
+            children[child_slot] = child;
+            self.alloc(Node {
                 start: ns,
                 end: ne,
                 pos,
                 min: v,
-                left: NIL,
-                right: NIL,
+                children,
                 block: NIL,
-            };
-            if child_left {
-                node.left = child;
-            } else {
-                node.right = child;
-            }
-            self.alloc(node)
+            })
         } else {
             // The existing subtree's top entry moves up to the LCA node
             // (preserving the heap invariant); the new entry becomes a
             // fresh leaf on the opposite side.
             let new_child = self.remove_top(child);
             let leaf = self.new_leaf(pos, v);
-            let (l, r) = if child_left {
-                (new_child, leaf)
-            } else {
-                (leaf, new_child)
-            };
+            let mut children = [NIL; 2];
+            children[child_slot] = new_child;
+            children[1 - child_slot] = leaf;
             self.alloc(Node {
                 start: ns,
                 end: ne,
                 pos: cp,
                 min: cv,
-                left: l,
-                right: r,
+                children,
                 block: NIL,
             })
         }
@@ -581,7 +583,7 @@ impl SparseSegmentTree {
                 continue;
             }
             let n = &self.nodes[nd as usize];
-            let (left, right) = (n.left, n.right);
+            let kids = n.children;
             if n.is_block() {
                 let (src, len, sub_start) = (n.block, n.block_len(), n.start);
                 for off in 0..len {
@@ -594,8 +596,8 @@ impl SparseSegmentTree {
                 let (p, v) = (n.pos, n.min);
                 self.block_set_raw(block_idx, p, v);
             }
-            stack.push(left);
-            stack.push(right);
+            stack.push(kids[0]);
+            stack.push(kids[1]);
             self.release(nd);
         }
     }
@@ -658,29 +660,26 @@ impl SparseSegmentTree {
         if self.nodes[nd as usize].is_block() {
             return self.block_remove_top(nd);
         }
-        let (mut left, mut right) = {
-            let n = &self.nodes[nd as usize];
-            (n.left, n.right)
-        };
-        if left == NIL && right == NIL {
+        let mut kids = self.nodes[nd as usize].children;
+        if kids == [NIL; 2] {
             self.release(nd);
             return NIL;
         }
         let mut cur = nd;
         loop {
-            let pick_left = match (left, right) {
-                (l, NIL) => {
+            let pick_slot = match kids {
+                [l, NIL] => {
                     debug_assert_ne!(l, NIL);
-                    true
+                    0
                 }
-                (NIL, _) => false,
-                (l, r) => {
+                [NIL, _] => 1,
+                [l, r] => {
                     let ln = &self.nodes[l as usize];
                     let rn = &self.nodes[r as usize];
-                    better(ln.min, ln.pos, rn.min, rn.pos)
+                    usize::from(!better(ln.min, ln.pos, rn.min, rn.pos))
                 }
             };
-            let pick = if pick_left { left } else { right };
+            let pick = kids[pick_slot];
             // Promote the child's entry into `cur`…
             let (pv, pp) = {
                 let p = &self.nodes[pick as usize];
@@ -692,21 +691,17 @@ impl SparseSegmentTree {
             // …then remove that entry from the child's subtree.
             if self.nodes[pick as usize].is_block() {
                 let sub = self.block_remove_top(pick);
-                self.relink(cur, pick_left, sub);
+                self.relink(cur, pick_slot, sub);
                 return nd;
             }
-            let (pl, pr) = {
-                let p = &self.nodes[pick as usize];
-                (p.left, p.right)
-            };
-            if pl == NIL && pr == NIL {
+            let pk = self.nodes[pick as usize].children;
+            if pk == [NIL; 2] {
                 self.release(pick);
-                self.relink(cur, pick_left, NIL);
+                self.relink(cur, pick_slot, NIL);
                 return nd;
             }
             cur = pick;
-            left = pl;
-            right = pr;
+            kids = pk;
         }
     }
 
@@ -729,7 +724,7 @@ impl SparseSegmentTree {
     /// iteratively; returns whether an entry was removed.
     fn erase(&mut self, i: Pos) -> bool {
         let mut parent = NIL;
-        let mut went_left = false;
+        let mut slot = 0usize;
         let mut nd = self.root;
         loop {
             if nd == NIL {
@@ -749,19 +744,19 @@ impl SparseSegmentTree {
                     self.block_recache(nd);
                     if self.nodes[nd as usize].min == INF {
                         self.release(nd);
-                        self.relink(parent, went_left, NIL);
+                        self.relink(parent, slot, NIL);
                     }
                 }
                 return true;
             }
             if n.pos == i {
                 let sub = self.remove_top(nd);
-                self.relink(parent, went_left, sub);
+                self.relink(parent, slot, sub);
                 return true;
             }
-            went_left = i <= n.mid();
+            slot = n.slot_of(i);
             parent = nd;
-            nd = if went_left { n.left } else { n.right };
+            nd = n.children[slot];
         }
     }
 
@@ -790,14 +785,14 @@ impl SparseSegmentTree {
                 best = best.min(cells[lo as usize..].iter().copied().min().unwrap_or(INF));
                 break;
             }
-            if i <= n.mid() {
-                if n.right != NIL {
-                    best = best.min(self.nodes[n.right as usize].min);
-                }
-                nd = n.left;
-            } else {
-                nd = n.right;
+            let slot = n.slot_of(i);
+            if slot == 0 && n.children[1] != NIL {
+                // The upper half lies entirely in the suffix: its
+                // cached minimum is its subtree's answer by the heap
+                // invariant.
+                best = best.min(self.nodes[n.children[1] as usize].min);
             }
+            nd = n.children[slot];
         }
         best
     }
@@ -828,26 +823,24 @@ impl SparseSegmentTree {
                 break;
             }
             best = Some(best.map_or(n.pos, |b| b.max(n.pos)));
-            let left_end = if n.left == NIL {
-                None
-            } else {
-                Some(self.nodes[n.left as usize].end)
-            };
-            let right_end = if n.right == NIL {
-                None
-            } else {
-                Some(self.nodes[n.right as usize].end)
-            };
+            let ends = n.children.map(|c| {
+                if c == NIL {
+                    None
+                } else {
+                    Some(self.nodes[c as usize].end)
+                }
+            });
             // Line 29: no child range extends past our own entry's
             // index, so nothing below can improve the answer.
-            if left_end.is_none_or(|e| n.pos >= e) && right_end.is_none_or(|e| n.pos >= e) {
+            if ends.iter().all(|end| end.is_none_or(|e| n.pos >= e)) {
                 break;
             }
-            if n.right != NIL && self.nodes[n.right as usize].min <= v {
-                nd = n.right;
+            let right = n.children[1];
+            nd = if right != NIL && self.nodes[right as usize].min <= v {
+                right
             } else {
-                nd = n.left;
-            }
+                n.children[0]
+            };
         }
         best
     }

@@ -169,6 +169,50 @@ fn po_ops(k: u32, cap: u32, deletions: bool) -> impl Strategy<Value = Vec<PoOp>>
     prop::collection::vec(op, 1..60)
 }
 
+/// Issues the oracle scripts' query grid through the batched API and
+/// asserts every answer equals the sequential one — the batched ==
+/// sequential contract on the exact probe mix the scripts use,
+/// including unwitnessed chains (`t = k`).
+fn assert_batched_matches_sequential<P: PartialOrderIndex>(po: &P, k: u32, cap: u32) {
+    let mut node_probes: Vec<(NodeId, ThreadId)> = Vec::new();
+    let mut reach_probes: Vec<(NodeId, NodeId)> = Vec::new();
+    for t1 in 0..=k {
+        for j1 in (0..cap).step_by(3) {
+            let u = NodeId::new(t1, j1);
+            for t2 in 0..=k {
+                node_probes.push((u, ThreadId(t2)));
+                reach_probes.push((u, NodeId::new(t2, (j1 * 7 + t2) % cap)));
+            }
+        }
+    }
+    let (mut s, mut p, mut r) = (Vec::new(), Vec::new(), Vec::new());
+    po.successor_batch(&node_probes, &mut s);
+    po.predecessor_batch(&node_probes, &mut p);
+    po.reachable_batch(&reach_probes, &mut r);
+    for (i, &(u, c)) in node_probes.iter().enumerate() {
+        assert_eq!(
+            s[i],
+            po.successor(u, c),
+            "{}: batched successor({u}, {c})",
+            po.name()
+        );
+        assert_eq!(
+            p[i],
+            po.predecessor(u, c),
+            "{}: batched predecessor({u}, {c})",
+            po.name()
+        );
+    }
+    for (i, &(u, v)) in reach_probes.iter().enumerate() {
+        assert_eq!(
+            r[i],
+            po.reachable(u, v),
+            "{}: batched reachable({u}, {v})",
+            po.name()
+        );
+    }
+}
+
 /// Applies ops to the structure under test and the oracle, checking all
 /// queries after every step on a subsampled grid.
 fn run_po_against_oracle<P: PartialOrderIndex>(k: u32, cap: u32, ops: &[PoOp]) {
@@ -232,6 +276,7 @@ fn run_po_against_oracle<P: PartialOrderIndex>(k: u32, cap: u32, ops: &[PoOp]) {
                 }
             }
         }
+        assert_batched_matches_sequential(&sut, k, cap);
     }
 }
 
@@ -697,6 +742,52 @@ fn run_query_engine_script(k: u32, cap: u32, ops: &[PoOp], forward_only: bool) {
                 }
             }
         }
+        // The same grid through the batched sweeps, with the memo both
+        // hot (memoized, just warmed by the sequential queries above)
+        // and disabled (bare).
+        assert_batched_matches_sequential(&memoized, k, cap);
+        assert_batched_matches_sequential(&bare, k, cap);
+        assert_batched_matches_sequential(&graph, k, cap);
+    }
+}
+
+/// Exercises the batched sweeps beyond the bitset frontier width: with
+/// `k > MAX_BITSET_CHAINS` the worklist takes the stamped-list fallback
+/// path. Edges are applied in `insert_edges` bursts so query epochs
+/// roll mid-script and the hot-source memo refresh runs between
+/// checkpoints.
+fn run_wide_k_batched_script(k: u32, cap: u32, ops: &[PoOp]) {
+    let mut po = Csst::new();
+    let mut naive = NaiveIndex::new();
+    let mut burst: Vec<(NodeId, NodeId)> = Vec::new();
+    for chunk in ops.chunks(5) {
+        burst.clear();
+        for &op in chunk {
+            let PoOp::Insert(t1, j1, t2, j2) = op else {
+                continue;
+            };
+            let (t1, t2) = (t1 % k, t2 % k);
+            if t1 == t2 {
+                continue;
+            }
+            let (u, v) = (NodeId::new(t1, j1 % cap), NodeId::new(t2, j2 % cap));
+            if naive.reachable(v, u) {
+                continue; // keep the relation acyclic
+            }
+            naive.insert_edge(u, v).unwrap();
+            burst.push((u, v));
+        }
+        po.insert_edges(&burst).unwrap(); // rolls the query epoch
+        assert_batched_matches_sequential(&po, k, cap);
+        // Spot-check the sequential path against the oracle so the
+        // batched comparison above is anchored to ground truth.
+        for &(u, v) in &burst {
+            assert!(po.reachable(u, v));
+            assert_eq!(
+                po.successor(u, ThreadId(v.thread.0)),
+                naive.successor(u, ThreadId(v.thread.0))
+            );
+        }
     }
 }
 
@@ -717,6 +808,17 @@ proptest! {
         ops in po_ops(5, 12, true)
     ) {
         run_query_engine_script(k, 12, &ops, true);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn wide_k_batched_matches_sequential(ops in po_ops(66, 6, false)) {
+        // 66 chains > MAX_BITSET_CHAINS (64): the stamped-list
+        // fallback frontier, not the u64 bitset, drives the sweeps.
+        run_wide_k_batched_script(66, 6, &ops);
     }
 }
 

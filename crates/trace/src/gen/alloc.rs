@@ -31,6 +31,16 @@ pub struct AllocProgramCfg {
     pub locks: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Soft cap on emitted events; `None` runs every lifetime to
+    /// completion. When the cap is reached the generator admits no new
+    /// objects and *drains* the live ones through their complete free
+    /// protocols (handoff write→read→free, lock acquire→free→release),
+    /// so the truncated trace is still a well-formed prefix: no leaked
+    /// objects, no free cut off from its handoff read. A hard cutoff
+    /// here used to leave half-emitted lifetimes that downstream
+    /// consumers (windowed analyses, the well-formedness checks)
+    /// rejected with "expected flag read before free".
+    pub max_events: Option<usize>,
 }
 
 impl Default for AllocProgramCfg {
@@ -44,6 +54,7 @@ impl Default for AllocProgramCfg {
             remote_free_frac: 0.5,
             locks: 2,
             seed: 0,
+            max_events: None,
         }
     }
 }
@@ -86,8 +97,15 @@ pub fn alloc_program(cfg: &AllocProgramCfg) -> Trace {
     let mut budget = vec![0usize; cfg.threads];
 
     while next_obj < cfg.objects || !live.is_empty() {
+        // Once the event cap is hit, stop admitting and stop
+        // dereferencing: the remaining iterations only drain live
+        // objects through their full free protocols.
+        let draining = cfg.max_events.is_some_and(|m| trace.total_events() >= m);
+        if draining && live.is_empty() {
+            break;
+        }
         // Admit new objects while the window has room.
-        while next_obj < cfg.objects && live.len() < 4 {
+        while !draining && next_obj < cfg.objects && live.len() < 4 {
             let owner = rng.gen_range(0..cfg.threads);
             let protection = if cfg.locks > 0 && rng.gen_bool(cfg.protected_frac) {
                 Protection::Lock(LockId(rng.gen_range(0..cfg.locks) as u32))
@@ -123,7 +141,7 @@ pub fn alloc_program(cfg: &AllocProgramCfg) -> Trace {
         // Progress a random live object.
         let i = rng.gen_range(0..live.len());
         let entry = &mut live[i];
-        if entry.derefs_left > 0 {
+        if entry.derefs_left > 0 && !draining {
             entry.derefs_left -= 1;
             let t = match entry.protection {
                 Protection::Handoff => entry.owner, // confined
@@ -262,6 +280,59 @@ mod tests {
             ..Default::default()
         });
         assert!(t.critical_sections().is_empty());
+    }
+
+    #[test]
+    fn capped_runs_emit_well_formed_prefixes() {
+        // Sweep seeds with a tight event cap: every truncated trace
+        // must still be a clean prefix — no leaked objects, no observed
+        // use-after-free, and every handoff free still immediately
+        // preceded by its flag read on the freeing thread (the
+        // invariant that used to panic for mid-protocol cutoffs).
+        for seed in 0..32 {
+            let t = alloc_program(&AllocProgramCfg {
+                protected_frac: 0.0,
+                confined_frac: 1.0,
+                remote_free_frac: 1.0,
+                max_events: Some(50),
+                seed,
+                ..Default::default()
+            });
+            let mut state: HashMap<ObjId, (bool, bool)> = HashMap::new();
+            for (id, ev) in t.iter_order() {
+                match ev.kind {
+                    EventKind::Alloc { obj } => {
+                        assert!(
+                            state.insert(obj, (true, false)).is_none(),
+                            "seed {seed}: double alloc of {obj}"
+                        );
+                    }
+                    EventKind::Deref { obj, .. } => {
+                        let s = state[&obj];
+                        assert!(s.0 && !s.1, "seed {seed}: bad deref of {obj}");
+                    }
+                    EventKind::Free { obj } => {
+                        let s = state.get_mut(&obj).expect("free before alloc");
+                        assert!(s.0 && !s.1, "seed {seed}: bad free of {obj}");
+                        s.1 = true;
+                        assert!(id.pos > 0, "seed {seed}: free must follow the handoff read");
+                        let prev = csst_core::NodeId::new(id.thread, id.pos - 1);
+                        match t.kind(prev) {
+                            EventKind::Read { var, .. } => {
+                                assert_eq!(var.0, obj.0, "seed {seed}: flag matches object");
+                            }
+                            other => {
+                                panic!("seed {seed}: expected flag read before free, got {other:?}")
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for (obj, (_, freed)) in &state {
+                assert!(freed, "seed {seed}: {obj} leaked in the prefix");
+            }
+        }
     }
 
     #[test]

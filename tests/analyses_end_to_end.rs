@@ -94,6 +94,7 @@ fn membug_and_uaf_consistency() {
         remote_free_frac: 0.6,
         locks: 2,
         seed: 8,
+        max_events: None,
     });
     let mb = membug::predict::<IncrementalCsst>(
         &trace,
@@ -335,6 +336,7 @@ fn seven_analyses_smoke_deterministic() {
             remote_free_frac: 0.7,
             locks: 1,
             seed: 42,
+            max_events: None,
         })
     };
     let m1 = membug::predict::<IncrementalCsst>(&allocs(), &membug::MemBugCfg::default());

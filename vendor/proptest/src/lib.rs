@@ -14,7 +14,10 @@
 //!   the deterministic seed, but is not minimized.
 //! * **Deterministic seeding.** Each `proptest!` test derives its seed
 //!   from its module path and name (FNV-1a), so failures reproduce
-//!   exactly across runs — there is no `PROPTEST_*` env handling.
+//!   exactly across runs. The only `PROPTEST_*` env handling is
+//!   `PROPTEST_CASES`, which *caps* the per-test case count (a quick
+//!   CI profile); it never raises it, so seeds and the cases that do
+//!   run are unchanged.
 //! * Strategies are generate-only: `Strategy::generate` draws a value
 //!   from a [`test_runner::TestRng`].
 //!

@@ -12,15 +12,29 @@ pub struct Config {
 }
 
 impl Config {
-    /// A config running `cases` generated inputs per test.
+    /// A config running `cases` generated inputs per test, capped by
+    /// the `PROPTEST_CASES` environment variable when set (a quick-CI
+    /// profile: `PROPTEST_CASES=8` runs every test with at most 8
+    /// cases, never more than the test asked for).
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases: apply_env_cap(cases, std::env::var("PROPTEST_CASES").ok().as_deref()),
+        }
     }
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Self { cases: 256 }
+        Self::with_cases(256)
+    }
+}
+
+/// Caps `cases` by the parsed `PROPTEST_CASES` value, ignoring unset,
+/// empty, or unparsable values (kept pure for unit testing).
+fn apply_env_cap(cases: u32, env: Option<&str>) -> u32 {
+    match env.and_then(|v| v.trim().parse::<u32>().ok()) {
+        Some(cap) => cases.min(cap.max(1)),
+        None => cases,
     }
 }
 
@@ -66,4 +80,20 @@ pub fn fnv1a(s: &str) -> u64 {
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::apply_env_cap;
+
+    #[test]
+    fn env_cap_semantics() {
+        assert_eq!(apply_env_cap(256, None), 256, "unset: untouched");
+        assert_eq!(apply_env_cap(256, Some("8")), 8, "cap applies");
+        assert_eq!(apply_env_cap(4, Some("8")), 4, "never raises");
+        assert_eq!(apply_env_cap(256, Some(" 16 ")), 16, "whitespace ok");
+        assert_eq!(apply_env_cap(256, Some("")), 256, "empty: untouched");
+        assert_eq!(apply_env_cap(256, Some("lots")), 256, "junk: untouched");
+        assert_eq!(apply_env_cap(256, Some("0")), 1, "floor of one case");
+    }
 }
