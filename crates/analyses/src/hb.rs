@@ -56,6 +56,95 @@ pub struct HbReport<P> {
     pub sync_edges: usize,
 }
 
+/// Derives the synchronization edges a streamed event induces, with no
+/// index attached: event-id assignment (one append per event), lock
+/// release→acquire matching, and fork/join resolution are pure
+/// bookkeeping over per-thread counters.
+///
+/// [`HbDetector`] runs one of these in front of its index; the sharded
+/// ingest pipeline (`csst-serve`) runs the *same* tracker on the router
+/// thread and broadcasts the emitted edges to every shard replica —
+/// sharing the implementation is what makes the sharded and sequential
+/// detectors agree edge-for-edge.
+#[derive(Debug, Default)]
+pub struct SyncTracker {
+    /// Events seen so far per thread (the next event's position).
+    counts: HashMap<ThreadId, u32>,
+    last_release: HashMap<LockId, NodeId>,
+    /// Fork events whose child has not produced an event yet: the
+    /// fork→first-event edge is emitted when (and if) the child
+    /// starts, mirroring the batch rule "fork edges only into
+    /// non-empty chains".
+    pending_forks: HashMap<ThreadId, Vec<NodeId>>,
+}
+
+impl SyncTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        SyncTracker::default()
+    }
+
+    /// Assigns the next [`NodeId`] for an event of `thread` and appends
+    /// the synchronization edges it induces to `edges`: pending-fork
+    /// edges into a freshly started chain first, then the event's own
+    /// edge (release→acquire, fork→first, last→join), matching the
+    /// online detector's insertion order. Guards (`child != thread`,
+    /// cross-thread release) replicate [`HbDetector`] exactly.
+    pub fn feed(
+        &mut self,
+        thread: ThreadId,
+        event: &EventKind,
+        edges: &mut Vec<(NodeId, NodeId)>,
+    ) -> NodeId {
+        let pos = self.counts.entry(thread).or_insert(0);
+        let id = NodeId::new(thread, *pos);
+        *pos += 1;
+        // A freshly started chain resolves the forks waiting for it.
+        if id.pos == 0 {
+            for fork in self.pending_forks.remove(&thread).unwrap_or_default() {
+                edges.push((fork, id));
+            }
+        }
+        match *event {
+            EventKind::Acquire { lock } => {
+                if let Some(rel) = self.last_release.get(&lock) {
+                    if rel.thread != thread {
+                        edges.push((*rel, id));
+                    }
+                }
+            }
+            EventKind::Release { lock } => {
+                self.last_release.insert(lock, id);
+            }
+            EventKind::Fork { child } if child != thread => {
+                let started = self.counts.get(&child).copied().unwrap_or(0);
+                if started > 0 {
+                    edges.push((id, NodeId::new(child, 0)));
+                } else {
+                    self.pending_forks.entry(child).or_default().push(id);
+                }
+            }
+            EventKind::Join { child } => {
+                let len = self.counts.get(&child).copied().unwrap_or(0);
+                if child != thread && len > 0 {
+                    edges.push((NodeId::new(child, len - 1), id));
+                }
+            }
+            _ => {}
+        }
+        id
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.counts.capacity() * size_of::<(ThreadId, u32)>()
+            + self.last_release.capacity() * size_of::<(LockId, NodeId)>()
+            + self.pending_forks.capacity() * size_of::<(ThreadId, Vec<NodeId>)>()
+    }
+}
+
 #[derive(Debug)]
 struct VarState {
     last_write: Option<NodeId>,
@@ -63,23 +152,20 @@ struct VarState {
     last_read: Vec<Option<NodeId>>,
 }
 
-/// Online happens-before detector over a growable partial-order index.
+/// The per-variable access frontier of the streaming detector: the last
+/// write plus every thread's last read, checked against each new access
+/// by reachability probes into a caller-supplied index.
 ///
-/// See the [module docs](self) for the streaming/batch contrast; batch
-/// [`detect`] is a thin wrapper feeding a recorded trace through this
-/// type.
-#[derive(Debug)]
-pub struct HbDetector<P> {
-    hb: P,
-    last_release: HashMap<LockId, NodeId>,
-    /// Fork events whose child has not produced an event yet: the
-    /// fork→first-event edge is inserted when (and if) the child
-    /// starts, mirroring the batch rule "fork edges only into
-    /// non-empty chains".
-    pending_forks: HashMap<ThreadId, Vec<NodeId>>,
+/// This is the expensive half of HB detection (the probes), split out
+/// so the sharded pipeline can partition it by variable: each shard
+/// worker owns the frontier of the variables routed to it and probes
+/// its own index replica. Race callbacks report `(probe_idx, src)`
+/// where `probe_idx` is the position within the event's deterministic
+/// probe order (last write first, then last reads by thread index), so
+/// callers can reconstruct the sequential detector's exact race order.
+#[derive(Debug, Default)]
+pub struct AccessFrontier {
     vars: HashMap<VarId, VarState>,
-    races: Vec<(NodeId, NodeId)>,
-    sync_edges: usize,
     /// Scratch for the write-case frontier check: the last write plus
     /// every thread's last read, probed in one
     /// [`reachable_batch`](PartialOrderIndex::reachable_batch) call.
@@ -87,13 +173,100 @@ pub struct HbDetector<P> {
     reach_buf: Vec<bool>,
 }
 
-impl<P: PartialOrderIndex> HbDetector<P> {
+impl AccessFrontier {
+    /// Creates an empty frontier.
+    pub fn new() -> Self {
+        AccessFrontier::default()
+    }
+
     fn read_slot(st: &mut VarState, t: ThreadId) -> &mut Option<NodeId> {
         if t.index() >= st.last_read.len() {
             st.last_read.resize(t.index() + 1, None);
         }
         &mut st.last_read[t.index()]
     }
+
+    /// Checks access `id` to `var` against the frontier over `po`,
+    /// calling `report(probe_idx, src)` for every unordered conflicting
+    /// source, then advances the frontier.
+    pub fn on_access<P: PartialOrderIndex>(
+        &mut self,
+        po: &P,
+        id: NodeId,
+        var: VarId,
+        is_write: bool,
+        mut report: impl FnMut(usize, NodeId),
+    ) {
+        let st = self.vars.entry(var).or_insert_with(|| VarState {
+            last_write: None,
+            last_read: Vec::new(),
+        });
+        if !is_write {
+            if let Some(w) = st.last_write {
+                if w.thread != id.thread && !po.reachable(w, id) {
+                    report(0, w);
+                }
+            }
+            *Self::read_slot(st, id.thread) = Some(id);
+            return;
+        }
+        // The write conflicts with the whole access frontier
+        // (last write + last read of every thread); probe it in
+        // one batched sweep so closure-based indexes amortize
+        // the propagation from shared sources.
+        self.probe_buf.clear();
+        if let Some(w) = st.last_write {
+            if w.thread != id.thread {
+                self.probe_buf.push((w, id));
+            }
+        }
+        for r in st.last_read.iter().flatten() {
+            if r.thread != id.thread {
+                self.probe_buf.push((*r, id));
+            }
+        }
+        po.reachable_batch(&self.probe_buf, &mut self.reach_buf);
+        for (i, (&(src, _), &ordered)) in self.probe_buf.iter().zip(&self.reach_buf).enumerate() {
+            if !ordered {
+                report(i, src);
+            }
+        }
+        st.last_write = Some(id);
+        st.last_read.clear();
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self
+                .vars
+                .values()
+                .map(|st| {
+                    size_of::<(VarId, VarState)>()
+                        + st.last_read.capacity() * size_of::<Option<NodeId>>()
+                })
+                .sum::<usize>()
+            + self.probe_buf.capacity() * size_of::<(NodeId, NodeId)>()
+            + self.reach_buf.capacity()
+    }
+}
+
+/// Online happens-before detector over a growable partial-order index.
+///
+/// See the [module docs](self) for the streaming/batch contrast; batch
+/// [`detect`] is a thin wrapper feeding a recorded trace through this
+/// type. Internally it composes the two reusable halves of the
+/// analysis: a [`SyncTracker`] deriving synchronization edges and an
+/// [`AccessFrontier`] probing conflicting accesses.
+#[derive(Debug)]
+pub struct HbDetector<P> {
+    hb: P,
+    sync: SyncTracker,
+    frontier: AccessFrontier,
+    races: Vec<(NodeId, NodeId)>,
+    sync_edges: usize,
+    edge_buf: Vec<(NodeId, NodeId)>,
 }
 
 impl<P: PartialOrderIndex> Analysis for HbDetector<P> {
@@ -103,97 +276,32 @@ impl<P: PartialOrderIndex> Analysis for HbDetector<P> {
     fn new(_cfg: ()) -> Self {
         HbDetector {
             hb: P::new(),
-            last_release: HashMap::new(),
-            pending_forks: HashMap::new(),
-            vars: HashMap::new(),
+            sync: SyncTracker::new(),
+            frontier: AccessFrontier::new(),
             races: Vec::new(),
             sync_edges: 0,
-            probe_buf: Vec::new(),
-            reach_buf: Vec::new(),
+            edge_buf: Vec::new(),
         }
     }
 
     fn feed(&mut self, thread: ThreadId, event: EventKind) {
-        let id = self.hb.append(thread);
-        // A freshly started chain resolves the forks waiting for it.
-        if id.pos == 0 {
-            for fork in self.pending_forks.remove(&thread).unwrap_or_default() {
-                if self.hb.insert_edge_checked(fork, id).is_ok() {
-                    self.sync_edges += 1;
-                }
+        self.edge_buf.clear();
+        let id = self.sync.feed(thread, &event, &mut self.edge_buf);
+        let appended = self.hb.append(thread);
+        debug_assert_eq!(appended, id, "tracker and index disagree on ids");
+        for &(src, dst) in &self.edge_buf {
+            if self.hb.insert_edge_checked(src, dst).is_ok() {
+                self.sync_edges += 1;
             }
         }
         match event {
-            EventKind::Acquire { lock } => {
-                if let Some(rel) = self.last_release.get(&lock) {
-                    if rel.thread != thread && self.hb.insert_edge_checked(*rel, id).is_ok() {
-                        self.sync_edges += 1;
-                    }
-                }
-            }
-            EventKind::Release { lock } => {
-                self.last_release.insert(lock, id);
-            }
-            EventKind::Fork { child } if child != thread => {
-                if self.hb.chain_len(child) > 0 {
-                    let first = NodeId::new(child, 0);
-                    if self.hb.insert_edge_checked(id, first).is_ok() {
-                        self.sync_edges += 1;
-                    }
-                } else {
-                    self.pending_forks.entry(child).or_default().push(id);
-                }
-            }
-            EventKind::Join { child } => {
-                let len = self.hb.chain_len(child);
-                if child != thread && len > 0 {
-                    let last = NodeId::new(child, (len - 1) as u32);
-                    if self.hb.insert_edge_checked(last, id).is_ok() {
-                        self.sync_edges += 1;
-                    }
-                }
-            }
-            EventKind::Read { var, .. } => {
-                let st = self.vars.entry(var).or_insert_with(|| VarState {
-                    last_write: None,
-                    last_read: Vec::new(),
-                });
-                if let Some(w) = st.last_write {
-                    if w.thread != thread && !self.hb.reachable(w, id) {
-                        self.races.push((w, id));
-                    }
-                }
-                *Self::read_slot(st, thread) = Some(id);
-            }
-            EventKind::Write { var, .. } => {
-                let st = self.vars.entry(var).or_insert_with(|| VarState {
-                    last_write: None,
-                    last_read: Vec::new(),
-                });
-                // The write conflicts with the whole access frontier
-                // (last write + last read of every thread); probe it in
-                // one batched sweep so closure-based indexes amortize
-                // the propagation from shared sources.
-                self.probe_buf.clear();
-                if let Some(w) = st.last_write {
-                    if w.thread != thread {
-                        self.probe_buf.push((w, id));
-                    }
-                }
-                for r in st.last_read.iter().flatten() {
-                    if r.thread != thread {
-                        self.probe_buf.push((*r, id));
-                    }
-                }
-                self.hb
-                    .reachable_batch(&self.probe_buf, &mut self.reach_buf);
-                for (&(src, _), &ordered) in self.probe_buf.iter().zip(&self.reach_buf) {
-                    if !ordered {
-                        self.races.push((src, id));
-                    }
-                }
-                st.last_write = Some(id);
-                st.last_read.clear();
+            EventKind::Read { var, .. } | EventKind::Write { var, .. } => {
+                let is_write = matches!(event, EventKind::Write { .. });
+                let races = &mut self.races;
+                self.frontier
+                    .on_access(&self.hb, id, var, is_write, |_, src| {
+                        races.push((src, id));
+                    });
             }
             _ => {}
         }

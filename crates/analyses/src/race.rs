@@ -88,6 +88,85 @@ pub struct RaceReport<P> {
     pub window: WindowStats,
 }
 
+/// Enumerates candidate pairs: conflicting plain accesses to the same
+/// variable within the `recent`-access recency window, from different
+/// threads, in trace order.
+///
+/// Pure over the (window-local) trace — no index involved — so the
+/// sharded pipeline runs it once on the coordinator and fans only the
+/// per-candidate witness checks out to workers.
+pub fn enumerate_candidates(trace: &Trace, recent: usize) -> Vec<(NodeId, NodeId)> {
+    let mut buf_by_var: HashMap<VarId, Vec<(NodeId, bool)>> = HashMap::new();
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
+    for (id, ev) in trace.iter_order() {
+        let Some(var) = ev.kind.var() else { continue };
+        if !(ev.kind.is_plain_read() || ev.kind.is_plain_write()) {
+            continue;
+        }
+        let is_write = ev.kind.is_plain_write();
+        let buf = buf_by_var.entry(var).or_default();
+        for &(prev, prev_write) in buf.iter() {
+            if prev.thread != id.thread && (is_write || prev_write) {
+                candidates.push((prev, id));
+            }
+        }
+        buf.push((id, is_write));
+        if buf.len() > recent {
+            buf.remove(0);
+        }
+    }
+    candidates
+}
+
+/// Filters `candidates` down to the pairs that reach the witness check:
+/// unordered in the base order `win` (both directions probed through
+/// the batched API), not protected by a common lock, and within the
+/// first `cap` survivors (the candidate budget).
+///
+/// Deterministic and independent of any witness outcome, which is what
+/// lets the sharded pipeline check the selected pairs in parallel and
+/// still report the sequential predictor's exact race list.
+pub fn select_candidates<P: PartialOrderIndex>(
+    win: &P,
+    trace: &Trace,
+    candidates: &[(NodeId, NodeId)],
+    cap: usize,
+) -> Vec<(NodeId, NodeId)> {
+    // The ordered-pair filter needs both directions per candidate;
+    // prefetch them in chunks through the batched API so the base
+    // order answers 128 probes per closure sweep instead of two.
+    // The cap counts only pairs that reach the witness check, so
+    // prefetching reachability (a pure query) cannot change which
+    // candidates are examined.
+    let mut selected: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut probes: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut ordered: Vec<bool> = Vec::new();
+    'chunks: for chunk in candidates.chunks(64) {
+        if selected.len() >= cap {
+            break;
+        }
+        probes.clear();
+        for &(e1, e2) in chunk {
+            probes.push((e1, e2));
+            probes.push((e2, e1));
+        }
+        win.reachable_batch(&probes, &mut ordered);
+        for (ci, &(e1, e2)) in chunk.iter().enumerate() {
+            if selected.len() >= cap {
+                break 'chunks;
+            }
+            if ordered[2 * ci] || ordered[2 * ci + 1] {
+                continue; // ordered: not a candidate
+            }
+            if common_lock(trace, e1, e2) {
+                continue; // protected: cannot be co-enabled
+            }
+            selected.push((e1, e2));
+        }
+    }
+    selected
+}
+
 /// Streaming form of [`predict`]: the observation base order (fork/
 /// join and reads-from) grows per event inside `feed`; candidate
 /// generation and the M2-style witness checks run over the buffered
@@ -109,62 +188,17 @@ impl<P: PartialOrderIndex> RacePredictor<P> {
         if trace.total_events() == 0 {
             return;
         }
-        let ctx = ClosureCtx::new(trace, None);
-
-        // Candidate enumeration: conflicting pairs within the recency
-        // window, different threads, in trace order.
-        let mut recent: HashMap<VarId, Vec<(NodeId, bool)>> = HashMap::new();
-        let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
-        for (id, ev) in trace.iter_order() {
-            let Some(var) = ev.kind.var() else { continue };
-            if !(ev.kind.is_plain_read() || ev.kind.is_plain_write()) {
-                continue;
-            }
-            let is_write = ev.kind.is_plain_write();
-            let buf = recent.entry(var).or_default();
-            for &(prev, prev_write) in buf.iter() {
-                if prev.thread != id.thread && (is_write || prev_write) {
-                    candidates.push((prev, id));
-                }
-            }
-            buf.push((id, is_write));
-            if buf.len() > self.cfg.recent {
-                buf.remove(0);
-            }
+        let candidates = enumerate_candidates(trace, self.cfg.recent);
+        let remaining = self.cfg.max_candidates.saturating_sub(self.candidates);
+        let checked = select_candidates(&win, trace, &candidates, remaining);
+        if checked.is_empty() {
+            return;
         }
-
-        // The ordered-pair filter needs both directions per candidate;
-        // prefetch them in chunks through the batched API so the base
-        // order answers 128 probes per closure sweep instead of two.
-        // The cap counts only pairs that reach the witness check, so
-        // prefetching reachability (a pure query) cannot change which
-        // candidates are examined.
-        let mut probes: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut ordered: Vec<bool> = Vec::new();
-        'chunks: for chunk in candidates.chunks(64) {
-            if self.candidates >= self.cfg.max_candidates {
-                break;
-            }
-            probes.clear();
-            for &(e1, e2) in chunk {
-                probes.push((e1, e2));
-                probes.push((e2, e1));
-            }
-            win.reachable_batch(&probes, &mut ordered);
-            for (ci, &(e1, e2)) in chunk.iter().enumerate() {
-                if self.candidates >= self.cfg.max_candidates {
-                    break 'chunks;
-                }
-                if ordered[2 * ci] || ordered[2 * ci + 1] {
-                    continue; // ordered: not a candidate
-                }
-                if common_lock(trace, e1, e2) {
-                    continue; // protected: cannot be co-enabled
-                }
-                self.candidates += 1;
-                if witness_co_enabled::<P>(&ctx, &self.cfg.saturation, &[e1, e2]) {
-                    self.races.push((win.to_global(e1), win.to_global(e2)));
-                }
+        let ctx = ClosureCtx::new(trace, None);
+        for &(e1, e2) in &checked {
+            self.candidates += 1;
+            if witness_co_enabled::<P>(&ctx, &self.cfg.saturation, &[e1, e2]) {
+                self.races.push((win.to_global(e1), win.to_global(e2)));
             }
         }
     }

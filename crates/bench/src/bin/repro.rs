@@ -13,7 +13,7 @@
 //! `bench` is the hot-path perf harness (not part of `all`): it runs
 //! the criterion suites' workloads headlessly and writes the
 //! machine-readable measurements to `--json PATH` (default
-//! `BENCH_PR6.json`); `--smoke` shrinks the workloads for CI.
+//! `BENCH_PR7.json`); `--smoke` shrinks the workloads for CI.
 //! `scripts/bench.sh --compare OLD.json NEW.json` diffs two such
 //! files and fails on ops/sec regressions.
 
@@ -33,7 +33,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 1.0f64;
     let mut out = None;
     let mut smoke = false;
-    let mut json = PathBuf::from("BENCH_PR6.json");
+    let mut json = PathBuf::from("BENCH_PR7.json");
     let mut repeat = 1usize;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -68,7 +68,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--scale F] [--out DIR] [--smoke] [--json PATH] [--repeat N] <experiment>...\n\
                      experiments: table1..table7 figure10 figure11 blocksize ablation all bench\n\
                      bench: headless perf harness, writes measurements to --json PATH\n\
-                            (default BENCH_PR6.json); --smoke shrinks it for CI;\n\
+                            (default BENCH_PR7.json); --smoke shrinks it for CI;\n\
                             --repeat N keeps the best of N runs per cell"
                 );
                 std::process::exit(0);
@@ -221,6 +221,7 @@ fn main() {
             cfg.sweep_inserts = ((cfg.sweep_inserts as f64 * scale) as usize).max(100);
             cfg.sweep_queries = ((cfg.sweep_queries as f64 * scale) as usize).max(100);
             cfg.ratio_queries = ((cfg.ratio_queries as f64 * scale) as usize).max(100);
+            cfg.ingest_events = ((cfg.ingest_events as f64 * scale) as usize).max(100);
         }
         let measurements = perf::run_repeated(&cfg, args.repeat);
         println!("{}", perf::render(&measurements));

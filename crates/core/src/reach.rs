@@ -72,10 +72,18 @@ use crate::index::{NodeId, Pos, ThreadId, MAX_BITSET_CHAINS, MAX_CHAINS, MAX_POS
 /// assert_eq!(earliest_downstream::<GraphIndex>(), Some(2));
 /// ```
 ///
+/// # Send-safety
+///
+/// The trait requires [`Send`]: indexes are the per-shard state of the
+/// multi-core ingest pipeline (`csst-serve`), so every representation
+/// must be movable into a worker thread. Interior mutability inside an
+/// index (query scratch, memos) is fine — [`RefCell`](std::cell::RefCell)
+/// is `Send` — but thread-pinned state (`Rc`, thread locals) is not.
+///
 /// [`chains`]: PartialOrderIndex::chains
 /// [`chain_len`]: PartialOrderIndex::chain_len
 /// [`insert_edge_checked`]: PartialOrderIndex::insert_edge_checked
-pub trait PartialOrderIndex {
+pub trait PartialOrderIndex: Send {
     /// Creates an empty index with no chains. Chains and positions
     /// materialize on demand.
     fn new() -> Self

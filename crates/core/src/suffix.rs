@@ -23,8 +23,11 @@ use crate::index::{Pos, INF};
 /// Common interface of dynamic suffix-minima structures.
 ///
 /// All indices are `usize` positions in `[0, len)`; values are [`Pos`]
-/// with [`INF`] denoting an empty entry.
-pub trait SuffixMinima {
+/// with [`INF`] denoting an empty entry. `Send` is required so the
+/// indexes built over these arrays satisfy the
+/// [`PartialOrderIndex`](crate::PartialOrderIndex) Send bound (shard
+/// workers own their index).
+pub trait SuffixMinima: Send {
     /// Creates a structure representing an array of `len` entries, all
     /// initially empty (`∞`).
     fn with_len(len: usize) -> Self

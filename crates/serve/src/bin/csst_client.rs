@@ -1,0 +1,176 @@
+//! `csst-client` — driver for the `csst-serve` service.
+//!
+//! ```text
+//! csst-client --connect ADDR [--analysis NAME] [--index csst|st|vc|graph]
+//!             [--shards N] [--window N] [--format binary|text|rapid]
+//!             (--input FILE | --demo ANALYSIS) [--query Q]...
+//!             [--check-batch] [--shutdown]
+//! ```
+//!
+//! Streams a trace (from a file in the chosen format, or a registry
+//! demo workload) into a server session, runs any `--query` strings
+//! online, prints the final report, and exits with the report's exit
+//! code. `--check-batch` reruns the analysis locally through the batch
+//! registry and fails (exit 1) unless the two reports match exactly —
+//! the service-equals-batch check the CI smoke test is built on.
+//! (Note: the rapid format interns thread/lock ids by order of
+//! appearance, so `--check-batch --format rapid` can flag relabeled —
+//! not wrong — reports; use binary or text for exact comparison.)
+//! `--shutdown` stops the server afterwards.
+
+use csst_analyses::registry;
+use csst_serve::proto::WireFormat;
+use csst_serve::{Client, Hello};
+use csst_trace::{binary, rapid, text, Trace};
+use std::process::ExitCode;
+
+struct Args {
+    connect: String,
+    hello: Hello,
+    input: Option<String>,
+    demo: Option<String>,
+    queries: Vec<String>,
+    check_batch: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        connect: String::new(),
+        hello: Hello::default(),
+        input: None,
+        demo: None,
+        queries: Vec::new(),
+        check_batch: false,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => args.connect = value(&mut it, "--connect")?,
+            "--analysis" => args.hello.analysis = value(&mut it, "--analysis")?,
+            "--index" => args.hello.index = value(&mut it, "--index")?,
+            "--shards" => {
+                args.hello.shards = value(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|_| "--shards wants a number".to_string())?;
+            }
+            "--window" => {
+                args.hello.window = Some(
+                    value(&mut it, "--window")?
+                        .parse()
+                        .map_err(|_| "--window wants a number".to_string())?,
+                );
+            }
+            "--format" => {
+                let v = value(&mut it, "--format")?;
+                args.hello.format = WireFormat::parse(&v)
+                    .ok_or_else(|| format!("unknown format `{v}` (binary|text|rapid)"))?;
+            }
+            "--input" => args.input = Some(value(&mut it, "--input")?),
+            "--demo" => args.demo = Some(value(&mut it, "--demo")?),
+            "--query" => args.queries.push(value(&mut it, "--query")?),
+            "--check-batch" => args.check_batch = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: csst-client --connect ADDR [--analysis NAME] [--index KIND] \
+                     [--shards N] [--window N] [--format binary|text|rapid] \
+                     (--input FILE | --demo ANALYSIS) [--query Q]... [--check-batch] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    if args.connect.is_empty() {
+        return Err("--connect is required".into());
+    }
+    Ok(args)
+}
+
+fn load_trace(args: &Args) -> Result<Trace, String> {
+    if let Some(path) = &args.input {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+        return match args.hello.format {
+            WireFormat::Binary => binary::parse(&bytes).map_err(|e| format!("{path}: {e}")),
+            WireFormat::Text => {
+                let s = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+                text::parse(&s).map_err(|e| format!("{path}: {e}"))
+            }
+            WireFormat::Rapid => {
+                let s = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+                rapid::parse(&s).map_err(|e| format!("{path}: {e}"))
+            }
+        };
+    }
+    let name = args.demo.as_deref().unwrap_or(&args.hello.analysis);
+    Ok(registry::resolve(name)?.demo_trace())
+}
+
+fn run(args: &Args) -> Result<u8, String> {
+    let trace = load_trace(args)?;
+    let mut client =
+        Client::open(&args.connect, &args.hello).map_err(|e| format!("open session: {e}"))?;
+    client
+        .send_trace(&trace)
+        .map_err(|e| format!("send trace: {e}"))?;
+    for q in &args.queries {
+        let answer = client.query(q).map_err(|e| format!("query `{q}`: {e}"))?;
+        println!("query `{q}` -> {answer}");
+    }
+    let report = client.finish().map_err(|e| format!("finish: {e}"))?;
+    println!("{}", report.summary);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    let mut exit = report.exit_code;
+    if args.check_batch {
+        let entry = registry::resolve(&args.hello.analysis)?;
+        let kind = registry::IndexKind::parse(&args.hello.index)
+            .ok_or_else(|| format!("unknown index `{}`", args.hello.index))?;
+        let local = entry.run(&trace, kind, args.hello.window)?;
+        if local.summary == report.summary
+            && local.lines == report.lines
+            && local.exit_code == report.exit_code
+        {
+            println!("check-batch: service report matches the batch analyzer");
+        } else {
+            eprintln!(
+                "check-batch: MISMATCH\n  batch:   {} ({} line(s), exit {})\n  service: {} ({} line(s), exit {})",
+                local.summary,
+                local.lines.len(),
+                local.exit_code,
+                report.summary,
+                report.lines.len(),
+                report.exit_code
+            );
+            exit = 1;
+        }
+    }
+    if args.shutdown {
+        Client::shutdown_server(&args.connect).map_err(|e| format!("shutdown: {e}"))?;
+        println!("server shutdown requested");
+    }
+    Ok(exit)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `csst-serve` — the long-running streaming analysis service.
+//!
+//! ```text
+//! csst-serve [--listen tcp:HOST:PORT | --listen unix:/path]
+//! ```
+//!
+//! Prints `listening on <addr>` once bound (with the OS-chosen port
+//! for `tcp:…:0`), serves sessions until a client sends SHUTDOWN, then
+//! exits 0. See `csst-client --help` for the driver.
+
+use csst_serve::Server;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut listen = "tcp:127.0.0.1:0".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => {
+                    eprintln!("--listen needs an address (tcp:HOST:PORT or unix:/path)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: csst-serve [--listen tcp:HOST:PORT | --listen unix:/path]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let server = match Server::bind(&listen) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {listen}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

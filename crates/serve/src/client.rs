@@ -1,0 +1,135 @@
+//! Client side of the `csst-serve` protocol: one [`Client`] per
+//! session.
+
+use crate::proto::{
+    read_frame, write_frame, Hello, Report, WireFormat, T_ANSWER, T_ERROR, T_EVENTS, T_FINISH,
+    T_HELLO, T_OK, T_QUERY, T_REPORT, T_SHUTDOWN,
+};
+use crate::server::{connect, ReadWrite};
+use csst_trace::{binary, rapid, text, Trace};
+use std::io;
+
+/// Events per EVENTS frame when streaming a recorded trace.
+const EVENTS_PER_FRAME: usize = 512;
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A connected session.
+pub struct Client {
+    stream: Box<dyn ReadWrite>,
+    format: WireFormat,
+}
+
+impl Client {
+    /// Connects to `addr` (`tcp:HOST:PORT` or `unix:/path`) and opens
+    /// a session with `hello`.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors, or the server's ERROR reply (e.g. an unknown
+    /// analysis) surfaced as `InvalidData`.
+    pub fn open(addr: &str, hello: &Hello) -> io::Result<Client> {
+        let mut stream = connect(addr)?;
+        write_frame(&mut stream, T_HELLO, &hello.encode())?;
+        match read_frame(&mut stream)? {
+            Some((T_OK, _)) => Ok(Client {
+                stream,
+                format: hello.format,
+            }),
+            Some((T_ERROR, msg)) => Err(proto_err(String::from_utf8_lossy(&msg).into_owned())),
+            Some((tag, _)) => Err(proto_err(format!("unexpected HELLO reply tag {tag:#04x}"))),
+            None => Err(proto_err("server closed during handshake")),
+        }
+    }
+
+    /// Connects only to ask the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors or a non-OK reply.
+    pub fn shutdown_server(addr: &str) -> io::Result<()> {
+        let mut stream = connect(addr)?;
+        write_frame(&mut stream, T_SHUTDOWN, b"")?;
+        match read_frame(&mut stream)? {
+            Some((T_OK, _)) => Ok(()),
+            other => Err(proto_err(format!("unexpected SHUTDOWN reply: {other:?}"))),
+        }
+    }
+
+    /// Streams a recorded trace as chunked EVENTS frames in the
+    /// session's wire format.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn send_trace(&mut self, trace: &Trace) -> io::Result<()> {
+        match self.format {
+            WireFormat::Binary => {
+                let mut buf = Vec::new();
+                let mut n = 0;
+                for (id, ev) in trace.iter_order() {
+                    binary::encode_event(id.thread, &ev.kind, &mut buf);
+                    n += 1;
+                    if n == EVENTS_PER_FRAME {
+                        write_frame(&mut self.stream, T_EVENTS, &buf)?;
+                        buf.clear();
+                        n = 0;
+                    }
+                }
+                if !buf.is_empty() {
+                    write_frame(&mut self.stream, T_EVENTS, &buf)?;
+                }
+            }
+            WireFormat::Text | WireFormat::Rapid => {
+                // Line formats are cheap to emit whole; one frame.
+                let payload = match self.format {
+                    WireFormat::Text => text::write(trace),
+                    _ => rapid::write(trace),
+                };
+                write_frame(&mut self.stream, T_EVENTS, payload.as_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends one raw EVENTS payload (already in the wire format).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn send_events_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, T_EVENTS, payload)
+    }
+
+    /// Runs an online query; the server's ERROR reply becomes `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the query error message as `InvalidData`.
+    pub fn query(&mut self, q: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, T_QUERY, q.as_bytes())?;
+        match read_frame(&mut self.stream)? {
+            Some((T_ANSWER, payload)) => Ok(String::from_utf8_lossy(&payload).into_owned()),
+            Some((T_ERROR, msg)) => Err(proto_err(String::from_utf8_lossy(&msg).into_owned())),
+            Some((tag, _)) => Err(proto_err(format!("unexpected QUERY reply tag {tag:#04x}"))),
+            None => Err(proto_err("server closed mid-session")),
+        }
+    }
+
+    /// Ends the stream and fetches the final report.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the server's ERROR reply.
+    pub fn finish(mut self) -> io::Result<Report> {
+        write_frame(&mut self.stream, T_FINISH, b"")?;
+        match read_frame(&mut self.stream)? {
+            Some((T_REPORT, payload)) => Report::decode(&payload).map_err(proto_err),
+            Some((T_ERROR, msg)) => Err(proto_err(String::from_utf8_lossy(&msg).into_owned())),
+            Some((tag, _)) => Err(proto_err(format!("unexpected FINISH reply tag {tag:#04x}"))),
+            None => Err(proto_err("server closed before the report")),
+        }
+    }
+}

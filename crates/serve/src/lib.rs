@@ -1,0 +1,44 @@
+//! # csst-serve — sharded multi-core ingest and the streaming analysis
+//! service
+//!
+//! The paper frames CSSTs as the data structure for *online* analyses
+//! over unbounded event streams. This crate supplies the systems layer
+//! that claim implies:
+//!
+//! * **Sharded ingest pipeline** ([`shard`], [`hb`], [`race`]) — a
+//!   router/worker design that partitions the expensive per-event work
+//!   of a streaming analysis across N cores. Each shard worker owns a
+//!   capacity-free index replica; cross-shard information (sync edges,
+//!   fork/join resolution) flows through bounded MPSC channels, and an
+//!   epoch/watermark protocol guarantees queries only observe
+//!   fully-merged prefixes. The sharded engines report *bit-identical*
+//!   results to their sequential counterparts — the equivalence is
+//!   pinned by unit tests here and property tests in the workspace
+//!   `tests/`.
+//! * **`csst-serve`** ([`server`], [`proto`]) — a long-running service
+//!   accepting concurrent trace sessions over TCP or Unix sockets with
+//!   length-prefixed framing; each session picks its analysis, index
+//!   representation, wire format ([`csst_trace::binary`], text or
+//!   rapid), shard count and window in the HELLO frame, streams
+//!   events, and can interleave online race/ordering queries before
+//!   collecting a final report formatted exactly like the batch CLI's.
+//! * **`csst-client`** ([`client`]) — the driver: stream a trace file
+//!   or a registry demo workload into a server, query it, fetch the
+//!   report, optionally cross-check against a local batch run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod hb;
+pub mod proto;
+pub mod race;
+pub mod server;
+pub mod shard;
+
+pub use client::Client;
+pub use hb::{ShardedHb, ShardedHbReport};
+pub use proto::{Hello, Report, WireFormat};
+pub use race::{ShardedRace, ShardedRaceReport};
+pub use server::Server;
+pub use shard::ShardCfg;

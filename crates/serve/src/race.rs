@@ -1,0 +1,196 @@
+//! Sharded M2-style race prediction.
+//!
+//! [`ShardedRace`] is the multi-core form of
+//! [`csst_analyses::race::RacePredictor`]. The analysis splits
+//! naturally:
+//!
+//! * the streaming base order (fork/join + reads-from) is cheap and
+//!   inherently sequential — the router builds it with the same
+//!   [`BaseOrderBuilder`] as the sequential predictor;
+//! * candidate enumeration and selection
+//!   ([`enumerate_candidates`]/[`select_candidates`]) are deterministic
+//!   and *independent of witness outcomes*, so the set of pairs to
+//!   check is fixed before any parallel work starts;
+//! * the per-candidate witness checks — rebuilding and saturating a
+//!   closure per pair, the expensive part — fan out across N workers
+//!   in contiguous ranges of the selected list. Each worker builds its
+//!   own [`ClosureCtx`] over the shared window trace and a fresh index
+//!   per check; results merge back in candidate order.
+//!
+//! Because the checked-candidate list and each individual verdict are
+//! exactly the sequential predictor's, the merged race list is
+//! bit-identical to the sequential report for every shard count —
+//! windowed or not.
+
+use csst_analyses::race::{enumerate_candidates, select_candidates, RaceCfg};
+use csst_analyses::saturation::{witness_co_enabled, ClosureCtx};
+use csst_analyses::{BaseOrderBuilder, WindowStats};
+use csst_core::{NodeId, PartialOrderIndex, ThreadId};
+use csst_trace::{EventKind, Trace};
+
+/// Report of a sharded race-prediction run; identical in content to
+/// the sequential [`RaceReport`](csst_analyses::race::RaceReport).
+#[derive(Debug, Clone)]
+pub struct ShardedRaceReport {
+    /// Predicted races (global event ids), in the sequential report
+    /// order.
+    pub races: Vec<(NodeId, NodeId)>,
+    /// Candidate pairs witness-checked.
+    pub candidates: usize,
+    /// Edges inserted while building the base order.
+    pub base_inserted: usize,
+    /// Streaming/windowing counters.
+    pub window: WindowStats,
+    /// Worker count the witness checks fanned out over.
+    pub shards: usize,
+}
+
+/// The sharded race predictor (see the [module docs](self)).
+pub struct ShardedRace<P> {
+    cfg: RaceCfg,
+    shards: usize,
+    builder: BaseOrderBuilder<P>,
+    races: Vec<(NodeId, NodeId)>,
+    candidates: usize,
+}
+
+impl<P: PartialOrderIndex> ShardedRace<P> {
+    /// Creates a predictor fanning witness checks over `shards`
+    /// workers.
+    pub fn new(cfg: RaceCfg, shards: usize) -> Self {
+        ShardedRace {
+            builder: BaseOrderBuilder::observing(cfg.window),
+            cfg,
+            shards: shards.max(1),
+            races: Vec::new(),
+            candidates: 0,
+        }
+    }
+
+    /// Races found in completed (retired) windows so far.
+    pub fn races_so_far(&self) -> &[(NodeId, NodeId)] {
+        &self.races
+    }
+
+    /// Ingests one event, analyzing and retiring the window when full.
+    pub fn feed(&mut self, thread: ThreadId, event: EventKind) {
+        self.builder.feed(thread, event);
+        if self.builder.window_full() {
+            self.analyze_window();
+            self.builder.retire_window();
+        }
+    }
+
+    /// Candidate generation sequentially, witness checks in parallel.
+    fn analyze_window(&mut self) {
+        let shards = self.shards;
+        let sat = self.cfg.saturation.clone();
+        let (trace, win) = self.builder.split();
+        if trace.total_events() == 0 {
+            return;
+        }
+        let candidates = enumerate_candidates(trace, self.cfg.recent);
+        let remaining = self.cfg.max_candidates.saturating_sub(self.candidates);
+        let checked = select_candidates(&win, trace, &candidates, remaining);
+        self.candidates += checked.len();
+        if checked.is_empty() {
+            return;
+        }
+        let chunk = checked.len().div_ceil(shards);
+        let mut verdicts = vec![false; checked.len()];
+        std::thread::scope(|s| {
+            for (pairs, out) in checked.chunks(chunk).zip(verdicts.chunks_mut(chunk)) {
+                let sat = &sat;
+                s.spawn(move || {
+                    // Each worker saturates its own closure context —
+                    // contexts are pure functions of the window trace.
+                    let ctx = ClosureCtx::new(trace, None);
+                    for (&(e1, e2), v) in pairs.iter().zip(out.iter_mut()) {
+                        *v = witness_co_enabled::<P>(&ctx, sat, &[e1, e2]);
+                    }
+                });
+            }
+        });
+        for (&(e1, e2), &racy) in checked.iter().zip(&verdicts) {
+            if racy {
+                self.races.push((win.to_global(e1), win.to_global(e2)));
+            }
+        }
+    }
+
+    /// Analyzes the final window and produces the merged report.
+    pub fn finish(mut self) -> ShardedRaceReport {
+        self.analyze_window();
+        ShardedRaceReport {
+            races: self.races,
+            candidates: self.candidates,
+            base_inserted: self.builder.base_inserted(),
+            window: self.builder.stats(),
+            shards: self.shards,
+        }
+    }
+
+    /// Batch convenience: streams a recorded trace through the
+    /// predictor.
+    pub fn run(trace: &Trace, cfg: RaceCfg, shards: usize) -> ShardedRaceReport {
+        let mut r = ShardedRace::<P>::new(cfg, shards);
+        for (id, ev) in trace.iter_order() {
+            r.feed(id.thread, ev.kind);
+        }
+        r.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csst_analyses::race;
+    use csst_core::{Csst, IncrementalCsst};
+    use csst_trace::gen::{racy_program, RacyProgramCfg};
+
+    #[test]
+    fn matches_sequential_predictor_across_shard_counts() {
+        for seed in 0..2 {
+            let trace = racy_program(&RacyProgramCfg {
+                threads: 4,
+                events_per_thread: 60,
+                vars: 4,
+                locks: 2,
+                lock_frac: 0.5,
+                write_frac: 0.5,
+                shared_frac: 0.6,
+                seed,
+            });
+            let cfg = RaceCfg {
+                max_candidates: 60,
+                ..Default::default()
+            };
+            let seq = race::predict::<IncrementalCsst>(&trace, &cfg);
+            for shards in [1, 2, 4] {
+                let sharded = ShardedRace::<IncrementalCsst>::run(&trace, cfg.clone(), shards);
+                assert_eq!(sharded.races, seq.races, "seed {seed} shards {shards}");
+                assert_eq!(sharded.candidates, seq.candidates, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_runs_match_too() {
+        let trace = racy_program(&RacyProgramCfg {
+            threads: 4,
+            events_per_thread: 80,
+            lock_frac: 0.3,
+            shared_frac: 0.5,
+            ..Default::default()
+        });
+        let cfg = RaceCfg {
+            window: Some(64),
+            ..Default::default()
+        };
+        let seq = race::predict::<Csst>(&trace, &cfg);
+        let sharded = ShardedRace::<Csst>::run(&trace, cfg, 3);
+        assert_eq!(sharded.races, seq.races);
+        assert_eq!(sharded.candidates, seq.candidates);
+        assert_eq!(sharded.window.windows, seq.window.windows);
+    }
+}

@@ -1,0 +1,493 @@
+//! The long-running `csst-serve` analysis service.
+//!
+//! [`Server`] listens on a TCP or Unix socket, accepts any number of
+//! concurrent trace sessions (one thread per connection) and speaks
+//! the [`proto`](crate::proto) framing. Each session configures its
+//! analysis in the HELLO frame; `hb` and `race` sessions run on the
+//! sharded engines ([`ShardedHb`]/[`ShardedRace`]) and support online
+//! queries against the fully-merged prefix, every other registry
+//! analysis runs in buffered batch mode at FINISH. Reports are
+//! formatted through the same code paths as the batch
+//! [`registry`] runs, so a service report is
+//! byte-identical to `csst_analyze` over the same events.
+//!
+//! Shutdown is cooperative: a SHUTDOWN frame flips the server's stop
+//! flag; the accept loop (polling, non-blocking) notices, stops
+//! accepting, joins every session thread and removes its Unix socket
+//! file. Exit is clean — no thread is left behind, which the service
+//! smoke test checks by asserting on the process exit code.
+
+use crate::hb::ShardedHb;
+use crate::proto::{
+    read_frame, write_frame, Hello, Report, WireFormat, T_ANSWER, T_ERROR, T_EVENTS, T_FINISH,
+    T_HELLO, T_OK, T_QUERY, T_REPORT, T_SHUTDOWN,
+};
+use crate::race::ShardedRace;
+use crate::shard::ShardCfg;
+use csst_analyses::race::RaceCfg;
+use csst_analyses::registry::{self, IndexKind, RunOutput};
+use csst_core::{
+    Csst, GraphIndex, IncrementalCsst, NodeId, PartialOrderIndex, SegTreeIndex, ThreadId,
+    VectorClockIndex,
+};
+use csst_trace::{binary, rapid, text, EventKind, Trace};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One streaming analysis session: events in, queries and a final
+/// report out.
+trait SessionEngine: Send {
+    /// Ingests one event.
+    fn feed(&mut self, thread: ThreadId, kind: EventKind);
+    /// Answers an online query against the fully-merged prefix.
+    fn query(&mut self, q: &str) -> Result<String, String>;
+    /// Produces the final report (same formatting as the batch CLI).
+    fn finish(self: Box<Self>) -> Report;
+}
+
+fn report_from(out: RunOutput) -> Report {
+    Report {
+        exit_code: out.exit_code,
+        summary: out.summary,
+        lines: out.lines,
+    }
+}
+
+/// `ordered <t1> <p1> <t2> <p2>` → two node ids.
+fn parse_ordered_query(q: &str) -> Option<(NodeId, NodeId)> {
+    let mut it = q.split_whitespace();
+    if it.next()? != "ordered" {
+        return None;
+    }
+    let mut num = || it.next()?.parse::<u32>().ok();
+    let (t1, p1, t2, p2) = (num()?, num()?, num()?, num()?);
+    Some((NodeId::new(t1, p1), NodeId::new(t2, p2)))
+}
+
+struct HbEngine<P: PartialOrderIndex + 'static> {
+    hb: ShardedHb<P>,
+}
+
+impl<P: PartialOrderIndex + 'static> SessionEngine for HbEngine<P> {
+    fn feed(&mut self, thread: ThreadId, kind: EventKind) {
+        self.hb.feed(thread, kind);
+    }
+
+    fn query(&mut self, q: &str) -> Result<String, String> {
+        if let Some((a, b)) = parse_ordered_query(q) {
+            return Ok(self.hb.ordered(a, b).to_string());
+        }
+        match q.trim() {
+            "races" => Ok(self.hb.races_snapshot().len().to_string()),
+            "events" => Ok(self.hb.events().to_string()),
+            _ => Err(format!(
+                "unknown query `{q}`; hb supports `ordered t1 p1 t2 p2`, `races`, `events`"
+            )),
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Report {
+        let r = self.hb.finish();
+        // Mirrors the registry's hb formatting exactly.
+        Report {
+            exit_code: (!r.races.is_empty()) as u8,
+            summary: format!(
+                "{} hb-race(s); {} synchronization edge(s)",
+                r.races.len(),
+                r.sync_edges
+            ),
+            lines: r
+                .races
+                .iter()
+                .take(20)
+                .map(|(a, b)| format!("hb-race between {a} and {b}"))
+                .collect(),
+        }
+    }
+}
+
+struct RaceEngine<P: PartialOrderIndex> {
+    race: ShardedRace<P>,
+}
+
+impl<P: PartialOrderIndex> SessionEngine for RaceEngine<P> {
+    fn feed(&mut self, thread: ThreadId, kind: EventKind) {
+        self.race.feed(thread, kind);
+    }
+
+    fn query(&mut self, q: &str) -> Result<String, String> {
+        match q.trim() {
+            "races" => Ok(self.race.races_so_far().len().to_string()),
+            _ => Err(format!(
+                "unknown query `{q}`; race supports `races` (completed windows only)"
+            )),
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Report {
+        let r = self.race.finish();
+        // Mirrors the registry's race formatting exactly.
+        Report {
+            exit_code: (!r.races.is_empty()) as u8,
+            summary: format!(
+                "{} race(s) predicted from {} candidate(s)",
+                r.races.len(),
+                r.candidates
+            ),
+            lines: r
+                .races
+                .iter()
+                .map(|(a, b)| format!("race between {a} and {b}"))
+                .collect(),
+        }
+    }
+}
+
+/// Fallback for the registry analyses without a sharded engine:
+/// buffer the stream, run the batch entry at FINISH.
+struct BatchEngine {
+    name: String,
+    index: IndexKind,
+    window: Option<usize>,
+    trace: Trace,
+}
+
+impl SessionEngine for BatchEngine {
+    fn feed(&mut self, thread: ThreadId, kind: EventKind) {
+        self.trace.push(thread, kind);
+    }
+
+    fn query(&mut self, q: &str) -> Result<String, String> {
+        match q.trim() {
+            "events" => Ok(self.trace.total_events().to_string()),
+            _ => Err(format!(
+                "analysis `{}` runs in batch mode; only `events` is queryable online",
+                self.name
+            )),
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Report {
+        let entry = match registry::resolve(&self.name) {
+            Ok(entry) => entry,
+            Err(e) => {
+                return Report {
+                    exit_code: 2,
+                    summary: e,
+                    lines: Vec::new(),
+                }
+            }
+        };
+        match entry.run(&self.trace, self.index, self.window) {
+            Ok(out) => report_from(out),
+            Err(e) => Report {
+                exit_code: 2,
+                summary: e,
+                lines: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Builds the session engine a HELLO asks for.
+fn make_engine(hello: &Hello) -> Result<Box<dyn SessionEngine>, String> {
+    let index = IndexKind::parse(&hello.index)
+        .ok_or_else(|| format!("unknown index `{}` (csst|st|vc|graph)", hello.index))?;
+    let shard_cfg = ShardCfg::with_shards(hello.shards);
+    match hello.analysis.as_str() {
+        "hb" => {
+            if hello.window.is_some() {
+                return Err(
+                    "hb is genuinely online and buffers nothing; windowing does not apply".into(),
+                );
+            }
+            Ok(match index {
+                IndexKind::Csst => Box::new(HbEngine {
+                    hb: ShardedHb::<IncrementalCsst>::new(shard_cfg),
+                }),
+                IndexKind::SegTree => Box::new(HbEngine {
+                    hb: ShardedHb::<SegTreeIndex>::new(shard_cfg),
+                }),
+                IndexKind::VectorClock => Box::new(HbEngine {
+                    hb: ShardedHb::<VectorClockIndex>::new(shard_cfg),
+                }),
+                IndexKind::Graph => Box::new(HbEngine {
+                    hb: ShardedHb::<GraphIndex>::new(shard_cfg),
+                }),
+            })
+        }
+        "race" => {
+            let cfg = RaceCfg {
+                window: hello.window,
+                ..Default::default()
+            };
+            let shards = hello.shards;
+            Ok(match (hello.window, index) {
+                (None, IndexKind::Csst) => Box::new(RaceEngine {
+                    race: ShardedRace::<IncrementalCsst>::new(cfg, shards),
+                }),
+                (None, IndexKind::SegTree) => Box::new(RaceEngine {
+                    race: ShardedRace::<SegTreeIndex>::new(cfg, shards),
+                }),
+                (None, IndexKind::VectorClock) => Box::new(RaceEngine {
+                    race: ShardedRace::<VectorClockIndex>::new(cfg, shards),
+                }),
+                (None, IndexKind::Graph) => Box::new(RaceEngine {
+                    race: ShardedRace::<GraphIndex>::new(cfg, shards),
+                }),
+                (Some(_), IndexKind::Csst) => Box::new(RaceEngine {
+                    race: ShardedRace::<Csst>::new(cfg, shards),
+                }),
+                (Some(_), IndexKind::Graph) => Box::new(RaceEngine {
+                    race: ShardedRace::<GraphIndex>::new(cfg, shards),
+                }),
+                (Some(_), other) => {
+                    return Err(format!(
+                        "windowed runs retire edges and need a fully dynamic index \
+                         (csst|graph), got `{}`",
+                        other.name()
+                    ))
+                }
+            })
+        }
+        other => {
+            registry::resolve(other)?;
+            Ok(Box::new(BatchEngine {
+                name: other.to_string(),
+                index,
+                window: hello.window,
+                trace: Trace::new(0),
+            }))
+        }
+    }
+}
+
+fn feed_events(
+    engine: &mut dyn SessionEngine,
+    format: WireFormat,
+    payload: &[u8],
+) -> Result<(), String> {
+    match format {
+        WireFormat::Binary => {
+            for (thread, kind) in binary::decode_events(payload).map_err(|e| e.to_string())? {
+                engine.feed(thread, kind);
+            }
+        }
+        WireFormat::Text | WireFormat::Rapid => {
+            let input =
+                std::str::from_utf8(payload).map_err(|_| "text frame is not UTF-8".to_string())?;
+            let trace = match format {
+                WireFormat::Text => text::parse(input),
+                _ => rapid::parse(input),
+            }
+            .map_err(|e| e.to_string())?;
+            for (id, ev) in trace.iter_order() {
+                engine.feed(id.thread, ev.kind);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one session over an accepted connection. Returns `true` if the
+/// peer asked the whole server to shut down.
+fn handle_session<S: Read + Write>(stream: &mut S) -> io::Result<bool> {
+    // First frame must be the HELLO.
+    let hello = match read_frame(stream)? {
+        Some((T_HELLO, payload)) => match Hello::decode(&payload) {
+            Ok(hello) => hello,
+            Err(e) => {
+                write_frame(stream, T_ERROR, e.as_bytes())?;
+                return Ok(false);
+            }
+        },
+        Some((T_SHUTDOWN, _)) => {
+            write_frame(stream, T_OK, b"")?;
+            return Ok(true);
+        }
+        Some((tag, _)) => {
+            let msg = format!("expected HELLO as the first frame, got tag {tag:#04x}");
+            write_frame(stream, T_ERROR, msg.as_bytes())?;
+            return Ok(false);
+        }
+        None => return Ok(false),
+    };
+    let mut engine = match make_engine(&hello) {
+        Ok(engine) => engine,
+        Err(e) => {
+            write_frame(stream, T_ERROR, e.as_bytes())?;
+            return Ok(false);
+        }
+    };
+    write_frame(stream, T_OK, b"")?;
+    loop {
+        match read_frame(stream)? {
+            Some((T_EVENTS, payload)) => {
+                if let Err(e) = feed_events(engine.as_mut(), hello.format, &payload) {
+                    // Malformed events poison the session (the stream
+                    // position is unknowable); report and stop.
+                    write_frame(stream, T_ERROR, e.as_bytes())?;
+                    return Ok(false);
+                }
+            }
+            Some((T_QUERY, payload)) => {
+                let q = String::from_utf8_lossy(&payload);
+                match engine.query(&q) {
+                    Ok(answer) => write_frame(stream, T_ANSWER, answer.as_bytes())?,
+                    Err(e) => write_frame(stream, T_ERROR, e.as_bytes())?,
+                }
+            }
+            Some((T_FINISH, _)) => {
+                let report = engine.finish();
+                write_frame(stream, T_REPORT, &report.encode())?;
+                return Ok(false);
+            }
+            Some((T_SHUTDOWN, _)) => {
+                write_frame(stream, T_OK, b"")?;
+                return Ok(true);
+            }
+            Some((tag, _)) => {
+                let msg = format!("unexpected frame tag {tag:#04x}");
+                write_frame(stream, T_ERROR, msg.as_bytes())?;
+                return Ok(false);
+            }
+            None => return Ok(false), // peer hung up without FINISH
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, std::path::PathBuf),
+}
+
+/// The `csst-serve` service: a polling accept loop over a TCP or Unix
+/// listener, one session thread per connection.
+pub struct Server {
+    listener: Listener,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `tcp:HOST:PORT` (port 0 picks a free port) or
+    /// `unix:/path` (an existing socket file is replaced).
+    ///
+    /// # Errors
+    ///
+    /// Address syntax and bind errors.
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        let listener = if let Some(tcp) = addr.strip_prefix("tcp:") {
+            Listener::Tcp(TcpListener::bind(tcp)?)
+        } else if let Some(path) = addr.strip_prefix("unix:") {
+            let path = std::path::PathBuf::from(path);
+            let _ = std::fs::remove_file(&path);
+            Listener::Unix(UnixListener::bind(&path)?, path)
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("address `{addr}` must start with tcp: or unix:"),
+            ));
+        };
+        Ok(Server {
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address in connectable `tcp:`/`unix:` form (useful
+    /// with `tcp:…:0`, where the OS picked the port).
+    pub fn local_addr(&self) -> String {
+        match &self.listener {
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(addr) => format!("tcp:{addr}"),
+                Err(_) => "tcp:<unknown>".to_string(),
+            },
+            Listener::Unix(_, path) => format!("unix:{}", path.display()),
+        }
+    }
+
+    /// A handle that flips the server's stop flag (same effect as a
+    /// SHUTDOWN frame), for embedding the server in tests.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves until a SHUTDOWN frame (or the stop handle) stops the
+    /// loop, then joins every session thread and cleans up.
+    ///
+    /// # Errors
+    ///
+    /// Listener configuration errors; per-session I/O errors only end
+    /// that session.
+    pub fn run(self) -> io::Result<()> {
+        match &self.listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            Listener::Unix(l, _) => l.set_nonblocking(true)?,
+        }
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::Acquire) {
+            let accepted: Option<Box<dyn FnOnce() -> bool + Send>> = match &self.listener {
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((mut s, _)) => {
+                        Some(Box::new(move || handle_session(&mut s).unwrap_or(false)))
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+                Listener::Unix(l, _) => match l.accept() {
+                    Ok((mut s, _)) => {
+                        Some(Box::new(move || handle_session(&mut s).unwrap_or(false)))
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+            };
+            match accepted {
+                Some(session) => {
+                    let stop = Arc::clone(&self.stop);
+                    sessions.push(std::thread::spawn(move || {
+                        if session() {
+                            stop.store(true, Ordering::Release);
+                        }
+                    }));
+                }
+                None => std::thread::sleep(Duration::from_millis(10)),
+            }
+            sessions.retain(|h| !h.is_finished());
+        }
+        for h in sessions {
+            let _ = h.join();
+        }
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Connects to a `tcp:`/`unix:` address (the client side of
+/// [`Server::bind`] syntax).
+///
+/// # Errors
+///
+/// Address syntax and connection errors.
+pub fn connect(addr: &str) -> io::Result<Box<dyn ReadWrite>> {
+    if let Some(tcp) = addr.strip_prefix("tcp:") {
+        Ok(Box::new(TcpStream::connect(tcp)?))
+    } else if let Some(path) = addr.strip_prefix("unix:") {
+        Ok(Box::new(UnixStream::connect(path)?))
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("address `{addr}` must start with tcp: or unix:"),
+        ))
+    }
+}
+
+/// A bidirectional byte stream (object-safe `Read + Write`).
+pub trait ReadWrite: Read + Write + Send {}
+impl<T: Read + Write + Send> ReadWrite for T {}

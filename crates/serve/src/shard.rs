@@ -1,0 +1,156 @@
+//! Shared plumbing of the sharded ingest pipeline: configuration,
+//! bounded per-worker channels with message batching, and the
+//! epoch/watermark protocol that lets the router tell when every shard
+//! has merged a prefix of the event stream.
+//!
+//! The pipeline is a router/worker design. The **router** (the thread
+//! calling [`feed`](crate::ShardedHb::feed)) assigns each event its
+//! global sequence number, derives the synchronization edges it induces
+//! and decides which shard owns its expensive work; **workers** own the
+//! per-shard state (an index replica plus the frontier of the variables
+//! routed to them) and apply messages strictly in stream order. All
+//! cross-shard information — sync edges, fork/join resolution — flows
+//! through the same bounded MPSC channels as the routed work, so a
+//! worker that processes message `n` has, by construction, merged every
+//! edge the first `n` messages carried.
+//!
+//! **Watermarks.** Every [`ShardCfg::epoch_events`] events (and on
+//! every explicit flush) the router broadcasts the current sequence
+//! number; each worker publishes it to its atomic watermark slot after
+//! draining everything before it. `Watermarks::wait_until` then gives
+//! the router a barrier: once every slot is ≥ `seq`, the prefix up to
+//! `seq` is fully merged on every shard, and query answers drawn from
+//! the merged state are final. Queries never observe a half-merged
+//! suffix because they are answered only behind that barrier.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+
+/// Configuration of a sharded ingest pipeline.
+#[derive(Debug, Clone)]
+pub struct ShardCfg {
+    /// Number of shard workers (each owns one index replica and one
+    /// slice of the per-variable state). `1` degenerates to a pipeline
+    /// with a single worker — useful as the scaling baseline.
+    pub shards: usize,
+    /// Messages per channel send: the router coalesces up to this many
+    /// messages per worker before paying a channel round-trip.
+    pub batch: usize,
+    /// Bound of each worker channel, in batches. Backpressure: a full
+    /// channel blocks the router rather than growing a queue.
+    pub channel_capacity: usize,
+    /// Watermark broadcast period, in events.
+    pub epoch_events: usize,
+}
+
+impl Default for ShardCfg {
+    fn default() -> Self {
+        ShardCfg {
+            shards: 2,
+            batch: 128,
+            channel_capacity: 64,
+            epoch_events: 1024,
+        }
+    }
+}
+
+impl ShardCfg {
+    /// A pipeline with `shards` workers and default batching.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardCfg {
+            shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// One atomic watermark slot per worker; the router's view of how far
+/// every shard has merged the stream.
+#[derive(Debug, Clone)]
+pub struct Watermarks {
+    slots: Arc<Vec<AtomicU64>>,
+}
+
+impl Watermarks {
+    /// Creates `n` zeroed slots.
+    pub fn new(n: usize) -> Self {
+        Watermarks {
+            slots: Arc::new((0..n).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Publishes worker `i`'s merged prefix (called by the worker after
+    /// draining every message before the watermark).
+    pub fn publish(&self, i: usize, seq: u64) {
+        self.slots[i].store(seq, Ordering::Release);
+    }
+
+    /// Blocks (spinning with yields; watermark gaps are bounded by the
+    /// channel capacity, so waits are short) until every worker has
+    /// merged the prefix up to `seq`.
+    pub fn wait_until(&self, seq: u64) {
+        for slot in self.slots.iter() {
+            while slot.load(Ordering::Acquire) < seq {
+                thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Router-side handle of one worker channel: a bounded sender plus the
+/// pending batch being coalesced.
+#[derive(Debug)]
+pub struct BatchSender<M> {
+    tx: SyncSender<Vec<M>>,
+    pending: Vec<M>,
+    batch: usize,
+}
+
+impl<M> BatchSender<M> {
+    /// Wraps a bounded sender; batches of up to `batch` messages.
+    pub fn new(tx: SyncSender<Vec<M>>, batch: usize) -> Self {
+        BatchSender {
+            tx,
+            pending: Vec::with_capacity(batch),
+            batch: batch.max(1),
+        }
+    }
+
+    /// Queues one message, sending the batch when full. Blocks on a
+    /// full channel (backpressure).
+    pub fn push(&mut self, msg: M) {
+        self.pending.push(msg);
+        if self.pending.len() >= self.batch {
+            self.flush();
+        }
+    }
+
+    /// Sends the pending batch, if any.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch));
+        // The worker only ever stops after its channel is dropped, so a
+        // send can fail only when the worker panicked; surface that at
+        // join time, not here.
+        let _ = self.tx.try_send(batch).map_err(|e| match e {
+            TrySendError::Full(batch) => {
+                let _ = self.tx.send(batch);
+            }
+            TrySendError::Disconnected(_) => {}
+        });
+    }
+}
+
+/// Worker-side batch iterator: drains batches off the channel until the
+/// router hangs up, yielding messages in stream order.
+pub fn drain<M>(rx: &Receiver<Vec<M>>, mut apply: impl FnMut(M)) {
+    while let Ok(batch) = rx.recv() {
+        for msg in batch {
+            apply(msg);
+        }
+    }
+}

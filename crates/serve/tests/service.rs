@@ -1,0 +1,174 @@
+//! End-to-end service tests: a real `Server` on loopback, real client
+//! sessions over TCP, reports cross-checked against the batch
+//! registry.
+
+use csst_analyses::registry::{self, IndexKind};
+use csst_serve::proto::{read_frame, write_frame, WireFormat, T_ERROR, T_EVENTS, T_HELLO, T_OK};
+use csst_serve::{Client, Hello, Server};
+use std::io::Write;
+use std::net::TcpStream;
+
+/// Binds a server on an OS-chosen port and runs it on a background
+/// thread; returns the connectable address and the join handle.
+fn spawn_server() -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("tcp:127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn batch_report(analysis: &str, index: &str, window: Option<usize>) -> (u8, String, Vec<String>) {
+    let entry = registry::find(analysis).unwrap();
+    let out = entry
+        .run(
+            &entry.demo_trace(),
+            IndexKind::parse(index).unwrap(),
+            window,
+        )
+        .unwrap();
+    (out.exit_code, out.summary, out.lines)
+}
+
+#[test]
+fn concurrent_sessions_match_batch_and_shutdown_is_clean() {
+    let (addr, handle) = spawn_server();
+
+    // Two concurrent sessions with different analyses, formats and
+    // shard counts, plus online queries on the hb session.
+    let addr_hb = addr.clone();
+    let hb_session = std::thread::spawn(move || {
+        let hello = Hello {
+            analysis: "hb".into(),
+            index: "csst".into(),
+            format: WireFormat::Binary,
+            shards: 2,
+            window: None,
+        };
+        let mut client = Client::open(&addr_hb, &hello).expect("open hb session");
+        let trace = registry::find("hb").unwrap().demo_trace();
+        client.send_trace(&trace).expect("send");
+        let events = client.query("events").expect("events query");
+        assert_eq!(events, trace.total_events().to_string());
+        let races = client.query("races").expect("races query");
+        assert!(races.parse::<usize>().unwrap() > 0, "demo has hb races");
+        client.finish().expect("hb report")
+    });
+    let addr_race = addr.clone();
+    let race_session = std::thread::spawn(move || {
+        let hello = Hello {
+            analysis: "race".into(),
+            index: "csst".into(),
+            format: WireFormat::Text,
+            shards: 3,
+            window: None,
+        };
+        let mut client = Client::open(&addr_race, &hello).expect("open race session");
+        client
+            .send_trace(&registry::find("race").unwrap().demo_trace())
+            .expect("send");
+        client.finish().expect("race report")
+    });
+
+    let hb_report = hb_session.join().unwrap();
+    let (code, summary, lines) = batch_report("hb", "csst", None);
+    assert_eq!(hb_report.exit_code, code);
+    assert_eq!(hb_report.summary, summary);
+    assert_eq!(hb_report.lines, lines);
+
+    let race_report = race_session.join().unwrap();
+    let (code, summary, lines) = batch_report("race", "csst", None);
+    assert_eq!(race_report.exit_code, code);
+    assert_eq!(race_report.summary, summary);
+    assert_eq!(race_report.lines, lines);
+
+    Client::shutdown_server(&addr).expect("shutdown");
+    handle.join().unwrap().expect("server exits cleanly");
+}
+
+#[test]
+fn batch_fallback_windowed_and_query_errors() {
+    let (addr, handle) = spawn_server();
+
+    // A non-sharded analysis runs through the batch fallback engine,
+    // windowed, and still matches the local registry run.
+    let hello = Hello {
+        analysis: "deadlock".into(),
+        index: "csst".into(),
+        format: WireFormat::Rapid,
+        shards: 1,
+        window: Some(128),
+    };
+    let mut client = Client::open(&addr, &hello).expect("open session");
+    let demo = registry::find("deadlock").unwrap().demo_trace();
+    client.send_trace(&demo).expect("send");
+    // Online queries are limited in batch mode; unknown ones error
+    // without killing the session.
+    assert!(client.query("races").is_err());
+    let report = client.finish().expect("report");
+    // The rapid format interns thread/lock ids by order of appearance,
+    // so the server analyzed the *relabeled* trace; compare against
+    // the batch run over the same round-trip.
+    let relabeled = csst_trace::rapid::parse(&csst_trace::rapid::write(&demo)).unwrap();
+    let out = registry::find("deadlock")
+        .unwrap()
+        .run(&relabeled, IndexKind::Csst, Some(128))
+        .unwrap();
+    assert_eq!(
+        (report.exit_code, report.summary, report.lines),
+        (out.exit_code, out.summary, out.lines)
+    );
+
+    Client::shutdown_server(&addr).expect("shutdown");
+    handle.join().unwrap().expect("server exits cleanly");
+}
+
+#[test]
+fn bad_hello_and_malformed_events_are_session_errors() {
+    let (addr, handle) = spawn_server();
+    let tcp = addr.strip_prefix("tcp:").unwrap();
+
+    // Unknown analysis: ERROR at HELLO.
+    let hello = Hello {
+        analysis: "frobnicate".into(),
+        ..Default::default()
+    };
+    let err = match Client::open(&addr, &hello) {
+        Err(e) => e,
+        Ok(_) => panic!("unknown analysis must fail"),
+    };
+    assert!(err.to_string().contains("unknown analysis"), "{err}");
+
+    // hb rejects windowing, like the batch registry.
+    let hello = Hello {
+        analysis: "hb".into(),
+        window: Some(10),
+        ..Default::default()
+    };
+    assert!(Client::open(&addr, &hello).is_err());
+
+    // Malformed binary EVENTS payload: ERROR, session ends, server
+    // lives on.
+    let mut stream = TcpStream::connect(tcp).unwrap();
+    write_frame(&mut stream, T_HELLO, Hello::default().encode().as_slice()).unwrap();
+    assert_eq!(read_frame(&mut stream).unwrap().unwrap().0, T_OK);
+    write_frame(&mut stream, T_EVENTS, &[0xFF, 0xFF, 0xFF]).unwrap();
+    let (tag, payload) = read_frame(&mut stream).unwrap().unwrap();
+    assert_eq!(tag, T_ERROR);
+    assert!(!payload.is_empty());
+
+    // A garbage (non-framed) byte stream must not take the server
+    // down either.
+    let mut stream = TcpStream::connect(tcp).unwrap();
+    stream.write_all(b"\x03\x00\x00").unwrap(); // truncated prefix
+    drop(stream);
+
+    // The server still serves a full session afterwards.
+    let mut client = Client::open(&addr, &Hello::default()).expect("server still alive");
+    client
+        .send_trace(&registry::find("hb").unwrap().demo_trace())
+        .expect("send");
+    assert!(client.finish().is_ok());
+
+    Client::shutdown_server(&addr).expect("shutdown");
+    handle.join().unwrap().expect("server exits cleanly");
+}

@@ -87,6 +87,10 @@ WANTED = {
     "BENCH_PR5.json": PR5_WORKLOADS,
     "BENCH_PR6.json": PR5_WORKLOADS + (
         "query_batch1", "query_batch16", "query_batch256"),
+    "BENCH_PR7.json": PR5_WORKLOADS + (
+        "query_batch1", "query_batch16", "query_batch256",
+        "ingest_shards1", "ingest_shards2", "ingest_shards4",
+        "ingest_shards8"),
 }
 import glob
 
