@@ -269,6 +269,25 @@ pub struct HbDetector<P> {
     edge_buf: Vec<(NodeId, NodeId)>,
 }
 
+impl<P: PartialOrderIndex> HbDetector<P> {
+    /// The happens-before index built so far (for online ordering
+    /// queries against the live detector — `csst-serve`'s degraded
+    /// mode answers `ordered` queries from here).
+    pub fn index(&self) -> &P {
+        &self.hb
+    }
+
+    /// The races found so far.
+    pub fn races(&self) -> &[(NodeId, NodeId)] {
+        &self.races
+    }
+
+    /// Synchronization edges inserted so far.
+    pub fn sync_edges(&self) -> usize {
+        self.sync_edges
+    }
+}
+
 impl<P: PartialOrderIndex> Analysis for HbDetector<P> {
     type Cfg = ();
     type Report = HbReport<P>;

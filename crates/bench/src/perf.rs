@@ -564,7 +564,8 @@ fn run_ingest_shards<P: PartialOrderIndex + 'static>(
         ..Default::default()
     });
     let start = Instant::now();
-    let report = ShardedHb::<P>::run(&trace, ShardCfg::with_shards(shards));
+    let report = ShardedHb::<P>::run(&trace, ShardCfg::with_shards(shards))
+        .expect("no faults injected: the sharded pipeline cannot fail here");
     let elapsed = start.elapsed().as_nanos();
     std::hint::black_box(report.races.len());
     let mem: usize = report.shard_bytes.iter().sum();

@@ -4,7 +4,8 @@
 //! csst-client --connect ADDR [--analysis NAME] [--index csst|st|vc|graph]
 //!             [--shards N] [--window N] [--format binary|text|rapid]
 //!             (--input FILE | --demo ANALYSIS) [--query Q]...
-//!             [--check-batch] [--shutdown]
+//!             [--check-batch] [--shutdown] [--retry N]
+//!             [--stall-ms N] [--disconnect-after N]
 //! ```
 //!
 //! Streams a trace (from a file in the chosen format, or a registry
@@ -17,6 +18,14 @@
 //! appearance, so `--check-batch --format rapid` can flag relabeled —
 //! not wrong — reports; use binary or text for exact comparison.)
 //! `--shutdown` stops the server afterwards.
+//!
+//! The robustness hooks: `--retry N` retries the connection with
+//! exponential backoff (for servers still starting up), `--stall-ms N`
+//! sleeps mid-session (to trip the server's idle timeout), and
+//! `--disconnect-after N` streams only the first N events and drops the
+//! connection without FINISH (an unclean disconnect the server must
+//! absorb). The chaos suite (`scripts/fault_smoke.sh`) is built on
+//! these.
 
 use csst_analyses::registry;
 use csst_serve::proto::WireFormat;
@@ -32,6 +41,9 @@ struct Args {
     queries: Vec<String>,
     check_batch: bool,
     shutdown: bool,
+    retry: u32,
+    stall_ms: u64,
+    disconnect_after: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +55,9 @@ fn parse_args() -> Result<Args, String> {
         queries: Vec::new(),
         check_batch: false,
         shutdown: false,
+        retry: 1,
+        stall_ms: 0,
+        disconnect_after: None,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -75,11 +90,31 @@ fn parse_args() -> Result<Args, String> {
             "--query" => args.queries.push(value(&mut it, "--query")?),
             "--check-batch" => args.check_batch = true,
             "--shutdown" => args.shutdown = true,
+            "--retry" => {
+                args.retry = value(&mut it, "--retry")?
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--retry wants a positive number".to_string())?;
+            }
+            "--stall-ms" => {
+                args.stall_ms = value(&mut it, "--stall-ms")?
+                    .parse()
+                    .map_err(|_| "--stall-ms wants a number".to_string())?;
+            }
+            "--disconnect-after" => {
+                args.disconnect_after = Some(
+                    value(&mut it, "--disconnect-after")?
+                        .parse()
+                        .map_err(|_| "--disconnect-after wants a number".to_string())?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: csst-client --connect ADDR [--analysis NAME] [--index KIND] \
                      [--shards N] [--window N] [--format binary|text|rapid] \
-                     (--input FILE | --demo ANALYSIS) [--query Q]... [--check-batch] [--shutdown]"
+                     (--input FILE | --demo ANALYSIS) [--query Q]... [--check-batch] [--shutdown] \
+                     [--retry N] [--stall-ms N] [--disconnect-after N]"
                 );
                 std::process::exit(0);
             }
@@ -113,8 +148,27 @@ fn load_trace(args: &Args) -> Result<Trace, String> {
 
 fn run(args: &Args) -> Result<u8, String> {
     let trace = load_trace(args)?;
-    let mut client =
-        Client::open(&args.connect, &args.hello).map_err(|e| format!("open session: {e}"))?;
+    let mut client = Client::open_with_retry(&args.connect, &args.hello, args.retry)
+        .map_err(|e| format!("open session: {e}"))?;
+    if args.stall_ms > 0 {
+        // Chaos-suite hook: sit idle mid-session so the server's idle
+        // timeout fires.
+        std::thread::sleep(std::time::Duration::from_millis(args.stall_ms));
+    }
+    if let Some(n) = args.disconnect_after {
+        // Chaos-suite hook: stream a prefix, then vanish without
+        // FINISH — an unclean disconnect the server must absorb.
+        let mut prefix = Trace::new(0);
+        for (id, ev) in trace.iter_order().take(n) {
+            prefix.push(id.thread, ev.kind);
+        }
+        client
+            .send_trace(&prefix)
+            .map_err(|e| format!("send trace: {e}"))?;
+        println!("disconnecting uncleanly after {n} event(s)");
+        drop(client);
+        return Ok(0);
+    }
     client
         .send_trace(&trace)
         .map_err(|e| format!("send trace: {e}"))?;

@@ -8,12 +8,27 @@ use crate::proto::{
 use crate::server::{connect, ReadWrite};
 use csst_trace::{binary, rapid, text, Trace};
 use std::io;
+use std::time::Duration;
 
 /// Events per EVENTS frame when streaming a recorded trace.
 const EVENTS_PER_FRAME: usize = 512;
 
 fn proto_err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Failures worth a reconnect attempt: the server may simply not be up
+/// (yet), or the connection died mid-handshake.
+fn is_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
 }
 
 /// A connected session.
@@ -44,6 +59,42 @@ impl Client {
         }
     }
 
+    /// [`open`](Self::open) with reconnect: up to `attempts` tries,
+    /// sleeping with exponential backoff plus deterministic jitter
+    /// (50ms base, doubling, capped at ~2s) between them. Only
+    /// transient failures are retried — connection refused/reset/
+    /// aborted, a missing Unix socket, timeouts; a server that answers
+    /// with an ERROR (e.g. an unknown analysis) fails immediately.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once the budget is exhausted, or the
+    /// first non-retryable error.
+    pub fn open_with_retry(addr: &str, hello: &Hello, attempts: u32) -> io::Result<Client> {
+        let mut backoff = Duration::from_millis(50);
+        // Deterministic jitter (seeded by the address) keeps retries
+        // reproducible while still de-synchronizing client herds.
+        let mut jitter: u64 = addr.bytes().fold(0x9E37_79B9_97F4_A7C5, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01B3)
+        });
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match Client::open(addr, hello) {
+                Ok(client) => return Ok(client),
+                Err(e) if attempt < attempts && is_retryable(&e) => {
+                    jitter ^= jitter << 13;
+                    jitter ^= jitter >> 7;
+                    jitter ^= jitter << 17;
+                    let jitter_ms = jitter % (1 + backoff.as_millis() as u64 / 2);
+                    std::thread::sleep(backoff + Duration::from_millis(jitter_ms));
+                    backoff = (backoff * 2).min(Duration::from_secs(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Connects only to ask the server to shut down.
     ///
     /// # Errors
@@ -58,12 +109,24 @@ impl Client {
         }
     }
 
+    /// A failed mid-stream write usually means the server already sent
+    /// a structured ERROR and closed its end; when such a frame is
+    /// still waiting in the socket buffer, report *it* instead of the
+    /// bare `broken pipe`/`connection reset` the write produced.
+    fn surface_server_error(&mut self, e: io::Error) -> io::Error {
+        if let Ok(Some((T_ERROR, msg))) = read_frame(&mut self.stream) {
+            return proto_err(String::from_utf8_lossy(&msg).into_owned());
+        }
+        e
+    }
+
     /// Streams a recorded trace as chunked EVENTS frames in the
     /// session's wire format.
     ///
     /// # Errors
     ///
-    /// Transport errors.
+    /// Transport errors, or the server's pending ERROR reply when the
+    /// session was already rejected mid-stream.
     pub fn send_trace(&mut self, trace: &Trace) -> io::Result<()> {
         match self.format {
             WireFormat::Binary => {
@@ -73,13 +136,17 @@ impl Client {
                     binary::encode_event(id.thread, &ev.kind, &mut buf);
                     n += 1;
                     if n == EVENTS_PER_FRAME {
-                        write_frame(&mut self.stream, T_EVENTS, &buf)?;
+                        if let Err(e) = write_frame(&mut self.stream, T_EVENTS, &buf) {
+                            return Err(self.surface_server_error(e));
+                        }
                         buf.clear();
                         n = 0;
                     }
                 }
                 if !buf.is_empty() {
-                    write_frame(&mut self.stream, T_EVENTS, &buf)?;
+                    if let Err(e) = write_frame(&mut self.stream, T_EVENTS, &buf) {
+                        return Err(self.surface_server_error(e));
+                    }
                 }
             }
             WireFormat::Text | WireFormat::Rapid => {
@@ -88,7 +155,9 @@ impl Client {
                     WireFormat::Text => text::write(trace),
                     _ => rapid::write(trace),
                 };
-                write_frame(&mut self.stream, T_EVENTS, payload.as_bytes())?;
+                if let Err(e) = write_frame(&mut self.stream, T_EVENTS, payload.as_bytes()) {
+                    return Err(self.surface_server_error(e));
+                }
             }
         }
         Ok(())
@@ -98,9 +167,13 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport errors.
+    /// Transport errors, or the server's pending ERROR reply when the
+    /// session was already rejected mid-stream.
     pub fn send_events_raw(&mut self, payload: &[u8]) -> io::Result<()> {
-        write_frame(&mut self.stream, T_EVENTS, payload)
+        if let Err(e) = write_frame(&mut self.stream, T_EVENTS, payload) {
+            return Err(self.surface_server_error(e));
+        }
+        Ok(())
     }
 
     /// Runs an online query; the server's ERROR reply becomes `Err`.

@@ -28,19 +28,45 @@
 //! variable's frontier land on one worker, which therefore owns that
 //! frontier outright — no cross-shard state, only cross-shard *edges*,
 //! which flow through the channels.
+//!
+//! ## Fault containment
+//!
+//! A shard worker is a panic-isolation boundary: its loop runs under
+//! [`catch_unwind`](std::panic::catch_unwind). A panicking worker
+//! flushes nothing further, records its panic message in the shared
+//! failure cell, *poisons* its watermark slot (so router barriers fail
+//! fast instead of spinning) and then keeps draining its channel into
+//! the void so the router's bounded sends never wedge on a dead
+//! peer. Every router-side operation returns a
+//! [`ServeError`] instead of panicking: sends time out into
+//! [`ServeError::Backpressure`], barriers into
+//! [`ServeError::Deadline`], and worker death surfaces as
+//! [`ServeError::WorkerPanic`] — at which point the caller (the
+//! service session) degrades to the sequential detector.
 
+use crate::error::{panic_message, ServeError};
 use crate::shard::{drain, BatchSender, ShardCfg, Watermarks};
 use csst_analyses::hb::{AccessFrontier, SyncTracker};
 use csst_core::{NodeId, PartialOrderIndex, ThreadId};
 use csst_trace::{EventKind, Trace, VarId};
 use std::sync::mpsc::sync_channel;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// A race observation tagged for deterministic merging: the reporting
 /// access's global sequence number and the probe's position within
 /// that access's frontier sweep.
 type RaceTag = (u64, usize, NodeId, NodeId);
+
+/// Locks the shared race buffer, recovering from mutex poisoning: the
+/// buffer's invariant (a list of independently-appended observations)
+/// survives a panicking appender, so the poison flag carries no
+/// information the failure cell does not already carry.
+fn lock_races(races: &Mutex<Vec<RaceTag>>) -> MutexGuard<'_, Vec<RaceTag>> {
+    races
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 enum HbMsg {
     /// A synchronization edge (broadcast to every shard).
@@ -92,53 +118,90 @@ pub struct ShardedHb<P> {
     workers: Vec<Worker>,
     watermarks: Watermarks,
     races: Arc<Mutex<Vec<RaceTag>>>,
+    /// First worker panic message, if any (shared with the workers).
+    failure: Arc<Mutex<Option<String>>>,
     /// Sequence number of the last broadcast watermark.
     last_watermark: u64,
 }
 
+/// The happy-path worker body; panics unwind into [`worker_loop`]'s
+/// containment wrapper.
+fn worker_body<P: PartialOrderIndex>(
+    rx: &std::sync::mpsc::Receiver<Vec<HbMsg>>,
+    watermarks: &Watermarks,
+    slot: usize,
+    races: &Mutex<Vec<RaceTag>>,
+    cfg: &ShardCfg,
+) -> usize {
+    let mut replica = P::new();
+    let mut frontier = AccessFrontier::new();
+    let mut local: Vec<RaceTag> = Vec::new();
+    drain(rx, |msg| {
+        cfg.faults.on_worker_msg(slot);
+        match msg {
+            HbMsg::Edge(src, dst) => {
+                replica.ensure_len(src.thread, src.pos as usize + 1);
+                replica.ensure_len(dst.thread, dst.pos as usize + 1);
+                // The router already validated the edge on its replica;
+                // checked insert keeps the replicas identical even for
+                // edges the router rejected.
+                let _ = replica.insert_edge_checked(src, dst);
+            }
+            HbMsg::Access {
+                seq,
+                id,
+                var,
+                write,
+            } => {
+                replica.ensure_len(id.thread, id.pos as usize + 1);
+                frontier.on_access(&replica, id, var, write, |probe_idx, src| {
+                    local.push((seq, probe_idx, src, id));
+                });
+            }
+            HbMsg::Watermark(seq) => {
+                // Everything before the marker is merged; make the local
+                // observations visible before publishing the watermark so
+                // a router that saw the watermark also sees the races.
+                if !local.is_empty() {
+                    lock_races(races).append(&mut local);
+                }
+                watermarks.publish(slot, seq);
+            }
+        }
+    });
+    if !local.is_empty() {
+        lock_races(races).append(&mut local);
+    }
+    replica.memory_bytes() + frontier.memory_bytes()
+}
+
+/// Panic-isolation wrapper around [`worker_body`]: a panic records its
+/// message, poisons the watermark slot (routers waiting on it fail
+/// fast) and leaves a drain-and-discard loop behind so the router's
+/// bounded sends never block on a dead worker.
 fn worker_loop<P: PartialOrderIndex>(
     rx: std::sync::mpsc::Receiver<Vec<HbMsg>>,
     watermarks: Watermarks,
     slot: usize,
     races: Arc<Mutex<Vec<RaceTag>>>,
+    failure: Arc<Mutex<Option<String>>>,
+    cfg: ShardCfg,
 ) -> usize {
-    let mut replica = P::new();
-    let mut frontier = AccessFrontier::new();
-    let mut local: Vec<RaceTag> = Vec::new();
-    drain(&rx, |msg| match msg {
-        HbMsg::Edge(src, dst) => {
-            replica.ensure_len(src.thread, src.pos as usize + 1);
-            replica.ensure_len(dst.thread, dst.pos as usize + 1);
-            // The router already validated the edge on its replica;
-            // checked insert keeps the replicas identical even for
-            // edges the router rejected.
-            let _ = replica.insert_edge_checked(src, dst);
+    let body =
+        std::panic::AssertUnwindSafe(|| worker_body::<P>(&rx, &watermarks, slot, &races, &cfg));
+    match std::panic::catch_unwind(body) {
+        Ok(bytes) => bytes,
+        Err(payload) => {
+            let msg = format!("shard worker {slot}: {}", panic_message(payload.as_ref()));
+            failure
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get_or_insert(msg);
+            watermarks.poison(slot);
+            while rx.recv().is_ok() {}
+            0
         }
-        HbMsg::Access {
-            seq,
-            id,
-            var,
-            write,
-        } => {
-            replica.ensure_len(id.thread, id.pos as usize + 1);
-            frontier.on_access(&replica, id, var, write, |probe_idx, src| {
-                local.push((seq, probe_idx, src, id));
-            });
-        }
-        HbMsg::Watermark(seq) => {
-            // Everything before the marker is merged; make the local
-            // observations visible before publishing the watermark so
-            // a router that saw the watermark also sees the races.
-            if !local.is_empty() {
-                races.lock().unwrap().append(&mut local);
-            }
-            watermarks.publish(slot, seq);
-        }
-    });
-    if !local.is_empty() {
-        races.lock().unwrap().append(&mut local);
     }
-    replica.memory_bytes() + frontier.memory_bytes()
 }
 
 impl<P: PartialOrderIndex + 'static> ShardedHb<P> {
@@ -147,17 +210,20 @@ impl<P: PartialOrderIndex + 'static> ShardedHb<P> {
         let shards = cfg.shards.max(1);
         let watermarks = Watermarks::new(shards);
         let races: Arc<Mutex<Vec<RaceTag>>> = Arc::new(Mutex::new(Vec::new()));
+        let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
         let workers = (0..shards)
             .map(|slot| {
                 let (tx, rx) = sync_channel::<Vec<HbMsg>>(cfg.channel_capacity.max(1));
                 let wm = watermarks.clone();
                 let races = Arc::clone(&races);
+                let failure = Arc::clone(&failure);
+                let worker_cfg = cfg.clone();
                 let join = std::thread::Builder::new()
                     .name(format!("csst-hb-shard-{slot}"))
-                    .spawn(move || worker_loop::<P>(rx, wm, slot, races))
+                    .spawn(move || worker_loop::<P>(rx, wm, slot, races, failure, worker_cfg))
                     .expect("spawn shard worker");
                 Worker {
-                    tx: BatchSender::new(tx, cfg.batch),
+                    tx: BatchSender::new(tx, slot, &cfg),
                     join,
                 }
             })
@@ -171,6 +237,7 @@ impl<P: PartialOrderIndex + 'static> ShardedHb<P> {
             workers,
             watermarks,
             races,
+            failure,
             last_watermark: 0,
             cfg,
         }
@@ -186,10 +253,32 @@ impl<P: PartialOrderIndex + 'static> ShardedHb<P> {
         self.seq
     }
 
+    /// True once any shard worker has died; the pipeline's results are
+    /// no longer complete and the caller should degrade or finish.
+    pub fn failed(&self) -> bool {
+        self.watermarks.any_poisoned()
+    }
+
+    /// The first worker panic message, if any worker has died.
+    pub fn failure(&self) -> Option<String> {
+        self.failure
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
     /// Ingests one event: derives its sync edges on the router,
     /// broadcasts them to every shard, and routes its access work to
     /// the shard owning the variable.
-    pub fn feed(&mut self, thread: ThreadId, event: EventKind) {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Backpressure`] when a worker channel stays full
+    /// past the send timeout. (A *dead* worker does not error here —
+    /// its channel drains into the void; death is surfaced as
+    /// [`ServeError::WorkerPanic`] by the next barrier, or via
+    /// [`failed`](Self::failed).)
+    pub fn feed(&mut self, thread: ThreadId, event: EventKind) -> Result<(), ServeError> {
         self.seq += 1;
         let seq = self.seq;
         self.edge_buf.clear();
@@ -201,7 +290,7 @@ impl<P: PartialOrderIndex + 'static> ShardedHb<P> {
                 self.sync_edges += 1;
             }
             for w in &mut self.workers {
-                w.tx.push(HbMsg::Edge(src, dst));
+                w.tx.push(HbMsg::Edge(src, dst))?;
             }
         }
         if let EventKind::Read { var, .. } | EventKind::Write { var, .. } = event {
@@ -211,61 +300,115 @@ impl<P: PartialOrderIndex + 'static> ShardedHb<P> {
                 id,
                 var,
                 write: matches!(event, EventKind::Write { .. }),
-            });
+            })?;
         }
         if seq - self.last_watermark >= self.cfg.epoch_events as u64 {
-            self.broadcast_watermark(seq);
+            self.broadcast_watermark(seq)?;
         }
+        Ok(())
     }
 
-    fn broadcast_watermark(&mut self, seq: u64) {
+    fn broadcast_watermark(&mut self, seq: u64) -> Result<(), ServeError> {
         self.last_watermark = seq;
         for w in &mut self.workers {
-            w.tx.push(HbMsg::Watermark(seq));
-            w.tx.flush();
+            w.tx.push(HbMsg::Watermark(seq))?;
+            w.tx.flush()?;
         }
+        Ok(())
     }
 
     /// Barrier: every shard merges the full prefix ingested so far.
     /// Queries answered after a flush observe no half-merged state.
-    pub fn flush(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerPanic`] when a shard worker has died,
+    /// [`ServeError::Deadline`] when the barrier misses the configured
+    /// flush deadline, [`ServeError::Backpressure`] on a wedged
+    /// channel.
+    pub fn flush(&mut self) -> Result<(), ServeError> {
         let seq = self.seq;
-        self.broadcast_watermark(seq);
-        self.watermarks.wait_until(seq);
+        self.broadcast_watermark(seq)?;
+        self.watermarks
+            .wait_until(seq, self.cfg.flush_deadline)
+            .map_err(|e| self.attach_failure(e))
+    }
+
+    /// Swaps the generic poisoned-watermark message for the worker's
+    /// actual panic message when it is already available.
+    fn attach_failure(&self, e: ServeError) -> ServeError {
+        match (&e, self.failure()) {
+            (ServeError::WorkerPanic(_), Some(msg)) => ServeError::WorkerPanic(msg),
+            _ => e,
+        }
     }
 
     /// Online ordering query against the fully-merged prefix: is `a`
     /// ordered before `b` in the happens-before order built so far?
     /// Flushes first, so the answer is final for the current prefix.
-    pub fn ordered(&mut self, a: NodeId, b: NodeId) -> bool {
-        self.flush();
-        self.router.reachable(a, b)
+    ///
+    /// # Errors
+    ///
+    /// The flush barrier's errors ([`flush`](Self::flush)).
+    pub fn ordered(&mut self, a: NodeId, b: NodeId) -> Result<bool, ServeError> {
+        self.flush()?;
+        Ok(self.router.reachable(a, b))
     }
 
     /// Snapshot of the races found in the fully-merged prefix, in the
     /// sequential detector's report order.
-    pub fn races_snapshot(&mut self) -> Vec<(NodeId, NodeId)> {
-        self.flush();
-        let mut tagged = self.races.lock().unwrap().clone();
+    ///
+    /// # Errors
+    ///
+    /// The flush barrier's errors ([`flush`](Self::flush)).
+    pub fn races_snapshot(&mut self) -> Result<Vec<(NodeId, NodeId)>, ServeError> {
+        self.flush()?;
+        let mut tagged = lock_races(&self.races).clone();
         tagged.sort_by_key(|&(seq, probe, _, _)| (seq, probe));
-        tagged
+        Ok(tagged
             .into_iter()
             .map(|(_, _, src, dst)| (src, dst))
-            .collect()
+            .collect())
     }
 
     /// Flushes, stops the workers and produces the merged report.
-    pub fn finish(mut self) -> ShardedHbReport {
-        self.flush();
+    ///
+    /// Always joins every worker thread — even on error, no thread is
+    /// leaked — and a worker-join failure is reported as a
+    /// [`ServeError::WorkerPanic`], never propagated as a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerPanic`] when any worker died (the report
+    /// would be missing that shard's races), plus the flush barrier's
+    /// errors.
+    pub fn finish(mut self) -> Result<ShardedHbReport, ServeError> {
+        let flushed = self.flush();
         let shards = self.workers.len();
         let mut shard_bytes = Vec::with_capacity(shards);
-        for w in self.workers {
+        let mut join_failure: Option<ServeError> = None;
+        for w in std::mem::take(&mut self.workers) {
             drop(w.tx); // hang up: the worker drains and returns
-            shard_bytes.push(w.join.join().expect("shard worker panicked"));
+            match w.join.join() {
+                Ok(bytes) => shard_bytes.push(bytes),
+                // Unreachable in practice (the worker catches its own
+                // panics), but a join failure must stay a report-level
+                // error, not a propagated panic.
+                Err(payload) => {
+                    join_failure = Some(ServeError::WorkerPanic(panic_message(payload.as_ref())))
+                }
+            }
         }
-        let mut tagged = std::mem::take(&mut *self.races.lock().unwrap());
+        if let Some(msg) = self.failure() {
+            return Err(ServeError::WorkerPanic(msg));
+        }
+        if let Some(e) = join_failure {
+            return Err(e);
+        }
+        flushed?;
+        let mut tagged = std::mem::take(&mut *lock_races(&self.races));
         tagged.sort_by_key(|&(seq, probe, _, _)| (seq, probe));
-        ShardedHbReport {
+        Ok(ShardedHbReport {
             races: tagged
                 .into_iter()
                 .map(|(_, _, src, dst)| (src, dst))
@@ -274,15 +417,19 @@ impl<P: PartialOrderIndex + 'static> ShardedHb<P> {
             events: self.seq,
             shards,
             shard_bytes,
-        }
+        })
     }
 
     /// Batch convenience: streams a recorded trace through the
     /// pipeline.
-    pub fn run(trace: &Trace, cfg: ShardCfg) -> ShardedHbReport {
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`feed`](Self::feed) and [`finish`](Self::finish).
+    pub fn run(trace: &Trace, cfg: ShardCfg) -> Result<ShardedHbReport, ServeError> {
         let mut hb = ShardedHb::<P>::new(cfg);
         for (id, ev) in trace.iter_order() {
-            hb.feed(id.thread, ev.kind);
+            hb.feed(id.thread, ev.kind)?;
         }
         hb.finish()
     }
@@ -291,9 +438,11 @@ impl<P: PartialOrderIndex + 'static> ShardedHb<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use csst_analyses::hb;
     use csst_core::{IncrementalCsst, VectorClockIndex};
     use csst_trace::gen::{racy_program, RacyProgramCfg};
+    use std::time::Duration;
 
     #[test]
     fn matches_sequential_detector_across_shard_counts() {
@@ -315,7 +464,7 @@ mod tests {
                     epoch_events: 64,
                     ..ShardCfg::with_shards(shards)
                 };
-                let sharded = ShardedHb::<VectorClockIndex>::run(&trace, cfg);
+                let sharded = ShardedHb::<VectorClockIndex>::run(&trace, cfg).unwrap();
                 assert_eq!(sharded.races, seq.races, "seed {seed} shards {shards}");
                 assert_eq!(sharded.sync_edges, seq.sync_edges, "seed {seed}");
                 assert_eq!(sharded.shard_bytes.len(), shards);
@@ -333,32 +482,95 @@ mod tests {
                 var: VarId(0),
                 value: 1,
             },
-        );
-        hb.feed(ThreadId(0), K::Release { lock: LockId(0) });
-        hb.feed(ThreadId(1), K::Acquire { lock: LockId(0) });
+        )
+        .unwrap();
+        hb.feed(ThreadId(0), K::Release { lock: LockId(0) })
+            .unwrap();
+        hb.feed(ThreadId(1), K::Acquire { lock: LockId(0) })
+            .unwrap();
         hb.feed(
             ThreadId(1),
             K::Write {
                 var: VarId(0),
                 value: 2,
             },
-        );
-        assert!(hb.ordered(NodeId::new(0, 0), NodeId::new(1, 1)));
-        assert!(!hb.ordered(NodeId::new(1, 0), NodeId::new(0, 0)));
-        assert!(hb.races_snapshot().is_empty());
+        )
+        .unwrap();
+        assert!(hb.ordered(NodeId::new(0, 0), NodeId::new(1, 1)).unwrap());
+        assert!(!hb.ordered(NodeId::new(1, 0), NodeId::new(0, 0)).unwrap());
+        assert!(hb.races_snapshot().unwrap().is_empty());
         hb.feed(
             ThreadId(2),
             K::Write {
                 var: VarId(0),
                 value: 3,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(
-            hb.races_snapshot(),
+            hb.races_snapshot().unwrap(),
             vec![(NodeId::new(1, 1), NodeId::new(2, 0))]
         );
-        let report = hb.finish();
+        let report = hb.finish().unwrap();
         assert_eq!(report.events, 5);
         assert_eq!(report.sync_edges, 1);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_and_reported() {
+        let trace = racy_program(&RacyProgramCfg {
+            threads: 4,
+            events_per_thread: 100,
+            vars: 4,
+            shared_frac: 0.6,
+            ..Default::default()
+        });
+        let cfg = ShardCfg {
+            epoch_events: 16,
+            flush_deadline: Duration::from_secs(5),
+            faults: FaultPlan::parse("panic-worker=0@10").unwrap(),
+            ..ShardCfg::with_shards(2)
+        };
+        // The panic must neither unwind into this thread nor hang the
+        // pipeline: it surfaces as a typed WorkerPanic at the barrier
+        // or at finish.
+        match ShardedHb::<VectorClockIndex>::run(&trace, cfg) {
+            Err(ServeError::WorkerPanic(msg)) => {
+                assert!(msg.contains("injected fault"), "{msg}");
+            }
+            Ok(_) => panic!("a dead shard must not produce a clean report"),
+            Err(other) => panic!("want WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_watermark_times_out_instead_of_hanging() {
+        use csst_trace::{EventKind as K, VarId};
+        let cfg = ShardCfg {
+            flush_deadline: Duration::from_millis(30),
+            faults: FaultPlan::parse("drop-send=0@1").unwrap(),
+            ..ShardCfg::with_shards(1)
+        };
+        let mut hb = ShardedHb::<VectorClockIndex>::new(cfg);
+        hb.feed(
+            ThreadId(0),
+            K::Write {
+                var: VarId(0),
+                value: 1,
+            },
+        )
+        .unwrap();
+        // The first send to shard 0 carries this flush's watermark and
+        // is dropped: the barrier must time out, not spin forever.
+        match hb.flush() {
+            Err(ServeError::Deadline { what, .. }) => assert_eq!(what, "flush barrier"),
+            other => panic!("want Deadline, got {other:?}"),
+        }
+        // The next flush broadcasts a fresh watermark that does get
+        // through; the pipeline recovers. (The dropped access makes the
+        // report incomplete, which is exactly what the fault models —
+        // the *structure* stays live.)
+        hb.flush().unwrap();
+        drop(hb.finish());
     }
 }

@@ -25,11 +25,22 @@
 //! * **`csst-client`** ([`client`]) — the driver: stream a trace file
 //!   or a registry demo workload into a server, query it, fetch the
 //!   report, optionally cross-check against a local batch run.
+//! * **Fault containment** ([`error`], [`fault`]) — a [`ServeError`]
+//!   taxonomy replaces panics and unwraps throughout the subsystem;
+//!   `catch_unwind` boundaries at session threads, shard workers and
+//!   witness workers keep any single-component failure contained to
+//!   one session (which degrades to the sequential engine or receives
+//!   a structured ERROR frame) while the server and every other
+//!   session keep running. A deterministic, seeded [`FaultPlan`]
+//!   injection layer (env/flag-driven) exercises those boundaries in
+//!   `scripts/fault_smoke.sh` and the `faults` integration tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod error;
+pub mod fault;
 pub mod hb;
 pub mod proto;
 pub mod race;
@@ -37,8 +48,10 @@ pub mod server;
 pub mod shard;
 
 pub use client::Client;
+pub use error::ServeError;
+pub use fault::FaultPlan;
 pub use hb::{ShardedHb, ShardedHbReport};
 pub use proto::{Hello, Report, WireFormat};
 pub use race::{ShardedRace, ShardedRaceReport};
-pub use server::Server;
+pub use server::{Server, ServerCfg};
 pub use shard::ShardCfg;

@@ -13,10 +13,17 @@
 //! | [`T_SHUTDOWN`] | stop the whole server after this session |
 //!
 //! Server-to-client: [`T_OK`], [`T_REPORT`], [`T_ANSWER`] and
-//! [`T_ERROR`] (payload = UTF-8 message). [`T_EVENTS`] payloads carry
-//! whole events only — binary records ([`csst_trace::binary`]) or
-//! complete text/rapid lines — so a frame boundary is always an event
-//! boundary.
+//! [`T_ERROR`]. [`T_EVENTS`] payloads carry whole events only — binary
+//! records ([`csst_trace::binary`]) or complete text/rapid lines — so a
+//! frame boundary is always an event boundary.
+//!
+//! An ERROR payload is UTF-8 `<code>: <message>`, where `<code>` is the
+//! machine-readable failure class from
+//! [`ServeError::code`](crate::ServeError::code) (`io`, `protocol`,
+//! `decode`, `query`, `panic`, `backpressure`, `deadline`,
+//! `unavailable`). Every code except `query` is session-fatal: the
+//! server closes the session right after the frame (with a lingering
+//! drain so the frame actually arrives).
 //!
 //! Reading is strict: a stream ending mid-frame, a zero-length frame
 //! or a frame above [`MAX_FRAME`] is an error, never a panic; a clean

@@ -11,21 +11,41 @@
 //! [`registry`] runs, so a service report is
 //! byte-identical to `csst_analyze` over the same events.
 //!
+//! ## Fault containment
+//!
+//! A session is the failure domain. Every session thread runs under
+//! `catch_unwind`, malformed input of any kind (bad frames, oversized
+//! frames, undecodable events, unknown queries) is answered with a
+//! structured ERROR frame (`<code>: <message>`, see
+//! [`ServeError::code`]) and at worst ends *that* session, and socket
+//! reads/writes carry timeouts so a stalled peer cannot pin a thread
+//! forever. When a shard worker of an `hb` session panics, the session
+//! *degrades*: the event stream (buffered in the engine for exactly
+//! this purpose) is replayed into the sequential
+//! [`HbDetector`], whose report is byte-identical to the batch CLI's —
+//! the session finishes correctly, just slower. `race` sessions degrade
+//! a level lower (panicked witness chunks are re-checked sequentially
+//! inside [`ShardedRace`]), so a worker panic never even surfaces here.
+//!
 //! Shutdown is cooperative: a SHUTDOWN frame flips the server's stop
 //! flag; the accept loop (polling, non-blocking) notices, stops
 //! accepting, joins every session thread and removes its Unix socket
 //! file. Exit is clean — no thread is left behind, which the service
 //! smoke test checks by asserting on the process exit code.
 
+use crate::error::{panic_message, ServeError};
+use crate::fault::FaultPlan;
 use crate::hb::ShardedHb;
 use crate::proto::{
-    read_frame, write_frame, Hello, Report, WireFormat, T_ANSWER, T_ERROR, T_EVENTS, T_FINISH,
-    T_HELLO, T_OK, T_QUERY, T_REPORT, T_SHUTDOWN,
+    read_frame, write_frame, Hello, Report, WireFormat, MAX_FRAME, T_ANSWER, T_ERROR, T_EVENTS,
+    T_FINISH, T_HELLO, T_OK, T_QUERY, T_REPORT, T_SHUTDOWN,
 };
 use crate::race::ShardedRace;
 use crate::shard::ShardCfg;
+use csst_analyses::hb::HbDetector;
 use csst_analyses::race::RaceCfg;
 use csst_analyses::registry::{self, IndexKind, RunOutput};
+use csst_analyses::Analysis;
 use csst_core::{
     Csst, GraphIndex, IncrementalCsst, NodeId, PartialOrderIndex, SegTreeIndex, ThreadId,
     VectorClockIndex,
@@ -34,19 +54,57 @@ use csst_trace::{binary, rapid, text, EventKind, Trace};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Server-wide robustness configuration: deadlines, session limits and
+/// the fault-injection plan.
+#[derive(Debug, Clone)]
+pub struct ServerCfg {
+    /// Socket read timeout: how long a session may sit idle (no frame
+    /// from the peer) before it is closed with a `deadline` ERROR.
+    /// Zero disables the timeout.
+    pub idle_timeout: Duration,
+    /// Deadline for online queries and final-report flush barriers
+    /// (maps to the sharded engines' flush deadline).
+    pub query_deadline: Duration,
+    /// Socket write timeout and sharded-channel send timeout: how long
+    /// a send may block on a slow consumer before failing with
+    /// `backpressure`/`io`.
+    pub send_timeout: Duration,
+    /// Concurrent session cap; further connections are refused with an
+    /// `unavailable` ERROR.
+    pub max_sessions: usize,
+    /// Deterministic fault-injection plan (empty in production); see
+    /// [`FaultPlan`].
+    pub faults: FaultPlan,
+}
+
+impl Default for ServerCfg {
+    fn default() -> Self {
+        ServerCfg {
+            idle_timeout: Duration::from_secs(120),
+            query_deadline: Duration::from_secs(30),
+            send_timeout: Duration::from_secs(10),
+            max_sessions: 64,
+            faults: FaultPlan::none(),
+        }
+    }
+}
 
 /// One streaming analysis session: events in, queries and a final
 /// report out.
 trait SessionEngine: Send {
     /// Ingests one event.
-    fn feed(&mut self, thread: ThreadId, kind: EventKind);
+    fn feed(&mut self, thread: ThreadId, kind: EventKind) -> Result<(), ServeError>;
     /// Answers an online query against the fully-merged prefix.
-    fn query(&mut self, q: &str) -> Result<String, String>;
+    /// `Err(ServeError::Query(_))` answers the frame and keeps the
+    /// session open; any other error is session-fatal.
+    fn query(&mut self, q: &str) -> Result<String, ServeError>;
     /// Produces the final report (same formatting as the batch CLI).
-    fn finish(self: Box<Self>) -> Report;
+    fn finish(self: Box<Self>) -> Result<Report, ServeError>;
 }
 
 fn report_from(out: RunOutput) -> Report {
@@ -68,45 +126,145 @@ fn parse_ordered_query(q: &str) -> Option<(NodeId, NodeId)> {
     Some((NodeId::new(t1, p1), NodeId::new(t2, p2)))
 }
 
+/// Formats an hb report exactly like the batch registry entry, from
+/// either the sharded or the sequential detector's results.
+fn hb_report(races: &[(NodeId, NodeId)], sync_edges: usize) -> Report {
+    Report {
+        exit_code: (!races.is_empty()) as u8,
+        summary: format!(
+            "{} hb-race(s); {} synchronization edge(s)",
+            races.len(),
+            sync_edges
+        ),
+        lines: races
+            .iter()
+            .take(20)
+            .map(|(a, b)| format!("hb-race between {a} and {b}"))
+            .collect(),
+    }
+}
+
+/// The hb session engine: normally the sharded pipeline, with the
+/// sequential [`HbDetector`] as the degraded mode a worker panic falls
+/// back to. The event stream is buffered (the price of the fallback:
+/// memory linear in the stream) so the degraded detector can replay it
+/// and produce a report byte-identical to the batch CLI's.
 struct HbEngine<P: PartialOrderIndex + 'static> {
-    hb: ShardedHb<P>,
+    hb: Option<ShardedHb<P>>,
+    degraded: Option<HbDetector<P>>,
+    buffer: Trace,
+    events: u64,
+}
+
+impl<P: PartialOrderIndex + 'static> HbEngine<P> {
+    fn new(cfg: ShardCfg) -> Self {
+        HbEngine {
+            hb: Some(ShardedHb::<P>::new(cfg)),
+            degraded: None,
+            buffer: Trace::new(0),
+            events: 0,
+        }
+    }
+
+    /// Tears down the sharded pipeline and replays the buffered stream
+    /// into a fresh sequential detector.
+    fn degrade(&mut self, reason: &ServeError) -> &mut HbDetector<P> {
+        if let Some(hb) = self.hb.take() {
+            // Join the surviving workers; the result is void (the dead
+            // shard's races are missing), the replay recomputes it all.
+            let _ = hb.finish();
+        }
+        eprintln!("csst-serve: session degraded to sequential hb engine: {reason}");
+        let mut det = HbDetector::<P>::new(());
+        for (id, ev) in self.buffer.iter_order() {
+            det.feed(id.thread, ev.kind);
+        }
+        self.degraded.insert(det)
+    }
+
+    /// Runs `op` on the sharded engine, degrading on a worker panic;
+    /// `fallback` answers from the sequential detector (used both when
+    /// already degraded and right after degrading).
+    fn with_engine<T>(
+        &mut self,
+        op: impl FnOnce(&mut ShardedHb<P>) -> Result<T, ServeError>,
+        fallback: impl Fn(&mut HbDetector<P>) -> T,
+    ) -> Result<T, ServeError> {
+        if let Some(det) = self.degraded.as_mut() {
+            return Ok(fallback(det));
+        }
+        let hb = self.hb.as_mut().expect("sharded engine");
+        match op(hb) {
+            Ok(v) => Ok(v),
+            Err(e @ ServeError::WorkerPanic(_)) => Ok(fallback(self.degrade(&e))),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 impl<P: PartialOrderIndex + 'static> SessionEngine for HbEngine<P> {
-    fn feed(&mut self, thread: ThreadId, kind: EventKind) {
-        self.hb.feed(thread, kind);
+    fn feed(&mut self, thread: ThreadId, kind: EventKind) -> Result<(), ServeError> {
+        self.events += 1;
+        if let Some(det) = self.degraded.as_mut() {
+            det.feed(thread, kind);
+            return Ok(());
+        }
+        self.buffer.push(thread, kind);
+        let hb = self.hb.as_mut().expect("sharded engine");
+        match hb.feed(thread, kind) {
+            Ok(()) if !hb.failed() => Ok(()),
+            Ok(()) => {
+                // A worker died between barriers; degrade eagerly
+                // instead of buffering more work for a dead pipeline.
+                let e = ServeError::WorkerPanic(
+                    self.hb
+                        .as_ref()
+                        .and_then(|hb| hb.failure())
+                        .unwrap_or_else(|| "shard worker died".into()),
+                );
+                self.degrade(&e);
+                Ok(())
+            }
+            Err(e @ ServeError::WorkerPanic(_)) => {
+                self.degrade(&e);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
-    fn query(&mut self, q: &str) -> Result<String, String> {
+    fn query(&mut self, q: &str) -> Result<String, ServeError> {
         if let Some((a, b)) = parse_ordered_query(q) {
-            return Ok(self.hb.ordered(a, b).to_string());
+            return self.with_engine(
+                |hb| Ok(hb.ordered(a, b)?.to_string()),
+                |det| det.index().reachable(a, b).to_string(),
+            );
         }
         match q.trim() {
-            "races" => Ok(self.hb.races_snapshot().len().to_string()),
-            "events" => Ok(self.hb.events().to_string()),
-            _ => Err(format!(
+            "races" => self.with_engine(
+                |hb| Ok(hb.races_snapshot()?.len().to_string()),
+                |det| det.races().len().to_string(),
+            ),
+            "events" => Ok(self.events.to_string()),
+            _ => Err(ServeError::Query(format!(
                 "unknown query `{q}`; hb supports `ordered t1 p1 t2 p2`, `races`, `events`"
-            )),
+            ))),
         }
     }
 
-    fn finish(self: Box<Self>) -> Report {
-        let r = self.hb.finish();
-        // Mirrors the registry's hb formatting exactly.
-        Report {
-            exit_code: (!r.races.is_empty()) as u8,
-            summary: format!(
-                "{} hb-race(s); {} synchronization edge(s)",
-                r.races.len(),
-                r.sync_edges
-            ),
-            lines: r
-                .races
-                .iter()
-                .take(20)
-                .map(|(a, b)| format!("hb-race between {a} and {b}"))
-                .collect(),
+    fn finish(mut self: Box<Self>) -> Result<Report, ServeError> {
+        if self.degraded.is_none() {
+            match self.hb.take().expect("sharded engine").finish() {
+                Ok(r) => return Ok(hb_report(&r.races, r.sync_edges)),
+                Err(e @ ServeError::WorkerPanic(_)) => {
+                    self.degrade(&e);
+                }
+                Err(e) => return Err(e),
+            }
         }
+        let det = self.degraded.take().expect("degraded detector");
+        let r = det.finish();
+        Ok(hb_report(&r.races, r.sync_edges))
     }
 }
 
@@ -115,23 +273,26 @@ struct RaceEngine<P: PartialOrderIndex> {
 }
 
 impl<P: PartialOrderIndex> SessionEngine for RaceEngine<P> {
-    fn feed(&mut self, thread: ThreadId, kind: EventKind) {
-        self.race.feed(thread, kind);
+    fn feed(&mut self, thread: ThreadId, kind: EventKind) -> Result<(), ServeError> {
+        // Witness-worker panics are already recovered inside the
+        // sharded predictor (sequential chunk retry); an error here is
+        // genuinely fatal.
+        self.race.feed(thread, kind)
     }
 
-    fn query(&mut self, q: &str) -> Result<String, String> {
+    fn query(&mut self, q: &str) -> Result<String, ServeError> {
         match q.trim() {
             "races" => Ok(self.race.races_so_far().len().to_string()),
-            _ => Err(format!(
+            _ => Err(ServeError::Query(format!(
                 "unknown query `{q}`; race supports `races` (completed windows only)"
-            )),
+            ))),
         }
     }
 
-    fn finish(self: Box<Self>) -> Report {
-        let r = self.race.finish();
+    fn finish(self: Box<Self>) -> Result<Report, ServeError> {
+        let r = self.race.finish()?;
         // Mirrors the registry's race formatting exactly.
-        Report {
+        Ok(Report {
             exit_code: (!r.races.is_empty()) as u8,
             summary: format!(
                 "{} race(s) predicted from {} candidate(s)",
@@ -143,7 +304,7 @@ impl<P: PartialOrderIndex> SessionEngine for RaceEngine<P> {
                 .iter()
                 .map(|(a, b)| format!("race between {a} and {b}"))
                 .collect(),
-        }
+        })
     }
 }
 
@@ -157,47 +318,61 @@ struct BatchEngine {
 }
 
 impl SessionEngine for BatchEngine {
-    fn feed(&mut self, thread: ThreadId, kind: EventKind) {
+    fn feed(&mut self, thread: ThreadId, kind: EventKind) -> Result<(), ServeError> {
         self.trace.push(thread, kind);
+        Ok(())
     }
 
-    fn query(&mut self, q: &str) -> Result<String, String> {
+    fn query(&mut self, q: &str) -> Result<String, ServeError> {
         match q.trim() {
             "events" => Ok(self.trace.total_events().to_string()),
-            _ => Err(format!(
+            _ => Err(ServeError::Query(format!(
                 "analysis `{}` runs in batch mode; only `events` is queryable online",
                 self.name
-            )),
+            ))),
         }
     }
 
-    fn finish(self: Box<Self>) -> Report {
+    fn finish(self: Box<Self>) -> Result<Report, ServeError> {
         let entry = match registry::resolve(&self.name) {
             Ok(entry) => entry,
             Err(e) => {
-                return Report {
+                return Ok(Report {
                     exit_code: 2,
                     summary: e,
                     lines: Vec::new(),
-                }
+                })
             }
         };
-        match entry.run(&self.trace, self.index, self.window) {
-            Ok(out) => report_from(out),
-            Err(e) => Report {
+        // The batch run is the session's compute; a panic inside an
+        // analysis must not take the session thread down silently.
+        let run = AssertUnwindSafe(|| entry.run(&self.trace, self.index, self.window));
+        match catch_unwind(run) {
+            Ok(Ok(out)) => Ok(report_from(out)),
+            Ok(Err(e)) => Ok(Report {
                 exit_code: 2,
                 summary: e,
                 lines: Vec::new(),
-            },
+            }),
+            Err(payload) => Err(ServeError::WorkerPanic(format!(
+                "batch analysis `{}`: {}",
+                self.name,
+                panic_message(payload.as_ref())
+            ))),
         }
     }
 }
 
 /// Builds the session engine a HELLO asks for.
-fn make_engine(hello: &Hello) -> Result<Box<dyn SessionEngine>, String> {
+fn make_engine(hello: &Hello, cfg: &ServerCfg) -> Result<Box<dyn SessionEngine>, String> {
     let index = IndexKind::parse(&hello.index)
         .ok_or_else(|| format!("unknown index `{}` (csst|st|vc|graph)", hello.index))?;
-    let shard_cfg = ShardCfg::with_shards(hello.shards);
+    let shard_cfg = ShardCfg {
+        send_timeout: cfg.send_timeout,
+        flush_deadline: cfg.query_deadline,
+        faults: cfg.faults.clone(),
+        ..ShardCfg::with_shards(hello.shards)
+    };
     match hello.analysis.as_str() {
         "hb" => {
             if hello.window.is_some() {
@@ -206,44 +381,37 @@ fn make_engine(hello: &Hello) -> Result<Box<dyn SessionEngine>, String> {
                 );
             }
             Ok(match index {
-                IndexKind::Csst => Box::new(HbEngine {
-                    hb: ShardedHb::<IncrementalCsst>::new(shard_cfg),
-                }),
-                IndexKind::SegTree => Box::new(HbEngine {
-                    hb: ShardedHb::<SegTreeIndex>::new(shard_cfg),
-                }),
-                IndexKind::VectorClock => Box::new(HbEngine {
-                    hb: ShardedHb::<VectorClockIndex>::new(shard_cfg),
-                }),
-                IndexKind::Graph => Box::new(HbEngine {
-                    hb: ShardedHb::<GraphIndex>::new(shard_cfg),
-                }),
+                IndexKind::Csst => Box::new(HbEngine::<IncrementalCsst>::new(shard_cfg)),
+                IndexKind::SegTree => Box::new(HbEngine::<SegTreeIndex>::new(shard_cfg)),
+                IndexKind::VectorClock => Box::new(HbEngine::<VectorClockIndex>::new(shard_cfg)),
+                IndexKind::Graph => Box::new(HbEngine::<GraphIndex>::new(shard_cfg)),
             })
         }
         "race" => {
-            let cfg = RaceCfg {
+            let race_cfg = RaceCfg {
                 window: hello.window,
                 ..Default::default()
             };
             let shards = hello.shards;
+            let faults = cfg.faults.clone();
             Ok(match (hello.window, index) {
                 (None, IndexKind::Csst) => Box::new(RaceEngine {
-                    race: ShardedRace::<IncrementalCsst>::new(cfg, shards),
+                    race: ShardedRace::<IncrementalCsst>::with_faults(race_cfg, shards, faults),
                 }),
                 (None, IndexKind::SegTree) => Box::new(RaceEngine {
-                    race: ShardedRace::<SegTreeIndex>::new(cfg, shards),
+                    race: ShardedRace::<SegTreeIndex>::with_faults(race_cfg, shards, faults),
                 }),
                 (None, IndexKind::VectorClock) => Box::new(RaceEngine {
-                    race: ShardedRace::<VectorClockIndex>::new(cfg, shards),
+                    race: ShardedRace::<VectorClockIndex>::with_faults(race_cfg, shards, faults),
                 }),
                 (None, IndexKind::Graph) => Box::new(RaceEngine {
-                    race: ShardedRace::<GraphIndex>::new(cfg, shards),
+                    race: ShardedRace::<GraphIndex>::with_faults(race_cfg, shards, faults),
                 }),
                 (Some(_), IndexKind::Csst) => Box::new(RaceEngine {
-                    race: ShardedRace::<Csst>::new(cfg, shards),
+                    race: ShardedRace::<Csst>::with_faults(race_cfg, shards, faults),
                 }),
                 (Some(_), IndexKind::Graph) => Box::new(RaceEngine {
-                    race: ShardedRace::<GraphIndex>::new(cfg, shards),
+                    race: ShardedRace::<GraphIndex>::with_faults(race_cfg, shards, faults),
                 }),
                 (Some(_), other) => {
                     return Err(format!(
@@ -270,92 +438,209 @@ fn feed_events(
     engine: &mut dyn SessionEngine,
     format: WireFormat,
     payload: &[u8],
-) -> Result<(), String> {
+) -> Result<(), ServeError> {
     match format {
         WireFormat::Binary => {
-            for (thread, kind) in binary::decode_events(payload).map_err(|e| e.to_string())? {
-                engine.feed(thread, kind);
+            for (thread, kind) in
+                binary::decode_events(payload).map_err(|e| ServeError::Decode(e.to_string()))?
+            {
+                engine.feed(thread, kind)?;
             }
         }
         WireFormat::Text | WireFormat::Rapid => {
-            let input =
-                std::str::from_utf8(payload).map_err(|_| "text frame is not UTF-8".to_string())?;
+            let input = std::str::from_utf8(payload)
+                .map_err(|_| ServeError::Decode("text frame is not UTF-8".to_string()))?;
             let trace = match format {
                 WireFormat::Text => text::parse(input),
                 _ => rapid::parse(input),
             }
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| ServeError::Decode(e.to_string()))?;
             for (id, ev) in trace.iter_order() {
-                engine.feed(id.thread, ev.kind);
+                engine.feed(id.thread, ev.kind)?;
             }
         }
     }
     Ok(())
 }
 
+/// Classifies a frame-read failure: `Some(err)` is answered with a
+/// structured ERROR frame before closing, `None` closes silently (the
+/// peer is gone; nobody is listening for a reply).
+fn classify_read_error(e: io::Error, idle_timeout: Duration) -> Option<ServeError> {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Some(ServeError::Deadline {
+            what: "idle session",
+            after: idle_timeout,
+        }),
+        io::ErrorKind::InvalidData => Some(ServeError::Protocol(e.to_string())),
+        io::ErrorKind::UnexpectedEof => Some(ServeError::Protocol(e.to_string())),
+        _ => None,
+    }
+}
+
+/// How long a fatally-closed session keeps reading (and discarding)
+/// the peer's in-flight data before dropping the socket. Closing a TCP
+/// socket with unread data resets the connection, which would destroy
+/// the structured ERROR frame still sitting in the peer's receive
+/// buffer — this lingering window lets it arrive.
+const LINGER_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// An accepted session transport: framed I/O plus the linger hook a
+/// fatal close needs (a no-op for non-socket streams).
+trait SessionStream: Read + Write {
+    /// Switches the transport to the short [`LINGER_TIMEOUT`] read
+    /// deadline for the pre-close drain.
+    fn begin_linger(&mut self) {}
+}
+
+impl SessionStream for TcpStream {
+    fn begin_linger(&mut self) {
+        let _ = self.set_read_timeout(Some(LINGER_TIMEOUT));
+    }
+}
+
+impl SessionStream for UnixStream {
+    fn begin_linger(&mut self) {
+        let _ = self.set_read_timeout(Some(LINGER_TIMEOUT));
+    }
+}
+
+/// Lingering close: after a fatal ERROR reply, discard the peer's
+/// already-sent data — bounded in bytes and, via
+/// [`SessionStream::begin_linger`], in time — so the kernel delivers
+/// the ERROR instead of resetting the connection.
+fn drain_before_close<S: SessionStream>(stream: &mut S) {
+    stream.begin_linger();
+    let mut scratch = [0u8; 8192];
+    let mut budget = MAX_FRAME;
+    while budget > 0 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
 /// Runs one session over an accepted connection. Returns `true` if the
-/// peer asked the whole server to shut down.
-fn handle_session<S: Read + Write>(stream: &mut S) -> io::Result<bool> {
+/// peer asked the whole server to shut down. All failures are contained
+/// here: the only way out is a clean return.
+fn handle_session<S: SessionStream>(stream: &mut S, cfg: &ServerCfg) -> bool {
+    /// Writes a structured ERROR frame, best-effort (the peer may
+    /// already be gone).
+    fn send_error<S: Read + Write>(stream: &mut S, e: &ServeError) {
+        let _ = write_frame(stream, T_ERROR, &e.to_frame());
+    }
+    /// [`send_error`] for a session-fatal failure: the ERROR frame
+    /// followed by the lingering drain, so it survives the close.
+    fn send_fatal<S: SessionStream>(stream: &mut S, e: &ServeError) {
+        send_error(stream, e);
+        drain_before_close(stream);
+    }
+    /// Reads the next frame, containing every failure mode.
+    fn next_frame<S: SessionStream>(
+        stream: &mut S,
+        cfg: &ServerCfg,
+    ) -> Result<Option<(u8, Vec<u8>)>, ()> {
+        if cfg.faults.on_frame_read() {
+            return Err(()); // injected connection reset: vanish
+        }
+        match read_frame(stream) {
+            Ok(frame) => Ok(frame),
+            Err(e) => {
+                if let Some(serr) = classify_read_error(e, cfg.idle_timeout) {
+                    send_fatal(stream, &serr);
+                }
+                Err(())
+            }
+        }
+    }
+
     // First frame must be the HELLO.
-    let hello = match read_frame(stream)? {
-        Some((T_HELLO, payload)) => match Hello::decode(&payload) {
+    let hello = match next_frame(stream, cfg) {
+        Ok(Some((T_HELLO, payload))) => match Hello::decode(&payload) {
             Ok(hello) => hello,
             Err(e) => {
-                write_frame(stream, T_ERROR, e.as_bytes())?;
-                return Ok(false);
+                send_fatal(stream, &ServeError::Protocol(e));
+                return false;
             }
         },
-        Some((T_SHUTDOWN, _)) => {
-            write_frame(stream, T_OK, b"")?;
-            return Ok(true);
+        Ok(Some((T_SHUTDOWN, _))) => {
+            let _ = write_frame(stream, T_OK, b"");
+            return true;
         }
-        Some((tag, _)) => {
-            let msg = format!("expected HELLO as the first frame, got tag {tag:#04x}");
-            write_frame(stream, T_ERROR, msg.as_bytes())?;
-            return Ok(false);
+        Ok(Some((tag, _))) => {
+            send_fatal(
+                stream,
+                &ServeError::Protocol(format!(
+                    "expected HELLO as the first frame, got tag {tag:#04x}"
+                )),
+            );
+            return false;
         }
-        None => return Ok(false),
+        Ok(None) | Err(()) => return false,
     };
-    let mut engine = match make_engine(&hello) {
+    let mut engine = match make_engine(&hello, cfg) {
         Ok(engine) => engine,
         Err(e) => {
-            write_frame(stream, T_ERROR, e.as_bytes())?;
-            return Ok(false);
+            send_fatal(stream, &ServeError::Protocol(e));
+            return false;
         }
     };
-    write_frame(stream, T_OK, b"")?;
+    if write_frame(stream, T_OK, b"").is_err() {
+        return false;
+    }
     loop {
-        match read_frame(stream)? {
-            Some((T_EVENTS, payload)) => {
+        match next_frame(stream, cfg) {
+            Ok(Some((T_EVENTS, mut payload))) => {
+                // Injected corruption flips a payload byte here; the
+                // decoder must turn it into a structured error, never
+                // a panic (the CSTB proptests pin totality).
+                let _ = cfg.faults.on_events_frame(&mut payload);
                 if let Err(e) = feed_events(engine.as_mut(), hello.format, &payload) {
                     // Malformed events poison the session (the stream
                     // position is unknowable); report and stop.
-                    write_frame(stream, T_ERROR, e.as_bytes())?;
-                    return Ok(false);
+                    send_fatal(stream, &e);
+                    return false;
                 }
             }
-            Some((T_QUERY, payload)) => {
+            Ok(Some((T_QUERY, payload))) => {
                 let q = String::from_utf8_lossy(&payload);
                 match engine.query(&q) {
-                    Ok(answer) => write_frame(stream, T_ANSWER, answer.as_bytes())?,
-                    Err(e) => write_frame(stream, T_ERROR, e.as_bytes())?,
+                    Ok(answer) => {
+                        if write_frame(stream, T_ANSWER, answer.as_bytes()).is_err() {
+                            return false;
+                        }
+                    }
+                    Err(e) => {
+                        if e.is_session_fatal() {
+                            send_fatal(stream, &e);
+                            return false;
+                        }
+                        send_error(stream, &e);
+                    }
                 }
             }
-            Some((T_FINISH, _)) => {
-                let report = engine.finish();
-                write_frame(stream, T_REPORT, &report.encode())?;
-                return Ok(false);
+            Ok(Some((T_FINISH, _))) => {
+                match engine.finish() {
+                    Ok(report) => {
+                        let _ = write_frame(stream, T_REPORT, &report.encode());
+                    }
+                    Err(e) => send_fatal(stream, &e),
+                }
+                return false;
             }
-            Some((T_SHUTDOWN, _)) => {
-                write_frame(stream, T_OK, b"")?;
-                return Ok(true);
+            Ok(Some((T_SHUTDOWN, _))) => {
+                let _ = write_frame(stream, T_OK, b"");
+                return true;
             }
-            Some((tag, _)) => {
-                let msg = format!("unexpected frame tag {tag:#04x}");
-                write_frame(stream, T_ERROR, msg.as_bytes())?;
-                return Ok(false);
+            Ok(Some((tag, _))) => {
+                send_fatal(
+                    stream,
+                    &ServeError::Protocol(format!("unexpected frame tag {tag:#04x}")),
+                );
+                return false;
             }
-            None => return Ok(false), // peer hung up without FINISH
+            Ok(None) | Err(()) => return false, // peer hung up without FINISH
         }
     }
 }
@@ -365,21 +650,53 @@ enum Listener {
     Unix(UnixListener, std::path::PathBuf),
 }
 
+/// A ready-to-run session body, produced by the accept loop and moved
+/// onto its own thread (it owns the accepted stream).
+type SessionFn = Box<dyn FnOnce(&ServerCfg) -> bool + Send>;
+
 /// The `csst-serve` service: a polling accept loop over a TCP or Unix
 /// listener, one session thread per connection.
 pub struct Server {
     listener: Listener,
     stop: Arc<AtomicBool>,
+    cfg: ServerCfg,
+}
+
+/// Applies the configured socket timeouts to an accepted stream.
+/// Accepted sockets may inherit the listener's non-blocking flag, so it
+/// is cleared explicitly first.
+macro_rules! configure_stream {
+    ($s:expr, $cfg:expr) => {{
+        let ok = $s.set_nonblocking(false).is_ok()
+            && $s.set_read_timeout(non_zero(&$cfg.idle_timeout)).is_ok()
+            && $s.set_write_timeout(non_zero(&$cfg.send_timeout)).is_ok();
+        ok
+    }};
+}
+
+fn non_zero(d: &Duration) -> Option<Duration> {
+    (!d.is_zero()).then_some(*d)
 }
 
 impl Server {
-    /// Binds to `tcp:HOST:PORT` (port 0 picks a free port) or
-    /// `unix:/path` (an existing socket file is replaced).
+    /// Binds with the default robustness configuration; see
+    /// [`bind_with`](Self::bind_with).
     ///
     /// # Errors
     ///
     /// Address syntax and bind errors.
     pub fn bind(addr: &str) -> io::Result<Server> {
+        Server::bind_with(addr, ServerCfg::default())
+    }
+
+    /// Binds to `tcp:HOST:PORT` (port 0 picks a free port) or
+    /// `unix:/path` (an existing socket file is replaced), with
+    /// explicit deadlines, session limits and fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Address syntax and bind errors.
+    pub fn bind_with(addr: &str, cfg: ServerCfg) -> io::Result<Server> {
         let listener = if let Some(tcp) = addr.strip_prefix("tcp:") {
             Listener::Tcp(TcpListener::bind(tcp)?)
         } else if let Some(path) = addr.strip_prefix("unix:") {
@@ -395,6 +712,7 @@ impl Server {
         Ok(Server {
             listener,
             stop: Arc::new(AtomicBool::new(false)),
+            cfg,
         })
     }
 
@@ -421,26 +739,40 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Listener configuration errors; per-session I/O errors only end
-    /// that session.
+    /// Listener configuration errors; everything that happens inside a
+    /// session — I/O failures, protocol violations, analysis panics —
+    /// only ends that session.
     pub fn run(self) -> io::Result<()> {
         match &self.listener {
             Listener::Tcp(l) => l.set_nonblocking(true)?,
             Listener::Unix(l, _) => l.set_nonblocking(true)?,
         }
+        let cfg = Arc::new(self.cfg);
         let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.stop.load(Ordering::Acquire) {
-            let accepted: Option<Box<dyn FnOnce() -> bool + Send>> = match &self.listener {
+            sessions.retain(|h| !h.is_finished());
+            let at_capacity = sessions.len() >= cfg.max_sessions;
+            let accepted: Option<SessionFn> = match &self.listener {
                 Listener::Tcp(l) => match l.accept() {
                     Ok((mut s, _)) => {
-                        Some(Box::new(move || handle_session(&mut s).unwrap_or(false)))
+                        if at_capacity || !configure_stream!(s, cfg) {
+                            refuse(&mut s, at_capacity);
+                            None
+                        } else {
+                            Some(Box::new(move |cfg| session_thread(&mut s, cfg)))
+                        }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
                     Err(e) => return Err(e),
                 },
                 Listener::Unix(l, _) => match l.accept() {
                     Ok((mut s, _)) => {
-                        Some(Box::new(move || handle_session(&mut s).unwrap_or(false)))
+                        if at_capacity || !configure_stream!(s, cfg) {
+                            refuse(&mut s, at_capacity);
+                            None
+                        } else {
+                            Some(Box::new(move |cfg| session_thread(&mut s, cfg)))
+                        }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
                     Err(e) => return Err(e),
@@ -449,15 +781,15 @@ impl Server {
             match accepted {
                 Some(session) => {
                     let stop = Arc::clone(&self.stop);
+                    let cfg = Arc::clone(&cfg);
                     sessions.push(std::thread::spawn(move || {
-                        if session() {
+                        if session(&cfg) {
                             stop.store(true, Ordering::Release);
                         }
                     }));
                 }
                 None => std::thread::sleep(Duration::from_millis(10)),
             }
-            sessions.retain(|h| !h.is_finished());
         }
         for h in sessions {
             let _ = h.join();
@@ -466,6 +798,36 @@ impl Server {
             let _ = std::fs::remove_file(path);
         }
         Ok(())
+    }
+}
+
+/// Refuses a connection that cannot be served (session cap reached or
+/// the socket could not be configured), best-effort. The lingering
+/// drain eats the peer's pending HELLO so the refusal is delivered
+/// instead of a connection reset.
+fn refuse(stream: &mut impl SessionStream, at_capacity: bool) {
+    let e = if at_capacity {
+        ServeError::Unavailable("session limit reached; retry later".into())
+    } else {
+        ServeError::Unavailable("failed to configure the session socket".into())
+    };
+    let _ = write_frame(stream, T_ERROR, &e.to_frame());
+    drain_before_close(stream);
+}
+
+/// The per-connection thread body: [`handle_session`] under a
+/// `catch_unwind` boundary, so even a bug that escapes the per-engine
+/// containment ends one session (with a best-effort ERROR frame), not
+/// the server.
+fn session_thread<S: SessionStream>(stream: &mut S, cfg: &ServerCfg) -> bool {
+    match catch_unwind(AssertUnwindSafe(|| handle_session(stream, cfg))) {
+        Ok(shutdown) => shutdown,
+        Err(payload) => {
+            let e = ServeError::WorkerPanic(panic_message(payload.as_ref()));
+            let _ = write_frame(stream, T_ERROR, &e.to_frame());
+            drain_before_close(stream);
+            false
+        }
     }
 }
 

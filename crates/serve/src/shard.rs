@@ -22,11 +22,25 @@
 //! `seq` is fully merged on every shard, and query answers drawn from
 //! the merged state are final. Queries never observe a half-merged
 //! suffix because they are answered only behind that barrier.
+//!
+//! **Fault containment.** Nothing here blocks forever: sends time out
+//! into [`ServeError::Backpressure`], barrier waits time out into
+//! [`ServeError::Deadline`], and a worker that dies *poisons* its
+//! watermark slot ([`Watermarks::poison`]) so a waiting router fails
+//! fast with [`ServeError::WorkerPanic`] instead of spinning on a
+//! watermark that will never advance.
 
+use crate::error::ServeError;
+use crate::fault::FaultPlan;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// Watermark value a dying worker publishes: any barrier waiting on the
+/// slot fails fast with a [`ServeError::WorkerPanic`].
+pub const POISONED: u64 = u64::MAX;
 
 /// Configuration of a sharded ingest pipeline.
 #[derive(Debug, Clone)]
@@ -43,6 +57,14 @@ pub struct ShardCfg {
     pub channel_capacity: usize,
     /// Watermark broadcast period, in events.
     pub epoch_events: usize,
+    /// How long a send may wait on a full channel before it fails with
+    /// [`ServeError::Backpressure`].
+    pub send_timeout: Duration,
+    /// How long a flush barrier may wait for the workers' watermarks
+    /// before it fails with [`ServeError::Deadline`].
+    pub flush_deadline: Duration,
+    /// Deterministic fault injection plan (empty in production).
+    pub faults: FaultPlan,
 }
 
 impl Default for ShardCfg {
@@ -52,6 +74,9 @@ impl Default for ShardCfg {
             batch: 128,
             channel_capacity: 64,
             epoch_events: 1024,
+            send_timeout: Duration::from_secs(10),
+            flush_deadline: Duration::from_secs(30),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -87,15 +112,51 @@ impl Watermarks {
         self.slots[i].store(seq, Ordering::Release);
     }
 
+    /// Marks worker `i` dead: barriers waiting on the slot fail fast
+    /// instead of spinning forever.
+    pub fn poison(&self, i: usize) {
+        self.slots[i].store(POISONED, Ordering::Release);
+    }
+
+    /// True when any worker has poisoned its slot.
+    pub fn any_poisoned(&self) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.load(Ordering::Acquire) == POISONED)
+    }
+
     /// Blocks (spinning with yields; watermark gaps are bounded by the
     /// channel capacity, so waits are short) until every worker has
-    /// merged the prefix up to `seq`.
-    pub fn wait_until(&self, seq: u64) {
-        for slot in self.slots.iter() {
-            while slot.load(Ordering::Acquire) < seq {
+    /// merged the prefix up to `seq`, a slot is poisoned, or `deadline`
+    /// elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerPanic`] on a poisoned slot,
+    /// [`ServeError::Deadline`] when the barrier misses `deadline`.
+    pub fn wait_until(&self, seq: u64, deadline: Duration) -> Result<(), ServeError> {
+        let start = Instant::now();
+        for (i, slot) in self.slots.iter().enumerate() {
+            loop {
+                let mark = slot.load(Ordering::Acquire);
+                if mark == POISONED {
+                    return Err(ServeError::WorkerPanic(format!(
+                        "shard worker {i} died before merging the stream prefix"
+                    )));
+                }
+                if mark >= seq {
+                    break;
+                }
+                if start.elapsed() > deadline {
+                    return Err(ServeError::Deadline {
+                        what: "flush barrier",
+                        after: deadline,
+                    });
+                }
                 thread::yield_now();
             }
         }
+        Ok(())
     }
 }
 
@@ -106,42 +167,73 @@ pub struct BatchSender<M> {
     tx: SyncSender<Vec<M>>,
     pending: Vec<M>,
     batch: usize,
+    slot: usize,
+    timeout: Duration,
+    faults: FaultPlan,
 }
 
 impl<M> BatchSender<M> {
-    /// Wraps a bounded sender; batches of up to `batch` messages.
-    pub fn new(tx: SyncSender<Vec<M>>, batch: usize) -> Self {
+    /// Wraps worker `slot`'s bounded sender; batches of up to
+    /// `cfg.batch` messages, sends bounded by `cfg.send_timeout`.
+    pub fn new(tx: SyncSender<Vec<M>>, slot: usize, cfg: &ShardCfg) -> Self {
         BatchSender {
             tx,
-            pending: Vec::with_capacity(batch),
-            batch: batch.max(1),
+            pending: Vec::with_capacity(cfg.batch),
+            batch: cfg.batch.max(1),
+            slot,
+            timeout: cfg.send_timeout,
+            faults: cfg.faults.clone(),
         }
     }
 
-    /// Queues one message, sending the batch when full. Blocks on a
-    /// full channel (backpressure).
-    pub fn push(&mut self, msg: M) {
+    /// Queues one message, sending the batch when full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Backpressure`] when the channel stays full past
+    /// the send timeout (the worker is wedged, not merely busy).
+    pub fn push(&mut self, msg: M) -> Result<(), ServeError> {
         self.pending.push(msg);
         if self.pending.len() >= self.batch {
-            self.flush();
+            self.flush()?;
         }
+        Ok(())
     }
 
-    /// Sends the pending batch, if any.
-    pub fn flush(&mut self) {
+    /// Sends the pending batch, if any. A disconnected channel (the
+    /// worker panicked and its discard loop also ended) is *not* an
+    /// error here — worker death is detected and reported through the
+    /// poisoned watermark, and dropping the batch is then harmless.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Backpressure`] on a send-timeout.
+    pub fn flush(&mut self) -> Result<(), ServeError> {
         if self.pending.is_empty() {
-            return;
+            return Ok(());
         }
         let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch));
-        // The worker only ever stops after its channel is dropped, so a
-        // send can fail only when the worker panicked; surface that at
-        // join time, not here.
-        let _ = self.tx.try_send(batch).map_err(|e| match e {
-            TrySendError::Full(batch) => {
-                let _ = self.tx.send(batch);
+        if self.faults.on_send(self.slot) {
+            return Ok(()); // injected drop-send: the batch vanishes
+        }
+        let mut batch = batch;
+        let start = Instant::now();
+        loop {
+            match self.tx.try_send(batch) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => return Ok(()),
+                Err(TrySendError::Full(b)) => {
+                    if start.elapsed() > self.timeout {
+                        return Err(ServeError::Backpressure {
+                            shard: self.slot,
+                            waited: start.elapsed(),
+                        });
+                    }
+                    batch = b;
+                    thread::yield_now();
+                }
             }
-            TrySendError::Disconnected(_) => {}
-        });
+        }
     }
 }
 
@@ -152,5 +244,62 @@ pub fn drain<M>(rx: &Receiver<Vec<M>>, mut apply: impl FnMut(M)) {
         for msg in batch {
             apply(msg);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn poisoned_watermark_fails_the_barrier_fast() {
+        let wm = Watermarks::new(2);
+        wm.publish(0, 10);
+        wm.poison(1);
+        assert!(wm.any_poisoned());
+        match wm.wait_until(5, Duration::from_secs(5)) {
+            Err(ServeError::WorkerPanic(msg)) => assert!(msg.contains("worker 1"), "{msg}"),
+            other => panic!("want WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_times_out_into_a_deadline_error() {
+        let wm = Watermarks::new(1);
+        match wm.wait_until(1, Duration::from_millis(20)) {
+            Err(ServeError::Deadline { what, .. }) => assert_eq!(what, "flush barrier"),
+            other => panic!("want Deadline, got {other:?}"),
+        }
+        wm.publish(0, 1);
+        assert!(wm.wait_until(1, Duration::from_millis(20)).is_ok());
+    }
+
+    #[test]
+    fn full_channel_times_out_into_backpressure() {
+        let (tx, _rx) = sync_channel::<Vec<u8>>(1);
+        let cfg = ShardCfg {
+            batch: 1,
+            send_timeout: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let mut sender = BatchSender::new(tx, 3, &cfg);
+        sender.push(1).unwrap(); // fills the only slot (receiver never drains)
+        match sender.push(2) {
+            Err(ServeError::Backpressure { shard, .. }) => assert_eq!(shard, 3),
+            other => panic!("want Backpressure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_channel_is_not_a_send_error() {
+        let (tx, rx) = sync_channel::<Vec<u8>>(1);
+        drop(rx);
+        let cfg = ShardCfg {
+            batch: 1,
+            ..Default::default()
+        };
+        let mut sender = BatchSender::new(tx, 0, &cfg);
+        assert!(sender.push(1).is_ok(), "death is reported via watermarks");
     }
 }

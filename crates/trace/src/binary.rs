@@ -35,6 +35,12 @@ pub const VERSION: u8 = 1;
 /// Largest legal record body (the `AtomicRmw` record: kind + thread +
 /// var + order + two u64 values). Anything larger is corrupt.
 pub const MAX_RECORD: usize = 1 + 4 + 4 + 1 + 8 + 8;
+/// Largest plausible header thread count. The header field is a
+/// pre-sizing hint (records carry their own thread ids and the trace
+/// grows on demand), so a corrupt count must be rejected *before* it
+/// turns into a multi-gigabyte allocation — found by the corruption
+/// property tests.
+pub const MAX_THREADS: usize = 1 << 20;
 
 /// A malformed-input diagnosis; `offset` is the byte position of the
 /// record (or field) that failed.
@@ -77,6 +83,14 @@ pub enum BinError {
         /// The offending method byte.
         value: u8,
     },
+    /// A thread count or thread id exceeds [`MAX_THREADS`] (corrupt,
+    /// and honoring it would allocate unboundedly).
+    BadThreadCount {
+        /// Byte offset of the header field or record.
+        offset: usize,
+        /// The implausible count or id.
+        value: usize,
+    },
 }
 
 impl fmt::Display for BinError {
@@ -101,6 +115,12 @@ impl fmt::Display for BinError {
             }
             BinError::BadMethod { offset, value } => {
                 write!(f, "unknown method byte {value} in record at byte {offset}")
+            }
+            BinError::BadThreadCount { offset, value } => {
+                write!(
+                    f,
+                    "implausible thread count {value} at byte {offset} (max {MAX_THREADS})"
+                )
             }
         }
     }
@@ -297,6 +317,12 @@ pub fn decode_event(buf: &[u8], offset: usize) -> Result<Option<Decoded>, BinErr
     let body_end = c.at + body_len;
     let tag = c.u8()?;
     let thread = ThreadId(c.u32()?);
+    if thread.index() >= MAX_THREADS {
+        return Err(BinError::BadThreadCount {
+            offset,
+            value: thread.index(),
+        });
+    }
     let kind = match tag {
         K_READ | K_WRITE => {
             let var = c.u32()?.into();
@@ -418,6 +444,12 @@ pub fn parse(bytes: &[u8]) -> Result<Trace, BinError> {
         return Err(BinError::BadVersion(bytes[4]));
     }
     let threads = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+    if threads > MAX_THREADS {
+        return Err(BinError::BadThreadCount {
+            offset: 5,
+            value: threads,
+        });
+    }
     let mut trace = Trace::new(threads);
     let mut at = 9;
     while let Some(((thread, kind), next)) = decode_event(bytes, at)? {

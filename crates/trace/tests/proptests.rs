@@ -70,6 +70,44 @@ fn arb_kind() -> impl Strategy<Value = EventKind> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
+    /// Decoder totality under corruption: take a valid CSTB stream,
+    /// apply arbitrary byte flips, overwrites and truncation, and both
+    /// binary entry points must return a value or a positioned error —
+    /// never panic. This is the property `csst-serve` leans on when an
+    /// injected fault corrupts an EVENTS frame mid-session.
+    #[test]
+    fn binary_decoding_survives_arbitrary_corruption(
+        events in prop::collection::vec((0u32..5, arb_kind()), 0..60),
+        flips in prop::collection::vec((any::<usize>(), any::<u8>()), 0..12),
+        cut in any::<usize>()
+    ) {
+        let mut trace = Trace::new(5);
+        for (t, kind) in events {
+            trace.push(t, kind);
+        }
+        // parse() input: the full file (header + records); decode_events()
+        // input: a headerless record stream, as carried by EVENTS frames.
+        let file = csst_trace::binary::write(&trace);
+        let mut records = Vec::new();
+        for (id, ev) in trace.iter_order() {
+            csst_trace::binary::encode_event(id.thread, &ev.kind, &mut records);
+        }
+        for mut bytes in [file, records] {
+            for &(pos, byte) in &flips {
+                if !bytes.is_empty() {
+                    let pos = pos % bytes.len();
+                    bytes[pos] ^= byte;
+                }
+            }
+            if !bytes.is_empty() {
+                bytes.truncate(cut % (bytes.len() + 1));
+            }
+            // A value or an error — any panic fails the test harness.
+            let _ = csst_trace::binary::parse(&bytes);
+            let _ = csst_trace::binary::decode_events(&bytes);
+        }
+    }
+
     #[test]
     fn text_roundtrip_any_events(
         events in prop::collection::vec((0u32..5, arb_kind()), 0..120)

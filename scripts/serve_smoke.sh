@@ -94,6 +94,16 @@ if [[ "$fail" != "0" ]]; then
     exit 1
 fi
 
+# Unclean disconnect: a client that streams a prefix and vanishes
+# without FINISH must not disturb the server — the next session (the
+# shutdown driver below) still completes normally.
+"$client" --connect "$addr" --analysis hb --shards 2 --format binary \
+    --disconnect-after 50 >"$logdir/vanish.out" 2>&1 || {
+    echo "serve_smoke: unclean-disconnect client exited $? (want 0)" >&2
+    cat "$logdir/vanish.out" >&2
+    exit 1
+}
+
 # Clean shutdown: the client's SHUTDOWN frame must stop the server,
 # which must exit 0 after joining its session threads.
 "$client" --connect "$addr" --analysis hb --shards 1 --format binary \
@@ -113,4 +123,4 @@ if [[ "$server_code" != "0" ]]; then
     exit 1
 fi
 
-echo "serve_smoke OK: two concurrent sessions matched the batch analyzer, clean shutdown"
+echo "serve_smoke OK: two concurrent sessions matched the batch analyzer, unclean disconnect absorbed, clean shutdown"

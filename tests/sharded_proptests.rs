@@ -45,7 +45,8 @@ proptest! {
             } else {
                 ShardCfg::with_shards(shards)
             };
-            let sharded = ShardedHb::<VectorClockIndex>::run(&trace, cfg);
+            let sharded = ShardedHb::<VectorClockIndex>::run(&trace, cfg)
+                .expect("fault-free run");
             prop_assert_eq!(&sharded.races, &sequential.races,
                 "races diverge at {} shard(s)", shards);
             prop_assert_eq!(sharded.sync_edges, sequential.sync_edges,
@@ -74,7 +75,8 @@ proptest! {
         let cfg = race::RaceCfg::default();
         let sequential = race::predict::<IncrementalCsst>(&trace, &cfg);
         for shards in [1usize, 2, 4] {
-            let sharded = ShardedRace::<IncrementalCsst>::run(&trace, cfg.clone(), shards);
+            let sharded = ShardedRace::<IncrementalCsst>::run(&trace, cfg.clone(), shards)
+                .expect("fault-free run");
             prop_assert_eq!(&sharded.races, &sequential.races,
                 "races diverge at {} shard(s)", shards);
             prop_assert_eq!(sharded.candidates, sequential.candidates);
@@ -106,7 +108,8 @@ proptest! {
         };
         let sequential = race::predict::<Csst>(&trace, &cfg);
         for shards in [1usize, 2, 4] {
-            let sharded = ShardedRace::<Csst>::run(&trace, cfg.clone(), shards);
+            let sharded = ShardedRace::<Csst>::run(&trace, cfg.clone(), shards)
+                .expect("fault-free run");
             prop_assert_eq!(&sharded.races, &sequential.races,
                 "windowed races diverge at {} shard(s)", shards);
             prop_assert_eq!(sharded.candidates, sequential.candidates);
